@@ -1,0 +1,46 @@
+"""Helpers shared by the benchmark modules (printing and aggregation)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def print_series(title: str, result, *, x_label: str = "n") -> None:
+    """Render a FigureResult's series as the textual analogue of the figure."""
+    print(f"\n--- {title} ---")
+    for family in result.panels:
+        series = result.series(family)
+        if not series:
+            # Figure 4 tags its panels through the scenario label instead of the
+            # family; fall back to filtering rows by label.
+            rows = [r for r in result.rows if r.label == family]
+            if not rows:
+                continue
+            from repro.experiments.harness import series_by_heuristic
+
+            series = series_by_heuristic(rows, x_axis=result.x_axis)
+        print(f"[{family}]")
+        for heuristic in sorted(series):
+            points = series[heuristic]
+            rendered = "  ".join(f"{x_label}={x:g}:{y:.3f}" for x, y in points)
+            print(f"  {heuristic:<12} {rendered}")
+
+
+def mean_ratio(series: dict[str, list[tuple[float, float]]], heuristic: str) -> float:
+    """Average T/T_inf of one heuristic across the x axis."""
+    points = series.get(heuristic, [])
+    if not points:
+        return float("nan")
+    return sum(y for _, y in points) / len(points)
+
+
+def best_strategy_per_point(
+    series: dict[str, list[tuple[float, float]]], heuristics: Iterable[str]
+) -> dict[float, str]:
+    """For each x value, which of the given heuristics achieves the lowest ratio."""
+    winners: dict[float, tuple[str, float]] = {}
+    for heuristic in heuristics:
+        for x, y in series.get(heuristic, []):
+            if x not in winners or y < winners[x][1]:
+                winners[x] = (heuristic, y)
+    return {x: name for x, (name, _) in sorted(winners.items())}

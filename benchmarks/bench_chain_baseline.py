@@ -1,0 +1,56 @@
+"""Ablation A3 — the paper's heuristics versus the optimal chain DP.
+
+On linear chains the Toueg–Babaoğlu dynamic program is optimal; the paper's
+general-DAG heuristics should land close to it (they search the same family of
+"checkpoint the k heaviest / cheapest tasks" sets), while the periodic
+heuristic and the baselines pay a visible price.  This quantifies the gap and
+times both approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, solve_heuristic
+from repro.theory import solve_chain
+from repro.workflows import generators
+
+HEURISTICS = ("DF-CkptW", "DF-CkptC", "DF-CkptPer", "DF-CkptNvr", "DF-CkptAlws")
+
+
+@pytest.fixture(scope="module")
+def chain_instance():
+    workflow = generators.chain_workflow(60, seed=13, mean_weight=50.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_mtbf(500.0, downtime=5.0)
+    return workflow, platform
+
+
+def test_chain_dp_baseline(benchmark, chain_instance):
+    workflow, platform = chain_instance
+    solution = benchmark(lambda: solve_chain(workflow, platform))
+    print(
+        f"\nchain-60 optimal DP: E[makespan]={solution.expected_makespan:.1f}s, "
+        f"{len(solution.checkpointed)} checkpoints"
+    )
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_heuristics_against_chain_optimum(benchmark, chain_instance, heuristic):
+    workflow, platform = chain_instance
+    optimum = solve_chain(workflow, platform).expected_makespan
+    result = benchmark.pedantic(
+        lambda: solve_heuristic(workflow, platform, heuristic),
+        iterations=1,
+        rounds=1,
+    )
+    gap = 100.0 * (result.expected_makespan / optimum - 1.0)
+    print(
+        f"\n{heuristic}: E[makespan]={result.expected_makespan:.1f}s "
+        f"(+{gap:.2f}% vs optimal DP, {result.checkpoint_count} checkpoints)"
+    )
+    # No heuristic can beat the optimum; the searchful ones stay within 10%.
+    assert result.expected_makespan >= optimum - 1e-6
+    if heuristic in ("DF-CkptW", "DF-CkptC"):
+        assert gap <= 10.0

@@ -1,0 +1,72 @@
+"""Ablation — cost of the Theorem-3 evaluator as the workflow grows.
+
+The paper bounds the evaluation of a schedule by O(n^4); the implementation
+here is O(n·|E| + n^2) for sparse DAGs.  This benchmark times a single
+evaluation on increasingly large CyberShake instances (the widest family) and
+on long chains (the deepest recovery structures), which is the cost that
+drives the checkpoint-count search of every heuristic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule
+from repro.heuristics import linearize
+from repro.workflows import generators, pegasus
+
+
+def _cybershake_schedule(n_tasks: int):
+    workflow = pegasus.cybershake(n_tasks, seed=1).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    order = linearize(workflow, "DF")
+    return Schedule(workflow, order, set(order[::3]))
+
+
+def _chain_schedule(n_tasks: int):
+    workflow = generators.chain_workflow(n_tasks, seed=1, mean_weight=20.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    return Schedule(workflow, range(n_tasks), set(range(0, n_tasks, 5)))
+
+
+PLATFORM = Platform.from_platform_rate(1e-3)
+
+
+@pytest.mark.parametrize("n_tasks", [50, 100, 200, 400])
+def test_evaluator_scaling_cybershake(benchmark, n_tasks, preset):
+    if preset == "smoke" and n_tasks > 200:
+        pytest.skip("large sizes only at REPRO_BENCH_PRESET=paper")
+    schedule = _cybershake_schedule(n_tasks)
+    evaluation = benchmark(lambda: evaluate_schedule(schedule, PLATFORM))
+    print(
+        f"\ncybershake n={schedule.n_tasks}: E[makespan]={evaluation.expected_makespan:.1f}s "
+        f"(ratio {evaluation.overhead_ratio:.3f})"
+    )
+
+
+@pytest.mark.parametrize("n_tasks", [50, 100, 200, 400])
+def test_evaluator_scaling_chain(benchmark, n_tasks, preset):
+    if preset == "smoke" and n_tasks > 200:
+        pytest.skip("large sizes only at REPRO_BENCH_PRESET=paper")
+    schedule = _chain_schedule(n_tasks)
+    evaluation = benchmark(lambda: evaluate_schedule(schedule, PLATFORM))
+    print(
+        f"\nchain n={n_tasks}: E[makespan]={evaluation.expected_makespan:.1f}s "
+        f"(ratio {evaluation.overhead_ratio:.3f})"
+    )
+
+
+def test_lost_work_dominates_cost(benchmark):
+    """The lost-work arrays can be reused across platforms: measure the split."""
+    from repro import compute_lost_work
+
+    schedule = _cybershake_schedule(150)
+    lost_work = compute_lost_work(schedule)
+
+    def evaluate_with_precomputed():
+        return evaluate_schedule(schedule, PLATFORM, lost_work=lost_work)
+
+    evaluation = benchmark(evaluate_with_precomputed)
+    assert evaluation.expected_makespan > 0

@@ -1,0 +1,73 @@
+"""Figure 1 — the worked example DAG and its recovery semantics.
+
+Not an evaluation figure, but the paper's Section-3 walk-through is the
+behavioural specification of the execution model.  This benchmark times the
+three operations a user performs on the example: evaluating a schedule
+analytically, simulating it once with a scripted failure, and estimating it by
+Monte Carlo — and prints the resulting numbers side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule, run_monte_carlo, simulate_schedule
+from repro.simulation import ScriptedFailures
+from repro.workflows import generators
+
+
+@pytest.fixture(scope="module")
+def example_schedule():
+    workflow = generators.paper_example_workflow().with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    return Schedule(workflow, (0, 3, 1, 2, 4, 5, 6, 7), {3, 4})
+
+
+@pytest.mark.figure("figure1")
+def test_figure1_analytical_evaluation(benchmark, example_schedule):
+    platform = Platform.from_platform_rate(8e-3, downtime=1.0)
+    evaluation = benchmark(lambda: evaluate_schedule(example_schedule, platform))
+    print(
+        f"\nFigure 1 example: E[makespan] = {evaluation.expected_makespan:.2f}s, "
+        f"failure-free = {evaluation.failure_free_makespan:.2f}s, "
+        f"T/T_inf = {evaluation.overhead_ratio:.3f}"
+    )
+
+
+@pytest.mark.figure("figure1")
+def test_figure1_scripted_failure_replay(benchmark, example_schedule):
+    platform = Platform.from_platform_rate(1e-4)
+
+    def replay():
+        return simulate_schedule(
+            example_schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([69.5]),
+            collect_trace=True,
+        )
+
+    result = benchmark(replay)
+    print(
+        f"\nScripted single failure during T5: makespan {result.makespan:.2f}s, "
+        f"{result.n_failures} failure, recoveries {result.total_recovery_time:.1f}s, "
+        f"re-execution {result.total_reexecution_time:.1f}s"
+    )
+
+
+@pytest.mark.figure("figure1")
+def test_figure1_monte_carlo_estimate(benchmark, example_schedule, preset):
+    platform = Platform.from_platform_rate(8e-3, downtime=1.0)
+    n_runs = 2000 if preset == "paper" else 300
+    summary = benchmark.pedantic(
+        lambda: run_monte_carlo(example_schedule, platform, n_runs=n_runs, rng=1),
+        iterations=1,
+        rounds=1,
+    )
+    analytical = evaluate_schedule(example_schedule, platform).expected_makespan
+    print(
+        f"\nMonte-Carlo ({summary.n_runs} runs): mean {summary.mean_makespan:.2f}s, "
+        f"95% CI {summary.ci95[0]:.2f}-{summary.ci95[1]:.2f}s, "
+        f"analytical {analytical:.2f}s"
+    )

@@ -1,0 +1,45 @@
+"""Figure 3 — impact of the checkpointing strategy, ``c = 0.1 w``.
+
+Paper reference: Figure 3 (a) Montage, (b) Ligo, (c) CyberShake, (d) Genome;
+for every checkpointing strategy the best linearization is plotted.  Expected
+shape: CkptW and CkptC dominate; CkptNvr / CkptAlws / CkptPer trail behind
+(CkptPer is sometimes even worse than the baselines); ratios sit around
+1.1-1.5 for Montage / CyberShake / Ligo and 1.6-2.4 for Genome in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import best_by_strategy, figure3
+
+from _bench_utils import print_series
+
+
+@pytest.mark.figure("figure3")
+def test_figure3_checkpoint_strategy_impact(benchmark, figure_sizes, search_mode):
+    result = benchmark.pedantic(
+        lambda: figure3(sizes=figure_sizes, seed=0, search_mode=search_mode),
+        iterations=1,
+        rounds=1,
+    )
+    print_series("Figure 3: T/T_inf, checkpointing strategies (c = 0.1 w)", result)
+
+    # Textual analogue of the paper's plotting rule: per strategy, keep the best
+    # linearization, then compare strategies.
+    best = best_by_strategy(result.rows)
+    print("\nBest linearization per checkpointing strategy:")
+    for (family, n, strategy), row in sorted(best.items()):
+        print(f"  {family:<12} n={n:<4} {strategy:<9} -> {row.heuristic:<11} ratio {row.overhead_ratio:.3f}")
+
+    # Shape checks: the searchful strategies never lose to the baselines.
+    for family in result.panels:
+        rows = [r for r in result.rows if r.family == family]
+        for n in {r.n_tasks for r in rows}:
+            subset = [r for r in rows if r.n_tasks == n]
+            ratio = {strategy: min(r.overhead_ratio for r in subset if r.checkpoint_strategy == strategy)
+                     for strategy in ("CkptNvr", "CkptAlws", "CkptW", "CkptC")}
+            assert ratio["CkptW"] <= ratio["CkptNvr"] + 1e-9
+            assert ratio["CkptW"] <= ratio["CkptAlws"] + 1e-9
+            assert ratio["CkptC"] <= ratio["CkptNvr"] + 1e-9
+            assert min(r.overhead_ratio for r in subset) >= 1.0

@@ -1,0 +1,43 @@
+"""Figure 4 — CyberShake with constant / very small checkpoint costs.
+
+Paper reference: Figure 4 (a) ``c_i = 10`` s, (b) ``c_i = 5`` s,
+(c) ``c_i = 0.01 w_i``, always on CyberShake, comparing the linearizations for
+CkptW and CkptC.  Expected shape: with a *constant* checkpoint cost CkptW
+catches up with CkptC (ranking by weight or by cost is no longer equivalent to
+the proportional case), and with ``c = 0.01 w`` the overhead ratios collapse to
+a few percent (the paper's panel (c) spans only 1.04-1.06).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4
+from repro.experiments.harness import series_by_heuristic
+
+from _bench_utils import mean_ratio, print_series
+
+
+@pytest.mark.figure("figure4")
+def test_figure4_constant_checkpoint_costs(benchmark, figure_sizes, search_mode):
+    result = benchmark.pedantic(
+        lambda: figure4(sizes=figure_sizes, seed=0, search_mode=search_mode),
+        iterations=1,
+        rounds=1,
+    )
+    print_series("Figure 4: CyberShake, constant / small checkpoint costs", result)
+
+    by_panel = {
+        panel: series_by_heuristic([r for r in result.rows if r.label == panel])
+        for panel in result.panels
+    }
+
+    # Panel (c): with c = 0.01 w the overhead is tiny (paper: 1.04-1.06).
+    small = by_panel["cybershake-0.01w"]
+    for heuristic in ("DF-CkptW", "DF-CkptC"):
+        assert mean_ratio(small, heuristic) < 1.15
+
+    # Constant-cost panels: CkptW is competitive with CkptC (within a few %).
+    for panel in ("cybershake-c10", "cybershake-c5"):
+        series = by_panel[panel]
+        assert mean_ratio(series, "DF-CkptW") <= mean_ratio(series, "DF-CkptC") + 0.05

@@ -1,0 +1,39 @@
+"""Figure 5 — checkpointing strategies with ``c = 0.01 w``.
+
+Paper reference: Figure 5 (a-d), the four families with a checkpoint cost of
+1% of the task weight.  Expected shape: same ranking as Figure 3 (CkptW /
+CkptC on top) but with much smaller overheads, since checkpointing is now
+almost free — CkptAlws becomes nearly as good as the searchful strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5
+
+from _bench_utils import mean_ratio, print_series
+
+
+@pytest.mark.figure("figure5")
+def test_figure5_small_proportional_costs(benchmark, figure_sizes, search_mode):
+    result = benchmark.pedantic(
+        lambda: figure5(sizes=figure_sizes, seed=0, search_mode=search_mode),
+        iterations=1,
+        rounds=1,
+    )
+    print_series("Figure 5: T/T_inf, checkpointing strategies (c = 0.01 w)", result)
+
+    for family in result.panels:
+        series = result.series(family)
+        best_searchful = min(
+            mean_ratio(series, f"{lin}-{strat}")
+            for lin in ("DF", "BF", "RF")
+            for strat in ("CkptW", "CkptC")
+        )
+        # Cheap checkpoints: checkpointing everything is close to the best
+        # searchful strategy, and never checkpointing is the clear loser for
+        # the heavy-task families.
+        assert mean_ratio(series, "DF-CkptAlws") <= best_searchful + 0.10
+        if family in ("ligo", "genome"):
+            assert mean_ratio(series, "DF-CkptNvr") > best_searchful

@@ -1,0 +1,38 @@
+"""Figure 6 — checkpointing strategies with constant ``c = 5`` s.
+
+Paper reference: Figure 6 (a-d), the four families with a 5-second checkpoint
+cost for every task.  Expected shape: same qualitative ranking as Figure 3;
+because the checkpoint cost no longer scales with the task weight, CkptW and
+CkptC give very similar results on the families whose tasks have similar sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure6
+
+from _bench_utils import mean_ratio, print_series
+
+
+@pytest.mark.figure("figure6")
+def test_figure6_constant_costs(benchmark, figure_sizes, search_mode):
+    result = benchmark.pedantic(
+        lambda: figure6(sizes=figure_sizes, seed=0, search_mode=search_mode),
+        iterations=1,
+        rounds=1,
+    )
+    print_series("Figure 6: T/T_inf, checkpointing strategies (c = 5 s)", result)
+
+    for family in result.panels:
+        series = result.series(family)
+        ckptw = mean_ratio(series, "DF-CkptW")
+        never = mean_ratio(series, "DF-CkptNvr")
+        always = mean_ratio(series, "DF-CkptAlws")
+        assert ckptw <= never + 1e-9
+        assert ckptw <= always + 1e-9
+        # With a 5 s constant checkpoint, CkptW and CkptC rank tasks differently;
+        # report how far apart they land (the paper shows overlapping curves).
+        ckptc = mean_ratio(series, "DF-CkptC")
+        print(f"  {family}: mean ratio CkptW {ckptw:.3f} vs CkptC {ckptc:.3f} "
+              f"(Nvr {never:.3f}, Alws {always:.3f})")

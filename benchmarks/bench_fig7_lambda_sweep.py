@@ -1,0 +1,41 @@
+"""Figure 7 — checkpointing strategies versus the platform failure rate.
+
+Paper reference: Figure 7 (a-d): 200-task workflows, ``c = 0.1 w``, failure
+rate swept from 1e-4 to 9.3e-4 (1e-6 to 2.7e-4 for Genome).  Expected shape:
+every heuristic's overhead grows with the failure rate; the gap between the
+searchful strategies and the baselines widens; Genome's ratio explodes at the
+high end (the paper's panel reaches ~20 for the worst strategies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure7
+
+from _bench_utils import print_series
+
+
+@pytest.mark.figure("figure7")
+def test_figure7_failure_rate_sweep(benchmark, preset, search_mode):
+    n_tasks = 200 if preset == "paper" else 40
+    result = benchmark.pedantic(
+        lambda: figure7(preset=preset, n_tasks=n_tasks, seed=0, search_mode=search_mode),
+        iterations=1,
+        rounds=1,
+    )
+    print_series(
+        "Figure 7: T/T_inf versus failure rate (c = 0.1 w)", result, x_label="lambda"
+    )
+
+    for family in result.panels:
+        series = result.series(family)
+        for heuristic, points in series.items():
+            # Overhead must not decrease when the failure rate increases.
+            ratios = [y for _, y in points]
+            assert all(a <= b + 1e-6 for a, b in zip(ratios, ratios[1:])), (family, heuristic)
+        # At the highest rate, the best searchful strategy beats never-checkpointing.
+        top_rate = max(x for x, _ in series["DF-CkptW"])
+        ckptw_top = dict(series["DF-CkptW"])[top_rate]
+        never_top = dict(series["DF-CkptNvr"])[top_rate]
+        assert ckptw_top <= never_top + 1e-9

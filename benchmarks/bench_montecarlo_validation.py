@@ -1,0 +1,49 @@
+"""Ablation A1 — analytical evaluator versus Monte-Carlo simulation.
+
+For one representative instance per workflow family, compare the Theorem-3
+expectation with the empirical mean of simulated executions.  The benchmark
+times the Monte-Carlo side (the analytical evaluation is orders of magnitude
+cheaper, which is the whole point of the paper) and asserts agreement within
+the confidence interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule, run_monte_carlo
+from repro.heuristics import linearize
+from repro.workflows import pegasus
+
+CASES = {
+    "montage": (1e-3, 40),
+    "cybershake": (1e-3, 40),
+    "ligo": (1e-3, 40),
+    "genome": (1e-4, 40),
+}
+
+
+@pytest.mark.parametrize("family", sorted(CASES))
+def test_montecarlo_agrees_with_evaluator(benchmark, family, preset):
+    rate, n_tasks = CASES[family]
+    workflow = pegasus.generate(family, n_tasks, seed=5).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(rate)
+    order = linearize(workflow, "DF")
+    schedule = Schedule(workflow, order, set(order[::3]))
+    analytical = evaluate_schedule(schedule, platform).expected_makespan
+
+    n_runs = 2000 if preset == "paper" else 400
+    summary = benchmark.pedantic(
+        lambda: run_monte_carlo(schedule, platform, n_runs=n_runs, rng=9),
+        iterations=1,
+        rounds=1,
+    )
+    low, high = summary.ci95
+    print(
+        f"\n{family}: analytical {analytical:.1f}s | MC mean {summary.mean_makespan:.1f}s "
+        f"(95% CI [{low:.1f}, {high:.1f}], {summary.mean_failures:.2f} failures/run)"
+    )
+    margin = 2.0 * (high - low) / 2.0 + 1e-9
+    assert abs(summary.mean_makespan - analytical) <= margin

@@ -1,0 +1,71 @@
+"""Ablation A2 — exhaustive versus subsampled checkpoint-count search.
+
+The paper's heuristics try every checkpoint count ``N = 1 .. n-1``.  For large
+instances this is the dominant cost (n evaluator calls per heuristic), so the
+harness optionally subsamples the candidate counts on a geometric grid.  This
+ablation quantifies both sides: how much faster the subsampled search is, and
+how close its best expected makespan stays to the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform
+from repro.heuristics import checkpoint_by_weight, candidate_counts, linearize, search_checkpoint_count
+from repro.workflows import pegasus
+
+FAMILIES = ("montage", "cybershake")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_exhaustive_search(benchmark, family, preset):
+    n_tasks = 200 if preset == "paper" else 60
+    workflow = pegasus.generate(family, n_tasks, seed=3).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(1e-3)
+    order = linearize(workflow, "DF")
+    search = benchmark.pedantic(
+        lambda: search_checkpoint_count(workflow, order, platform, checkpoint_by_weight),
+        iterations=1,
+        rounds=1,
+    )
+    print(
+        f"\n{family} exhaustive: best N={search.best_count} "
+        f"E[makespan]={search.best_evaluation.expected_makespan:.1f}s "
+        f"({len(search.evaluated)} candidates)"
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("budget", [8, 16])
+def test_geometric_search_accuracy(benchmark, family, budget, preset):
+    n_tasks = 200 if preset == "paper" else 60
+    workflow = pegasus.generate(family, n_tasks, seed=3).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(1e-3)
+    order = linearize(workflow, "DF")
+
+    exhaustive = search_checkpoint_count(workflow, order, platform, checkpoint_by_weight)
+    counts = candidate_counts(workflow.n_tasks, mode="geometric", max_candidates=budget)
+    subsampled = benchmark.pedantic(
+        lambda: search_checkpoint_count(
+            workflow, order, platform, checkpoint_by_weight, counts=counts
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    gap = (
+        subsampled.best_evaluation.expected_makespan
+        / exhaustive.best_evaluation.expected_makespan
+        - 1.0
+    )
+    print(
+        f"\n{family} geometric({budget}): best N={subsampled.best_count}, "
+        f"gap vs exhaustive = {100 * gap:.3f}% "
+        f"({len(subsampled.evaluated)} vs {len(exhaustive.evaluated)} candidates)"
+    )
+    # The subsampled search stays within 2% of the exhaustive optimum.
+    assert gap <= 0.02

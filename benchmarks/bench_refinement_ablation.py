@@ -1,0 +1,74 @@
+"""Ablation A4 — evaluator-guided refinement on top of the paper's heuristics.
+
+The paper stops at static ranking heuristics (CkptW, CkptC, ...).  Because the
+Theorem-3 evaluator prices any schedule, a natural extension is to refine the
+heuristic's checkpoint set by greedy local search.  This ablation measures how
+much expected makespan the refinement recovers and what it costs, on one
+instance per workflow family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, solve_heuristic
+from repro.heuristics import local_search_checkpoints
+from repro.workflows import pegasus
+
+CASES = {
+    "montage": 1e-3,
+    "cybershake": 1e-3,
+    "ligo": 1e-3,
+    "genome": 1e-4,
+}
+
+
+@pytest.mark.parametrize("family", sorted(CASES))
+def test_local_search_on_top_of_ckptw(benchmark, family, preset):
+    n_tasks = 100 if preset == "paper" else 40
+    workflow = pegasus.generate(family, n_tasks, seed=17).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(CASES[family])
+    start = solve_heuristic(workflow, platform, "DF-CkptW",
+                            counts=[5, 10, 20, workflow.n_tasks])
+
+    refined = benchmark.pedantic(
+        lambda: local_search_checkpoints(start.schedule, platform, max_steps=10),
+        iterations=1,
+        rounds=1,
+    )
+    print(
+        f"\n{family}: DF-CkptW {start.expected_makespan:.1f}s -> refined "
+        f"{refined.expected_makespan:.1f}s "
+        f"(-{100 * refined.relative_improvement:.2f}%, {refined.steps} moves, "
+        f"{refined.evaluations} evaluator calls)"
+    )
+    assert refined.expected_makespan <= start.expected_makespan + 1e-9
+
+
+@pytest.mark.parametrize("family", ["cybershake"])
+def test_refinement_of_periodic_checkpointing(benchmark, family, preset):
+    """CkptPer leaves the most on the table; quantify how much refinement recovers."""
+    n_tasks = 100 if preset == "paper" else 40
+    workflow = pegasus.generate(family, n_tasks, seed=17).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(CASES[family])
+    periodic = solve_heuristic(workflow, platform, "DF-CkptPer",
+                               counts=[5, 10, 20, workflow.n_tasks])
+    best = solve_heuristic(workflow, platform, "DF-CkptW",
+                           counts=[5, 10, 20, workflow.n_tasks])
+
+    refined = benchmark.pedantic(
+        lambda: local_search_checkpoints(periodic.schedule, platform),
+        iterations=1,
+        rounds=1,
+    )
+    print(
+        f"\n{family}: DF-CkptPer {periodic.expected_makespan:.1f}s, DF-CkptW "
+        f"{best.expected_makespan:.1f}s, refined CkptPer {refined.expected_makespan:.1f}s"
+    )
+    # Refinement closes (most of) the gap between CkptPer and the best heuristic.
+    assert refined.expected_makespan <= periodic.expected_makespan + 1e-9
+    assert refined.expected_makespan <= best.expected_makespan * 1.02

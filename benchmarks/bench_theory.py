@@ -1,0 +1,56 @@
+"""Theory benchmarks — fork and join optimal algorithms versus brute force.
+
+Times the closed-form solvers of Section 4.1 (Theorem 1 for forks, Corollary 1
+for equal-cost joins) and verifies on the spot that they match the exhaustive
+optimum on small instances — the executable counterpart of the paper's proofs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform
+from repro.theory import optimal_schedule, solve_fork, solve_join_equal_costs
+from repro.theory.npcomplete import solve_subset_sum_by_reduction
+from repro.workflows import generators
+
+
+def test_fork_theorem_vs_bruteforce(benchmark):
+    workflow = generators.fork_workflow(6, seed=4, mean_weight=40.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    platform = Platform.from_platform_rate(8e-3, downtime=1.0)
+    solution = benchmark(lambda: solve_fork(workflow, platform))
+    brute = optimal_schedule(workflow, platform, checkpoint_candidates=[workflow.sources[0]])
+    print(
+        f"\nfork-7: Theorem-1 optimum {solution.expected_makespan:.2f}s "
+        f"(checkpoint source: {solution.checkpoint_source}); brute force {brute.expected_makespan:.2f}s"
+    )
+    assert solution.expected_makespan == pytest.approx(brute.expected_makespan)
+
+
+def test_join_corollary_vs_bruteforce(benchmark):
+    workflow = generators.join_workflow(5, seed=6, mean_weight=35.0, sink_weight=15.0).with_checkpoint_costs(
+        mode="constant", value=3.0
+    )
+    platform = Platform.from_platform_rate(1e-2, downtime=1.0)
+    solution = benchmark(lambda: solve_join_equal_costs(workflow, platform))
+    brute = optimal_schedule(workflow, platform)
+    print(
+        f"\njoin-6: Corollary-1 optimum {solution.expected_makespan:.2f}s "
+        f"({len(solution.checkpointed_sources)} checkpointed sources); "
+        f"brute force {brute.expected_makespan:.2f}s"
+    )
+    assert solution.expected_makespan == pytest.approx(brute.expected_makespan, rel=1e-9)
+
+
+def test_subset_sum_reduction(benchmark):
+    """Theorem 2's reduction, driven end to end on a small SUBSET-SUM instance."""
+    feasible, subset = benchmark.pedantic(
+        lambda: solve_subset_sum_by_reduction([3, 5, 7, 11, 13], 21),
+        iterations=1,
+        rounds=1,
+    )
+    print(f"\nSUBSET-SUM([3,5,7,11,13], 21) via the join reduction: {feasible}, subset={sorted(subset)}")
+    assert feasible
+    assert sum([3, 5, 7, 11, 13][i] for i in subset) == 21

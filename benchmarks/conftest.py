@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data behind one of the paper's figures (or an
+ablation) and prints the resulting series.  Two scales are supported:
+
+* the default ``smoke`` scale keeps every benchmark under a few seconds so that
+  ``pytest benchmarks/ --benchmark-only`` is routinely runnable;
+* setting the environment variable ``REPRO_BENCH_PRESET=paper`` switches to the
+  paper's instance sizes (50-700 tasks, exhaustive checkpoint-count search),
+  which takes hours — use it to produce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure stray unit-test
+    # fixtures are not expected here.
+    config.addinivalue_line("markers", "figure(name): benchmark reproducing a paper figure")
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    """Benchmark scale: ``smoke`` (default) or ``paper`` (env override)."""
+    value = os.environ.get("REPRO_BENCH_PRESET", "smoke").lower()
+    if value not in ("smoke", "paper"):
+        raise ValueError(f"REPRO_BENCH_PRESET must be 'smoke' or 'paper', got {value!r}")
+    return value
+
+
+@pytest.fixture(scope="session")
+def figure_sizes(preset) -> tuple[int, ...]:
+    """Task counts for the figure sweeps."""
+    if preset == "paper":
+        return (50, 100, 200, 300, 400, 500, 600, 700)
+    return (30, 60)
+
+
+@pytest.fixture(scope="session")
+def search_mode(preset) -> str:
+    """Checkpoint-count search mode matching the preset."""
+    return "exhaustive" if preset == "paper" else "geometric"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate the analytical evaluator against fault-injection simulation.
+
+The paper's central theoretical result (Theorem 3) is a polynomial-time formula
+for the expected makespan of a schedule.  This example rebuilds the evidence a
+reviewer would ask for: on several workflow shapes and failure rates, compare
+the analytical expectation with the empirical mean of thousands of simulated
+executions, and report the deviation in units of the Monte-Carlo standard
+error.  It also demonstrates the non-exponential failure models (Weibull /
+LogNormal), for which the analytical formula is no longer exact — quantifying
+how far off it gets is precisely the kind of study the simulator enables.
+
+Run with:  python examples/montecarlo_validation.py
+"""
+
+from __future__ import annotations
+
+from repro import Platform, Schedule, evaluate_schedule, run_monte_carlo
+from repro.heuristics import linearize
+from repro.simulation import LogNormalFailures, WeibullFailures
+from repro.workflows import generators, pegasus
+
+
+def build_cases():
+    """(name, schedule, platform) triples covering chains, forks, joins, DAGs."""
+    cases = []
+
+    chain = generators.chain_workflow(8, seed=1, mean_weight=40.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    cases.append(
+        ("chain-8 (3 ckpts)", Schedule(chain, range(8), {1, 4, 6}),
+         Platform.from_platform_rate(4e-3, downtime=5.0))
+    )
+
+    fork = generators.fork_workflow(7, source_weight=60.0, seed=2, mean_weight=25.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    cases.append(
+        ("fork-8 (ckpt source)", Schedule(fork, fork.topological_order(), {0}),
+         Platform.from_platform_rate(3e-3, downtime=2.0))
+    )
+
+    join = generators.join_workflow(7, sink_weight=40.0, seed=3, mean_weight=30.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    cases.append(
+        ("join-8 (3 ckpts)", Schedule(join, join.topological_order(), {0, 2, 4}),
+         Platform.from_platform_rate(3e-3, downtime=2.0))
+    )
+
+    example = generators.paper_example_workflow().with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    cases.append(
+        ("paper figure 1", Schedule(example, (0, 3, 1, 2, 4, 5, 6, 7), {3, 4}),
+         Platform.from_platform_rate(8e-3, downtime=1.0))
+    )
+
+    montage = pegasus.montage(60, seed=4).with_checkpoint_costs(mode="proportional", factor=0.1)
+    order = linearize(montage, "DF")
+    cases.append(
+        ("montage-60 (DF, 1 in 4 ckpt)", Schedule(montage, order, set(order[::4])),
+         Platform.from_platform_rate(1e-3))
+    )
+    return cases
+
+
+def main() -> None:
+    n_runs = 3_000
+    print(f"{'case':<30} {'analytical':>12} {'MC mean':>12} {'MC sem':>9} {'deviation':>10}")
+    print("-" * 78)
+    for name, schedule, platform in build_cases():
+        analytical = evaluate_schedule(schedule, platform).expected_makespan
+        summary = run_monte_carlo(schedule, platform, n_runs=n_runs, rng=123)
+        sigma = summary.sem if summary.sem > 0 else 1e-9
+        deviation = (summary.mean_makespan - analytical) / sigma
+        print(
+            f"{name:<30} {analytical:>11.2f}s {summary.mean_makespan:>11.2f}s "
+            f"{summary.sem:>8.2f}s {deviation:>+9.2f}σ"
+        )
+
+    # ------------------------------------------------------------------
+    # Non-exponential failures: the analytical formula is only an approximation.
+    # ------------------------------------------------------------------
+    print("\nNon-exponential failure laws (chain-8 schedule, same MTBF of 250 s):")
+    chain = generators.chain_workflow(8, seed=1, mean_weight=40.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+    schedule = Schedule(chain, range(8), {1, 4, 6})
+    platform = Platform.from_platform_rate(4e-3, downtime=5.0)
+    analytical = evaluate_schedule(schedule, platform).expected_makespan
+    models = {
+        "exponential (paper)": None,
+        "Weibull k=0.7": WeibullFailures.from_mtbf(250.0, shape=0.7),
+        "Weibull k=1.5": WeibullFailures.from_mtbf(250.0, shape=1.5),
+        "LogNormal σ=1.0": LogNormalFailures.from_mtbf(250.0, sigma=1.0),
+    }
+    print(f"{'failure law':<22} {'MC mean':>12} {'vs exponential formula':>25}")
+    for label, model in models.items():
+        summary = run_monte_carlo(
+            schedule, platform, n_runs=n_runs, rng=7, failure_model=model
+        )
+        delta = 100.0 * (summary.mean_makespan - analytical) / analytical
+        print(f"{label:<22} {summary.mean_makespan:>11.2f}s {delta:>+24.1f}%")
+    print(
+        "\nExponential agreement is within Monte-Carlo noise; the Weibull/LogNormal"
+        "\nruns show how much the memoryless assumption matters on this instance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — Scheduling computational workflows on failure-prone platforms.
+
+A from-scratch Python reproduction of
+
+    Guillaume Aupy, Anne Benoit, Henri Casanova, Yves Robert.
+    "Scheduling computational workflows on failure-prone platforms."
+    INRIA RR-8609 / IPDPS 2015 workshops.
+
+The package provides:
+
+* the workflow / platform / schedule model of the paper (:mod:`repro.core`);
+* the polynomial-time expected-makespan evaluator of Theorem 3
+  (:func:`repro.evaluate_schedule`);
+* the theoretical special cases — fork, join, linear chain, NP-completeness
+  reduction (:mod:`repro.theory`);
+* the fourteen scheduling heuristics of Section 5 (:mod:`repro.heuristics`);
+* a Monte-Carlo fault-injection simulator that cross-validates the analytical
+  evaluator (:mod:`repro.simulation`);
+* synthetic generators for the four Pegasus workflow families used in the
+  paper's evaluation (:mod:`repro.workflows`);
+* an experiment harness that regenerates every figure of Section 6
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import Platform, solve_heuristic
+>>> from repro.workflows import pegasus
+>>> wf = pegasus.montage(50, seed=1).with_checkpoint_costs(mode="proportional", factor=0.1)
+>>> platform = Platform.from_platform_rate(1e-3)
+>>> result = solve_heuristic(wf, platform, "DF-CkptW")
+>>> round(result.evaluation.overhead_ratio, 3) >= 1.0
+True
+"""
+
+from .core import (
+    CycleError,
+    LostWork,
+    MakespanEvaluation,
+    Platform,
+    Schedule,
+    Task,
+    Workflow,
+    WorkflowStructure,
+    compute_lost_work,
+    evaluate_schedule,
+    expected_execution_time,
+    expected_makespan,
+    expected_time_lost,
+    success_probability,
+)
+from .heuristics import (
+    HEURISTIC_NAMES,
+    HeuristicResult,
+    linearize,
+    solve_all_heuristics,
+    solve_heuristic,
+)
+from .simulation import MonteCarloSummary, SimulationResult, run_monte_carlo, simulate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycleError",
+    "HEURISTIC_NAMES",
+    "HeuristicResult",
+    "LostWork",
+    "MakespanEvaluation",
+    "MonteCarloSummary",
+    "Platform",
+    "Schedule",
+    "SimulationResult",
+    "Task",
+    "Workflow",
+    "WorkflowStructure",
+    "__version__",
+    "compute_lost_work",
+    "evaluate_schedule",
+    "expected_execution_time",
+    "expected_makespan",
+    "expected_time_lost",
+    "linearize",
+    "run_monte_carlo",
+    "simulate_schedule",
+    "solve_all_heuristics",
+    "solve_heuristic",
+    "success_probability",
+]

@@ -1,0 +1,27 @@
+"""Schedule analysis utilities (expected-time breakdown, comparisons, sensitivity)."""
+
+from .breakdown import (
+    CheckpointUtility,
+    ScheduleBreakdown,
+    TaskBreakdown,
+    analyse_schedule,
+    checkpoint_utilities,
+)
+from .comparison import (
+    ScheduleComparison,
+    SensitivityPoint,
+    compare_schedules,
+    failure_rate_sensitivity,
+)
+
+__all__ = [
+    "CheckpointUtility",
+    "ScheduleBreakdown",
+    "ScheduleComparison",
+    "SensitivityPoint",
+    "TaskBreakdown",
+    "analyse_schedule",
+    "checkpoint_utilities",
+    "compare_schedules",
+    "failure_rate_sensitivity",
+]

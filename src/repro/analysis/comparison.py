@@ -1,0 +1,124 @@
+"""Side-by-side comparison of schedules and robustness analysis.
+
+Complements :mod:`repro.analysis.breakdown` with two user-facing questions:
+
+* *Which of these schedules should I run?* — :func:`compare_schedules` ranks a
+  set of named schedules on the same platform and renders a small report.
+* *How sensitive is my schedule to the failure-rate estimate?* —
+  :func:`failure_rate_sensitivity` sweeps the platform failure rate around its
+  nominal value and reports how the expected makespan (and the gap to a
+  re-optimised competitor) evolves, since MTBFs are never known exactly in
+  practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.evaluator import evaluate_schedule
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = [
+    "ScheduleComparison",
+    "SensitivityPoint",
+    "compare_schedules",
+    "failure_rate_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleComparison:
+    """Ranking of named schedules on one platform."""
+
+    platform: Platform
+    expected_makespans: dict[str, float]
+
+    @property
+    def best_name(self) -> str:
+        """Name of the schedule with the lowest expected makespan."""
+        return min(self.expected_makespans, key=self.expected_makespans.get)
+
+    def gap_to_best(self, name: str) -> float:
+        """Relative distance of one schedule to the best one (0 for the best)."""
+        best = self.expected_makespans[self.best_name]
+        if best == 0.0:
+            return 0.0
+        return self.expected_makespans[name] / best - 1.0
+
+    def render(self) -> str:
+        """Markdown-ish table sorted by expected makespan."""
+        lines = [f"{'schedule':<24} {'E[makespan]':>14} {'vs best':>9}"]
+        for name, value in sorted(self.expected_makespans.items(), key=lambda kv: kv[1]):
+            lines.append(f"{name:<24} {value:>13.2f}s {100 * self.gap_to_best(name):>+8.2f}%")
+        return "\n".join(lines)
+
+
+def compare_schedules(
+    schedules: Mapping[str, Schedule], platform: Platform
+) -> ScheduleComparison:
+    """Evaluate several schedules of the same workflow on one platform."""
+    if not schedules:
+        raise ValueError("no schedule to compare")
+    workflows = {id(s.workflow) for s in schedules.values()}
+    if len(workflows) > 1:
+        # Different Workflow objects are allowed as long as they are equal;
+        # comparing schedules of genuinely different workflows is a user error.
+        distinct = {s.workflow for s in schedules.values()}
+        if len(distinct) > 1:
+            raise ValueError("schedules must all belong to the same workflow")
+    values = {
+        name: evaluate_schedule(schedule, platform).expected_makespan
+        for name, schedule in schedules.items()
+    }
+    return ScheduleComparison(platform=platform, expected_makespans=values)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Expected makespan of a fixed schedule at one assumed failure rate."""
+
+    failure_rate: float
+    expected_makespan: float
+    overhead_ratio: float
+
+
+def failure_rate_sensitivity(
+    schedule: Schedule,
+    nominal: Platform,
+    *,
+    factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> tuple[SensitivityPoint, ...]:
+    """Expected makespan of a fixed schedule under mis-estimated failure rates.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule whose robustness is being probed (it is *not* re-optimised).
+    nominal:
+        The platform used when the schedule was built.
+    factors:
+        Multiplicative perturbations of the nominal failure rate.
+
+    Returns
+    -------
+    tuple[SensitivityPoint, ...]
+        One point per factor, ordered as given.
+    """
+    if not factors:
+        raise ValueError("factors must be non-empty")
+    points = []
+    for factor in factors:
+        if factor < 0:
+            raise ValueError("factors must be non-negative")
+        platform = nominal.scaled(factor)
+        evaluation = evaluate_schedule(schedule, platform)
+        points.append(
+            SensitivityPoint(
+                failure_rate=platform.failure_rate,
+                expected_makespan=evaluation.expected_makespan,
+                overhead_ratio=evaluation.overhead_ratio,
+            )
+        )
+    return tuple(points)

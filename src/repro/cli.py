@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Exposes the library's main workflows as sub-commands so that a scheduling study
+can be scripted without writing Python:
+
+* ``repro-workflows generate`` — generate a workflow instance (Pegasus-like
+  family or generic shape) and write it to JSON;
+* ``repro-workflows solve`` — run one of the paper's heuristics (optionally
+  followed by local-search refinement) and write the schedule to JSON;
+* ``repro-workflows evaluate`` — expected makespan of a schedule (Theorem 3);
+* ``repro-workflows analyse`` — expected-time breakdown and checkpoint utilities;
+* ``repro-workflows simulate`` — Monte-Carlo fault-injection estimate;
+* ``repro-workflows figures`` — regenerate the data behind the paper's figures.
+
+Every sub-command prints a short human-readable report to stdout; machine
+consumable artefacts (workflows, schedules, figure data) are written to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis import analyse_schedule, checkpoint_utilities
+from .core.evaluator import evaluate_schedule
+from .core.platform import Platform
+from .experiments import all_figures, save_rows_csv
+from .heuristics import HEURISTIC_NAMES, solve_heuristic
+from .heuristics.refinement import local_search_checkpoints
+from .simulation import run_monte_carlo
+from .workflows import generators, pegasus
+from .workflows.serialization import (
+    load_schedule,
+    load_workflow,
+    save_schedule,
+    save_workflow,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workflows",
+        description="Scheduling computational workflows on failure-prone platforms "
+        "(reproduction of Aupy, Benoit, Casanova, Robert — IPDPS 2015).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # generate ----------------------------------------------------------
+    gen = subparsers.add_parser("generate", help="generate a workflow instance")
+    gen.add_argument("--family", default="montage",
+                     help="montage, cybershake, ligo, genome, chain, fork, join, layered")
+    gen.add_argument("--tasks", type=int, default=100, help="number of tasks")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--checkpoint-mode", choices=("proportional", "constant"), default="proportional")
+    gen.add_argument("--checkpoint-factor", type=float, default=0.1)
+    gen.add_argument("--checkpoint-value", type=float, default=0.0)
+    gen.add_argument("--output", "-o", required=True, help="output JSON path")
+
+    # solve -------------------------------------------------------------
+    solve = subparsers.add_parser("solve", help="run a scheduling heuristic")
+    solve.add_argument("--workflow", required=True, help="workflow JSON produced by 'generate'")
+    solve.add_argument("--heuristic", default="DF-CkptW",
+                       help=f"one of {', '.join(HEURISTIC_NAMES)}")
+    solve.add_argument("--failure-rate", type=float, default=1e-3, help="platform lambda (per second)")
+    solve.add_argument("--downtime", type=float, default=0.0, help="downtime after each failure (s)")
+    solve.add_argument("--seed", type=int, default=0, help="seed for the RF linearization")
+    solve.add_argument("--refine", action="store_true",
+                       help="apply local-search refinement to the checkpoint set")
+    solve.add_argument("--output", "-o", help="write the schedule to this JSON path")
+
+    # evaluate ----------------------------------------------------------
+    evaluate = subparsers.add_parser("evaluate", help="expected makespan of a schedule")
+    evaluate.add_argument("--schedule", required=True, help="schedule JSON produced by 'solve'")
+    evaluate.add_argument("--failure-rate", type=float, default=1e-3)
+    evaluate.add_argument("--downtime", type=float, default=0.0)
+
+    # analyse -----------------------------------------------------------
+    analyse = subparsers.add_parser("analyse", help="expected-time breakdown of a schedule")
+    analyse.add_argument("--schedule", required=True)
+    analyse.add_argument("--failure-rate", type=float, default=1e-3)
+    analyse.add_argument("--downtime", type=float, default=0.0)
+    analyse.add_argument("--top", type=int, default=5, help="number of worst tasks to list")
+    analyse.add_argument("--utilities", action="store_true",
+                         help="also report the exact utility of every checkpoint")
+
+    # simulate ----------------------------------------------------------
+    simulate = subparsers.add_parser("simulate", help="Monte-Carlo estimate of a schedule")
+    simulate.add_argument("--schedule", required=True)
+    simulate.add_argument("--failure-rate", type=float, default=1e-3)
+    simulate.add_argument("--downtime", type=float, default=0.0)
+    simulate.add_argument("--runs", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    # figures -----------------------------------------------------------
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figure data")
+    figures.add_argument("--preset", choices=("smoke", "paper"), default="smoke")
+    figures.add_argument("--outdir", default="figure_data")
+    figures.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+_GENERIC_FAMILIES = {
+    "chain": lambda n, seed: generators.chain_workflow(n, seed=seed),
+    "fork": lambda n, seed: generators.fork_workflow(max(1, n - 1), seed=seed),
+    "join": lambda n, seed: generators.join_workflow(max(1, n - 1), seed=seed),
+    "layered": lambda n, seed: generators.layered_workflow(max(1, n // 5), 5, seed=seed),
+    "random": lambda n, seed: generators.random_dag_workflow(n, seed=seed),
+}
+
+
+def _build_workflow(args: argparse.Namespace):
+    family = args.family.strip().lower()
+    if family in pegasus.WORKFLOW_FAMILIES or family == "epigenomics":
+        workflow = pegasus.generate(family, args.tasks, seed=args.seed)
+    elif family in _GENERIC_FAMILIES:
+        workflow = _GENERIC_FAMILIES[family](args.tasks, args.seed)
+    else:
+        raise SystemExit(
+            f"unknown family {args.family!r}; expected one of "
+            f"{', '.join(sorted(set(pegasus.WORKFLOW_FAMILIES) | set(_GENERIC_FAMILIES)))}"
+        )
+    return workflow.with_checkpoint_costs(
+        mode=args.checkpoint_mode,
+        factor=args.checkpoint_factor,
+        value=args.checkpoint_value,
+    )
+
+
+def _platform(args: argparse.Namespace) -> Platform:
+    return Platform.from_platform_rate(args.failure_rate, downtime=args.downtime)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workflow = _build_workflow(args)
+    path = save_workflow(workflow, args.output)
+    print(f"wrote {path} ({workflow.n_tasks} tasks, {workflow.n_edges} edges, "
+          f"total work {workflow.total_weight:.1f}s)")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    workflow = load_workflow(args.workflow)
+    platform = _platform(args)
+    result = solve_heuristic(workflow, platform, args.heuristic, rng=args.seed)
+    schedule = result.schedule
+    line = (f"{args.heuristic}: E[makespan] = {result.expected_makespan:.2f}s, "
+            f"T/T_inf = {result.overhead_ratio:.3f}, "
+            f"{result.checkpoint_count}/{workflow.n_tasks} checkpoints")
+    if args.refine:
+        refined = local_search_checkpoints(schedule, platform)
+        schedule = refined.schedule
+        line += (f"; after refinement: {refined.expected_makespan:.2f}s "
+                 f"(-{100 * refined.relative_improvement:.2f}%)")
+    print(line)
+    if args.output:
+        path = save_schedule(schedule, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    platform = _platform(args)
+    evaluation = evaluate_schedule(schedule, platform)
+    print(json.dumps(
+        {
+            "expected_makespan": evaluation.expected_makespan,
+            "failure_free_makespan": evaluation.failure_free_makespan,
+            "failure_free_work": evaluation.failure_free_work,
+            "overhead_ratio": evaluation.overhead_ratio,
+            "n_checkpointed": schedule.n_checkpointed,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _cmd_analyse(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    platform = _platform(args)
+    breakdown = analyse_schedule(schedule, platform)
+    print(breakdown.render(top=args.top))
+    if args.utilities:
+        print("\ncheckpoint utilities (expected seconds saved by each checkpoint):")
+        for utility in sorted(checkpoint_utilities(schedule, platform),
+                              key=lambda u: -u.utility):
+            task = schedule.workflow.task(utility.task_index)
+            print(f"  {task.name:<16} {utility.utility:+10.2f}s")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    platform = _platform(args)
+    summary = run_monte_carlo(schedule, platform, n_runs=args.runs, rng=args.seed)
+    low, high = summary.ci95
+    print(f"{args.runs} simulated executions: mean {summary.mean_makespan:.2f}s, "
+          f"95% CI [{low:.2f}, {high:.2f}], "
+          f"min {summary.min_makespan:.2f}s, max {summary.max_makespan:.2f}s, "
+          f"{summary.mean_failures:.2f} failures/run")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    results = all_figures(preset=args.preset, seed=args.seed)
+    for name, result in results.items():
+        path = save_rows_csv(list(result.rows), outdir / f"{name}.csv")
+        print(f"wrote {path} ({len(result.rows)} rows) — {result.description}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "solve": _cmd_solve,
+    "evaluate": _cmd_evaluate,
+    "analyse": _cmd_analyse,
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

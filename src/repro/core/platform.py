@@ -1,0 +1,136 @@
+"""Platform model: processors, failure rate, downtime.
+
+Following Section 3 of the paper, the application runs on ``p`` processors
+whose individual failures are i.i.d. exponentially distributed with rate
+:math:`\\lambda_{proc}` (MTBF :math:`\\mu_{proc} = 1/\\lambda_{proc}`).  Because
+every task uses all processors, the platform is equivalent to a single
+macro-processor with failure rate :math:`\\lambda = p \\cdot \\lambda_{proc}`,
+i.e. MTBF :math:`\\mu = \\mu_{proc}/p`.  Each failure is followed by a constant
+downtime ``D``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Failure-prone execution platform.
+
+    Parameters
+    ----------
+    processors:
+        Number of processing elements ``p`` enrolled by the application.
+    processor_failure_rate:
+        Individual failure rate :math:`\\lambda_{proc}` (per second) of each
+        processor.  ``0`` models a failure-free platform.
+    downtime:
+        Constant downtime ``D`` (seconds) after each failure.
+    """
+
+    processors: int = 1
+    processor_failure_rate: float = 0.0
+    downtime: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.processors, int) or isinstance(self.processors, bool):
+            raise TypeError("processors must be an int")
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        rate = float(self.processor_failure_rate)
+        if not math.isfinite(rate) or rate < 0.0:
+            raise ValueError("processor_failure_rate must be finite and >= 0")
+        down = float(self.downtime)
+        if not math.isfinite(down) or down < 0.0:
+            raise ValueError("downtime must be finite and >= 0")
+        object.__setattr__(self, "processor_failure_rate", rate)
+        object.__setattr__(self, "downtime", down)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Platform failure rate :math:`\\lambda = p \\cdot \\lambda_{proc}`."""
+        return self.processors * self.processor_failure_rate
+
+    @property
+    def mtbf(self) -> float:
+        """Platform MTBF :math:`\\mu = 1/\\lambda` (``inf`` if failure-free)."""
+        rate = self.failure_rate
+        return math.inf if rate == 0.0 else 1.0 / rate
+
+    @property
+    def processor_mtbf(self) -> float:
+        """Individual processor MTBF (``inf`` if failure-free)."""
+        rate = self.processor_failure_rate
+        return math.inf if rate == 0.0 else 1.0 / rate
+
+    @property
+    def is_failure_free(self) -> bool:
+        """Whether the platform never fails (:math:`\\lambda = 0`)."""
+        return self.failure_rate == 0.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_platform_rate(cls, failure_rate: float, *, downtime: float = 0.0) -> "Platform":
+        """Build a platform directly from its aggregated failure rate.
+
+        This is the most convenient constructor for reproducing the paper's
+        experiments, which are parameterised by the platform-level
+        :math:`\\lambda` (e.g. ``1e-3``).
+        """
+        return cls(processors=1, processor_failure_rate=float(failure_rate), downtime=downtime)
+
+    @classmethod
+    def from_mtbf(cls, mtbf: float, *, processors: int = 1, downtime: float = 0.0) -> "Platform":
+        """Build a platform from the *platform-level* MTBF :math:`\\mu` (seconds)."""
+        mtbf = float(mtbf)
+        if mtbf <= 0.0:
+            raise ValueError("mtbf must be positive (use math.inf for failure-free)")
+        rate = 0.0 if math.isinf(mtbf) else 1.0 / (mtbf * processors)
+        return cls(processors=processors, processor_failure_rate=rate, downtime=downtime)
+
+    @classmethod
+    def from_processor_mtbf(
+        cls, processor_mtbf: float, *, processors: int = 1, downtime: float = 0.0
+    ) -> "Platform":
+        """Build a platform from the individual-processor MTBF (seconds)."""
+        processor_mtbf = float(processor_mtbf)
+        if processor_mtbf <= 0.0:
+            raise ValueError("processor_mtbf must be positive")
+        rate = 0.0 if math.isinf(processor_mtbf) else 1.0 / processor_mtbf
+        return cls(processors=processors, processor_failure_rate=rate, downtime=downtime)
+
+    @classmethod
+    def failure_free(cls) -> "Platform":
+        """A platform that never fails (used for sanity checks and ratios)."""
+        return cls(processors=1, processor_failure_rate=0.0, downtime=0.0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "Platform":
+        """Return a platform whose failure rate is multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return Platform(
+            processors=self.processors,
+            processor_failure_rate=self.processor_failure_rate * factor,
+            downtime=self.downtime,
+        )
+
+    def describe(self) -> str:
+        """Human readable one-line summary."""
+        if self.is_failure_free:
+            return f"Platform(p={self.processors}, failure-free)"
+        return (
+            f"Platform(p={self.processors}, lambda={self.failure_rate:.3g}/s, "
+            f"MTBF={self.mtbf:.3g}s, D={self.downtime:g}s)"
+        )

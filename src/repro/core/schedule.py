@@ -1,0 +1,171 @@
+"""Schedule: a linearization of the DAG plus a set of checkpointed tasks.
+
+Following Section 3 of the paper, a *schedule* answers the two questions of
+``DAG-ChkptSched``: in which order are the tasks executed (a linearization of
+the DAG — tasks never run concurrently because each one uses the whole
+platform) and which task outputs are saved to stable storage once the task
+completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .dag import Workflow
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An execution order and a checkpoint set for a workflow.
+
+    Parameters
+    ----------
+    workflow:
+        The workflow being scheduled.
+    order:
+        Permutation of all task indices, in execution order.  Must be a valid
+        linearization (every task appears after all its predecessors).
+    checkpointed:
+        Indices of the tasks whose output is checkpointed when they complete.
+
+    Notes
+    -----
+    Positions are 1-based in the paper (:math:`T_1 \\dots T_n` after
+    renumbering); this class exposes 0-based positions but the evaluator
+    documents the mapping explicitly.
+    """
+
+    workflow: Workflow
+    order: tuple[int, ...]
+    checkpointed: frozenset[int]
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        order: Sequence[int],
+        checkpointed: Iterable[int] = (),
+    ) -> None:
+        if not isinstance(workflow, Workflow):
+            raise TypeError("workflow must be a Workflow")
+        order_tuple = tuple(int(i) for i in order)
+        if sorted(order_tuple) != list(range(workflow.n_tasks)):
+            raise ValueError(
+                "order must be a permutation of all task indices "
+                f"0..{workflow.n_tasks - 1}"
+            )
+        if not workflow.is_linearization(order_tuple):
+            raise ValueError("order violates a dependency edge of the workflow")
+        ckpt = frozenset(int(i) for i in checkpointed)
+        invalid = [i for i in ckpt if not 0 <= i < workflow.n_tasks]
+        if invalid:
+            raise ValueError(f"checkpointed contains invalid task indices: {sorted(invalid)}")
+        object.__setattr__(self, "workflow", workflow)
+        object.__setattr__(self, "order", order_tuple)
+        object.__setattr__(self, "checkpointed", ckpt)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of scheduled tasks."""
+        return len(self.order)
+
+    @property
+    def n_checkpointed(self) -> int:
+        """Number of checkpointed tasks."""
+        return len(self.checkpointed)
+
+    def is_checkpointed(self, task_index: int) -> bool:
+        """Whether the given task's output is checkpointed."""
+        return task_index in self.checkpointed
+
+    def position_of(self, task_index: int) -> int:
+        """0-based position of a task in the execution order."""
+        try:
+            return self._positions()[task_index]
+        except KeyError as exc:
+            raise ValueError(f"task {task_index} is not part of the schedule") from exc
+
+    def task_at(self, position: int) -> int:
+        """Task index executed at the given 0-based position."""
+        return self.order[position]
+
+    def _positions(self) -> dict[int, int]:
+        # Cached lazily on the instance; frozen dataclass -> use object.__setattr__.
+        cache = self.__dict__.get("_position_cache")
+        if cache is None:
+            cache = {task: pos for pos, task in enumerate(self.order)}
+            object.__setattr__(self, "_position_cache", cache)
+        return cache
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    # ------------------------------------------------------------------
+    # Derived schedules
+    # ------------------------------------------------------------------
+    def with_checkpoints(self, checkpointed: Iterable[int]) -> "Schedule":
+        """Same order, different checkpoint set."""
+        return Schedule(self.workflow, self.order, checkpointed)
+
+    def with_order(self, order: Sequence[int]) -> "Schedule":
+        """Same checkpoint set, different linearization."""
+        return Schedule(self.workflow, order, self.checkpointed)
+
+    def checkpoint_all(self) -> "Schedule":
+        """Checkpoint every task (the ``CkptAlws`` baseline)."""
+        return self.with_checkpoints(range(self.workflow.n_tasks))
+
+    def checkpoint_none(self) -> "Schedule":
+        """Checkpoint no task (the ``CkptNvr`` baseline)."""
+        return self.with_checkpoints(())
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def failure_free_makespan(self) -> float:
+        """Makespan with no failure: all work plus all checkpoints, in sequence."""
+        workflow = self.workflow
+        total = sum(workflow.task(i).weight for i in self.order)
+        total += sum(workflow.task(i).checkpoint_cost for i in self.checkpointed)
+        return total
+
+    @property
+    def total_checkpoint_cost(self) -> float:
+        """Sum of the checkpoint costs paid in a failure-free execution."""
+        return sum(self.workflow.task(i).checkpoint_cost for i in self.checkpointed)
+
+    def completion_times_failure_free(self) -> tuple[float, ...]:
+        """Failure-free completion time of each task, following the order.
+
+        The completion time includes the task's checkpoint when it is
+        checkpointed; this is the quantity used by the ``CkptPer`` heuristic to
+        place "periodic" checkpoints.
+        """
+        times = []
+        clock = 0.0
+        for task_index in self.order:
+            task = self.workflow.task(task_index)
+            clock += task.weight
+            if task_index in self.checkpointed:
+                clock += task.checkpoint_cost
+            times.append(clock)
+        return tuple(times)
+
+    def describe(self) -> str:
+        """Human readable summary (order with checkpointed tasks starred)."""
+        parts = []
+        for task_index in self.order:
+            label = self.workflow.task(task_index).name
+            if task_index in self.checkpointed:
+                label += "*"
+            parts.append(label)
+        return " -> ".join(parts)

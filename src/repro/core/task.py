@@ -1,0 +1,144 @@
+"""Task model for failure-prone workflow scheduling.
+
+A task is a tightly coupled parallel computation executed on the whole
+platform.  Following Section 3 of the paper, each task :math:`T_i` is
+described by three durations:
+
+* ``weight`` (:math:`w_i`) — failure-free execution time,
+* ``checkpoint_cost`` (:math:`c_i`) — time to save its output to stable storage,
+* ``recovery_cost`` (:math:`r_i`) — time to reload a saved output into memory.
+
+Tasks are identified by a dense integer index (their position in the owning
+:class:`~repro.core.dag.Workflow`), which keeps every algorithm in the package
+array-friendly.  A human readable ``name`` and a free-form ``category`` (used by
+the Pegasus-like generators to tag task types such as ``mProjectPP`` or
+``Inspiral``) are carried along for reporting purposes only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["Task"]
+
+
+def _check_finite_nonnegative(value: float, label: str) -> float:
+    """Validate that ``value`` is a finite, non-negative real number."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise TypeError(f"{label} must be a real number, got {value!r}") from exc
+    if as_float != as_float or as_float in (float("inf"), float("-inf")):
+        raise ValueError(f"{label} must be finite, got {value!r}")
+    if as_float < 0.0:
+        raise ValueError(f"{label} must be non-negative, got {value!r}")
+    return as_float
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single workflow task.
+
+    Parameters
+    ----------
+    index:
+        Dense identifier of the task inside its workflow (``0 .. n-1``).
+    weight:
+        Failure-free execution time :math:`w_i` (seconds).  Must be positive for
+        computational tasks; zero-weight tasks are allowed because the
+        NP-completeness reduction of Theorem 2 uses a zero-weight sink.
+    checkpoint_cost:
+        Time :math:`c_i` to checkpoint the task output (seconds, ``>= 0``).
+    recovery_cost:
+        Time :math:`r_i` to recover the checkpointed output (seconds, ``>= 0``).
+    name:
+        Optional human readable label.  Defaults to ``"T<index>"``.
+    category:
+        Optional task-type tag (e.g. the Pegasus transformation name).
+    metadata:
+        Arbitrary extra information (level, lane, ...), never interpreted by the
+        scheduling algorithms.
+    """
+
+    index: int
+    weight: float
+    checkpoint_cost: float = 0.0
+    recovery_cost: float = 0.0
+    name: str = ""
+    category: str = ""
+    # ``metadata`` participates in equality but not in hashing (dicts are not
+    # hashable); workflows hash by structure + task durations.
+    metadata: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.index, int) or isinstance(self.index, bool):
+            raise TypeError(f"task index must be an int, got {self.index!r}")
+        if self.index < 0:
+            raise ValueError(f"task index must be non-negative, got {self.index}")
+        object.__setattr__(self, "weight", _check_finite_nonnegative(self.weight, "weight"))
+        object.__setattr__(
+            self,
+            "checkpoint_cost",
+            _check_finite_nonnegative(self.checkpoint_cost, "checkpoint_cost"),
+        )
+        object.__setattr__(
+            self,
+            "recovery_cost",
+            _check_finite_nonnegative(self.recovery_cost, "recovery_cost"),
+        )
+        if not self.name:
+            object.__setattr__(self, "name", f"T{self.index}")
+        if not isinstance(self.metadata, Mapping):
+            raise TypeError("metadata must be a mapping")
+
+    # ------------------------------------------------------------------
+    # Convenience helpers
+    # ------------------------------------------------------------------
+    @property
+    def w(self) -> float:
+        """Alias for :attr:`weight`, matching the paper's notation."""
+        return self.weight
+
+    @property
+    def c(self) -> float:
+        """Alias for :attr:`checkpoint_cost`, matching the paper's notation."""
+        return self.checkpoint_cost
+
+    @property
+    def r(self) -> float:
+        """Alias for :attr:`recovery_cost`, matching the paper's notation."""
+        return self.recovery_cost
+
+    def with_costs(
+        self,
+        *,
+        weight: float | None = None,
+        checkpoint_cost: float | None = None,
+        recovery_cost: float | None = None,
+    ) -> "Task":
+        """Return a copy of the task with some of its durations replaced."""
+        return replace(
+            self,
+            weight=self.weight if weight is None else weight,
+            checkpoint_cost=(
+                self.checkpoint_cost if checkpoint_cost is None else checkpoint_cost
+            ),
+            recovery_cost=(
+                self.recovery_cost if recovery_cost is None else recovery_cost
+            ),
+        )
+
+    def with_index(self, index: int) -> "Task":
+        """Return a copy of the task re-labelled with a new dense index."""
+        name = self.name
+        if name == f"T{self.index}":
+            name = f"T{index}"
+        return replace(self, index=index, name=name)
+
+    def describe(self) -> str:
+        """One-line description used by reports and traces."""
+        return (
+            f"{self.name}(w={self.weight:g}, c={self.checkpoint_cost:g}, "
+            f"r={self.recovery_cost:g})"
+        )

@@ -1,0 +1,62 @@
+"""Experiment harness reproducing the paper's Section 6 evaluation."""
+
+from .campaign import AggregatedResult, CampaignResult, aggregate_rows, run_campaign
+from .figures import (
+    FigureResult,
+    LINEARIZATION_FOCUS_HEURISTICS,
+    all_figures,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from .harness import ResultRow, best_by_strategy, run_grid, run_scenario, series_by_heuristic
+from .reporting import (
+    format_ratio_table,
+    ratio_table,
+    rows_to_csv,
+    rows_to_markdown,
+    save_rows_csv,
+)
+from .scenarios import (
+    DEFAULT_FAILURE_RATES,
+    PAPER_TASK_COUNTS,
+    SMOKE_TASK_COUNTS,
+    Scenario,
+    build_workflow,
+    scenario_grid,
+)
+
+__all__ = [
+    "AggregatedResult",
+    "CampaignResult",
+    "DEFAULT_FAILURE_RATES",
+    "FigureResult",
+    "aggregate_rows",
+    "run_campaign",
+    "LINEARIZATION_FOCUS_HEURISTICS",
+    "PAPER_TASK_COUNTS",
+    "ResultRow",
+    "SMOKE_TASK_COUNTS",
+    "Scenario",
+    "all_figures",
+    "best_by_strategy",
+    "build_workflow",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "format_ratio_table",
+    "ratio_table",
+    "rows_to_csv",
+    "rows_to_markdown",
+    "run_grid",
+    "run_scenario",
+    "save_rows_csv",
+    "scenario_grid",
+    "series_by_heuristic",
+]

@@ -1,0 +1,145 @@
+"""Multi-seed experiment campaigns with aggregation.
+
+The paper evaluates one generated instance per (family, size) point.  When the
+generator is randomized — as this reproduction's structural generators are — a
+single instance can be noisy, so the harness also supports *campaigns*: the
+same scenario repeated over several seeds, with the `T / T_inf` ratios
+aggregated (mean, standard deviation, min, max) per heuristic.  Campaigns are
+what `EXPERIMENTS.md` calls "paper-scale sweeps with error bars" and what a
+downstream user should run before trusting a ranking on their own workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from .harness import ResultRow, run_scenario
+from .scenarios import Scenario
+
+__all__ = ["AggregatedResult", "CampaignResult", "run_campaign", "aggregate_rows"]
+
+
+@dataclass(frozen=True)
+class AggregatedResult:
+    """Statistics of one heuristic on one scenario point, across seeds."""
+
+    family: str
+    n_tasks: int
+    failure_rate: float
+    heuristic: str
+    n_seeds: int
+    mean_ratio: float
+    std_ratio: float
+    min_ratio: float
+    max_ratio: float
+    mean_makespan: float
+    mean_checkpoints: float
+
+    @property
+    def sem_ratio(self) -> float:
+        """Standard error of the mean overhead ratio."""
+        if self.n_seeds <= 1:
+            return 0.0
+        return self.std_ratio / math.sqrt(self.n_seeds)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All rows of a campaign plus their per-heuristic aggregation."""
+
+    rows: tuple[ResultRow, ...]
+    aggregated: tuple[AggregatedResult, ...]
+
+    def ranking(self, family: str, n_tasks: int) -> tuple[AggregatedResult, ...]:
+        """Heuristics of one point ordered by mean overhead ratio (best first)."""
+        entries = [
+            a for a in self.aggregated if a.family == family and a.n_tasks == n_tasks
+        ]
+        return tuple(sorted(entries, key=lambda a: a.mean_ratio))
+
+    def best_heuristic(self, family: str, n_tasks: int) -> str:
+        """Name of the heuristic with the lowest mean ratio at one point."""
+        ranking = self.ranking(family, n_tasks)
+        if not ranking:
+            raise KeyError(f"no results for family={family!r}, n_tasks={n_tasks}")
+        return ranking[0].heuristic
+
+    def render(self) -> str:
+        """Compact text table: one line per (family, size, heuristic)."""
+        lines = [
+            f"{'family':<12} {'n':>5} {'heuristic':<12} {'mean':>8} {'std':>7} "
+            f"{'min':>7} {'max':>7} {'seeds':>6}"
+        ]
+        for entry in sorted(
+            self.aggregated, key=lambda a: (a.family, a.n_tasks, a.mean_ratio)
+        ):
+            lines.append(
+                f"{entry.family:<12} {entry.n_tasks:>5} {entry.heuristic:<12} "
+                f"{entry.mean_ratio:>8.3f} {entry.std_ratio:>7.3f} "
+                f"{entry.min_ratio:>7.3f} {entry.max_ratio:>7.3f} {entry.n_seeds:>6}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate_rows(rows: Sequence[ResultRow]) -> tuple[AggregatedResult, ...]:
+    """Aggregate harness rows by (family, n_tasks, failure_rate, heuristic)."""
+    groups: dict[tuple[str, int, float, str], list[ResultRow]] = {}
+    for row in rows:
+        key = (row.family, row.n_tasks, row.failure_rate, row.heuristic)
+        groups.setdefault(key, []).append(row)
+
+    aggregated: list[AggregatedResult] = []
+    for (family, n_tasks, rate, heuristic), members in sorted(groups.items()):
+        ratios = [m.overhead_ratio for m in members]
+        count = len(ratios)
+        mean = sum(ratios) / count
+        variance = (
+            sum((value - mean) ** 2 for value in ratios) / (count - 1) if count > 1 else 0.0
+        )
+        aggregated.append(
+            AggregatedResult(
+                family=family,
+                n_tasks=n_tasks,
+                failure_rate=rate,
+                heuristic=heuristic,
+                n_seeds=count,
+                mean_ratio=mean,
+                std_ratio=math.sqrt(variance),
+                min_ratio=min(ratios),
+                max_ratio=max(ratios),
+                mean_makespan=sum(m.expected_makespan for m in members) / count,
+                mean_checkpoints=sum(m.n_checkpointed for m in members) / count,
+            )
+        )
+    return tuple(aggregated)
+
+
+def run_campaign(
+    scenarios: Iterable[Scenario],
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    search_mode: str = "geometric",
+    max_candidates: int = 30,
+) -> CampaignResult:
+    """Run every scenario once per seed and aggregate the results.
+
+    Each seed controls both the workflow-instance generation and the RF
+    linearization, so the aggregation captures the full instance-to-instance
+    variability of the reported ratios.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    rows: list[ResultRow] = []
+    for scenario in scenarios:
+        for seed in seeds:
+            rows.extend(
+                run_scenario(
+                    replace(scenario, seed=seed),
+                    search_mode=search_mode,
+                    max_candidates=max_candidates,
+                )
+            )
+    return CampaignResult(rows=tuple(rows), aggregated=aggregate_rows(rows))

@@ -1,0 +1,156 @@
+"""Experiment harness: run heuristic sweeps and collect result rows.
+
+The harness evaluates every requested heuristic on every scenario and records
+the paper's metric ``T / T_inf`` (expected makespan over the failure-free,
+checkpoint-free makespan).  Results are plain dataclass rows so they can be
+rendered to CSV / markdown by :mod:`repro.experiments.reporting` or
+post-processed with numpy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.evaluator import evaluate_schedule
+from ..core.platform import Platform
+from ..heuristics.registry import parse_heuristic_name, solve_heuristic
+from ..heuristics.search import candidate_counts
+from .scenarios import Scenario, build_workflow
+
+__all__ = ["ResultRow", "run_scenario", "run_grid", "best_by_strategy", "series_by_heuristic"]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One (scenario, heuristic) measurement."""
+
+    label: str
+    family: str
+    n_tasks: int
+    actual_n_tasks: int
+    failure_rate: float
+    checkpoint_mode: str
+    checkpoint_parameter: float
+    heuristic: str
+    linearization: str
+    checkpoint_strategy: str
+    n_checkpointed: int
+    expected_makespan: float
+    failure_free_work: float
+    overhead_ratio: float
+    solve_seconds: float
+    seed: int
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    search_mode: str = "exhaustive",
+    max_candidates: int = 30,
+) -> list[ResultRow]:
+    """Evaluate every heuristic of a scenario; returns one row per heuristic.
+
+    Parameters
+    ----------
+    scenario:
+        The experimental configuration to run.
+    search_mode:
+        ``"exhaustive"`` reproduces the paper's search over every checkpoint
+        count; ``"geometric"`` subsamples the counts (see
+        :func:`repro.heuristics.search.candidate_counts`) to keep large sweeps
+        affordable.
+    max_candidates:
+        Budget for the ``"geometric"`` mode.
+    """
+    workflow = build_workflow(scenario)
+    platform = scenario.platform
+    counts = candidate_counts(workflow.n_tasks, mode=search_mode, max_candidates=max_candidates)
+    rng = np.random.default_rng(scenario.seed)
+
+    rows: list[ResultRow] = []
+    for heuristic in scenario.heuristics:
+        linearization, strategy = parse_heuristic_name(heuristic)
+        start = time.perf_counter()
+        result = solve_heuristic(
+            workflow,
+            platform,
+            heuristic,
+            rng=rng,
+            counts=counts if strategy not in ("CkptNvr", "CkptAlws") else None,
+        )
+        elapsed = time.perf_counter() - start
+        evaluation = result.evaluation
+        rows.append(
+            ResultRow(
+                label=scenario.label,
+                family=scenario.family,
+                n_tasks=scenario.n_tasks,
+                actual_n_tasks=workflow.n_tasks,
+                failure_rate=scenario.failure_rate,
+                checkpoint_mode=scenario.checkpoint_mode,
+                checkpoint_parameter=(
+                    scenario.checkpoint_factor
+                    if scenario.checkpoint_mode == "proportional"
+                    else scenario.checkpoint_value
+                ),
+                heuristic=heuristic,
+                linearization=linearization,
+                checkpoint_strategy=strategy,
+                n_checkpointed=result.checkpoint_count,
+                expected_makespan=evaluation.expected_makespan,
+                failure_free_work=evaluation.failure_free_work,
+                overhead_ratio=evaluation.overhead_ratio,
+                solve_seconds=elapsed,
+                seed=scenario.seed,
+            )
+        )
+    return rows
+
+
+def run_grid(
+    scenarios: Iterable[Scenario],
+    *,
+    search_mode: str = "exhaustive",
+    max_candidates: int = 30,
+) -> list[ResultRow]:
+    """Run several scenarios back to back and concatenate their rows."""
+    rows: list[ResultRow] = []
+    for scenario in scenarios:
+        rows.extend(
+            run_scenario(scenario, search_mode=search_mode, max_candidates=max_candidates)
+        )
+    return rows
+
+
+def best_by_strategy(rows: Sequence[ResultRow]) -> dict[tuple[str, int, str], ResultRow]:
+    """For each (family, n_tasks, checkpoint strategy), keep the best linearization.
+
+    This mirrors how the paper plots Figure 3 and Figures 5-7: "for each
+    checkpointing strategy, we plot the best linearization strategy".
+    """
+    best: dict[tuple[str, int, str], ResultRow] = {}
+    for row in rows:
+        key = (row.family, row.n_tasks, row.checkpoint_strategy)
+        current = best.get(key)
+        if current is None or row.overhead_ratio < current.overhead_ratio:
+            best[key] = row
+    return best
+
+
+def series_by_heuristic(
+    rows: Sequence[ResultRow], *, x_axis: str = "n_tasks"
+) -> dict[str, list[tuple[float, float]]]:
+    """Group rows into plottable ``heuristic -> [(x, overhead_ratio), ...]`` series."""
+    if x_axis not in ("n_tasks", "failure_rate"):
+        raise ValueError("x_axis must be 'n_tasks' or 'failure_rate'")
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        x = float(getattr(row, x_axis))
+        series.setdefault(row.heuristic, []).append((x, row.overhead_ratio))
+    for values in series.values():
+        values.sort()
+    return series

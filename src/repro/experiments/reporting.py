@@ -1,0 +1,100 @@
+"""Rendering of experiment results (CSV, markdown, console tables)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import Sequence
+
+from .harness import ResultRow
+
+__all__ = [
+    "rows_to_csv",
+    "save_rows_csv",
+    "rows_to_markdown",
+    "ratio_table",
+    "format_ratio_table",
+]
+
+
+def rows_to_csv(rows: Sequence[ResultRow]) -> str:
+    """Serialize result rows to CSV text (header + one line per row)."""
+    output = io.StringIO()
+    writer = csv.writer(output)
+    header = [f.name for f in fields(ResultRow)]
+    writer.writerow(header)
+    for row in rows:
+        data = asdict(row)
+        writer.writerow([data[name] for name in header])
+    return output.getvalue()
+
+
+def save_rows_csv(rows: Sequence[ResultRow], path: str | Path) -> Path:
+    """Write result rows to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(rows_to_csv(rows))
+    return path
+
+
+def rows_to_markdown(rows: Sequence[ResultRow], *, columns: Sequence[str] | None = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if columns is None:
+        columns = (
+            "family",
+            "n_tasks",
+            "heuristic",
+            "n_checkpointed",
+            "expected_makespan",
+            "overhead_ratio",
+        )
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, separator]
+    for row in rows:
+        data = asdict(row)
+        cells = []
+        for name in columns:
+            value = data[name]
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def ratio_table(
+    rows: Sequence[ResultRow],
+) -> dict[tuple[str, int], dict[str, float]]:
+    """Pivot rows into ``(family, n_tasks) -> {heuristic: overhead_ratio}``."""
+    table: dict[tuple[str, int], dict[str, float]] = {}
+    for row in rows:
+        table.setdefault((row.family, row.n_tasks), {})[row.heuristic] = row.overhead_ratio
+    return table
+
+
+def format_ratio_table(rows: Sequence[ResultRow], *, digits: int = 3) -> str:
+    """Console-friendly pivot of the ``T / T_inf`` ratios.
+
+    One line per (family, n_tasks); one column per heuristic; the best value of
+    each line is starred — this is the textual analogue of the paper's figures.
+    """
+    table = ratio_table(rows)
+    heuristics = sorted({h for values in table.values() for h in values})
+    width = max(12, digits + 6)
+    header = f"{'family':<12} {'n':>5} " + " ".join(f"{h:>{width}}" for h in heuristics)
+    lines = [header, "-" * len(header)]
+    for (family, n_tasks), values in sorted(table.items()):
+        best = min(values.values()) if values else float("nan")
+        cells = []
+        for heuristic in heuristics:
+            value = values.get(heuristic)
+            if value is None:
+                cells.append(" " * width)
+            else:
+                marker = "*" if abs(value - best) < 1e-12 else " "
+                cells.append(f"{value:>{width - 1}.{digits}f}{marker}")
+        lines.append(f"{family:<12} {n_tasks:>5} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Experimental scenarios of Section 6 of the paper.
+
+A :class:`Scenario` bundles everything needed to reproduce one point of one
+figure: the workflow family and size, the failure rate, how checkpoint /
+recovery costs are assigned, which heuristics compete, and the random seed.
+
+The paper's settings (Section 6.1):
+
+* four workflow families — Montage, Ligo, CyberShake, Genome;
+* 50 to 700 tasks;
+* ``c_i = r_i`` always, downtime ``D = 0``;
+* main experiments: ``c_i = 0.1 w_i`` with platform MTBF :math:`10^3` s
+  (:math:`\\lambda = 10^{-3}`), except Genome which uses MTBF :math:`10^4` s
+  (:math:`\\lambda = 10^{-4}`) because its tasks are an order of magnitude
+  longer;
+* additional experiments: ``c_i = 0.01 w_i``, constant ``c_i = 5`` s or 10 s,
+  and a sweep over :math:`\\lambda` at fixed size (200 tasks).
+
+Two preset grids are exposed per figure: ``paper`` (the full sizes of the
+paper) and ``smoke`` (small sizes that run in seconds, used by the test-suite
+and the default benchmark configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..core.dag import Workflow
+from ..core.platform import Platform
+from ..heuristics.registry import HEURISTIC_NAMES
+from ..workflows import pegasus
+
+__all__ = [
+    "Scenario",
+    "PAPER_TASK_COUNTS",
+    "SMOKE_TASK_COUNTS",
+    "DEFAULT_FAILURE_RATES",
+    "build_workflow",
+    "scenario_grid",
+]
+
+#: Task counts used by the paper's figures (x-axis of Figures 2-6).
+PAPER_TASK_COUNTS: tuple[int, ...] = (50, 100, 200, 300, 400, 500, 600, 700)
+
+#: Reduced task counts for fast smoke runs / CI.
+SMOKE_TASK_COUNTS: tuple[int, ...] = (30, 60)
+
+#: Failure rate per family for the main experiments (Section 6.1).
+DEFAULT_FAILURE_RATES: dict[str, float] = {
+    "montage": 1e-3,
+    "cybershake": 1e-3,
+    "ligo": 1e-3,
+    "genome": 1e-4,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experimental configuration (one workflow instance, one platform).
+
+    Attributes
+    ----------
+    family:
+        Workflow family name (``montage`` / ``cybershake`` / ``ligo`` /
+        ``genome``).
+    n_tasks:
+        Requested number of tasks.
+    failure_rate:
+        Platform failure rate :math:`\\lambda` (downtime is always 0, as in the
+        paper).
+    checkpoint_mode:
+        ``"proportional"`` or ``"constant"`` (see
+        :meth:`Workflow.with_checkpoint_costs`).
+    checkpoint_factor:
+        Factor for the proportional mode (0.1 or 0.01 in the paper).
+    checkpoint_value:
+        Constant checkpoint cost in seconds (5 or 10 in the paper).
+    heuristics:
+        Names of the heuristics to compare.
+    seed:
+        Seed for both the workflow generator and the RF linearization.
+    label:
+        Free-form tag used in reports (e.g. ``"fig3"``).
+    """
+
+    family: str
+    n_tasks: int
+    failure_rate: float
+    checkpoint_mode: str = "proportional"
+    checkpoint_factor: float = 0.1
+    checkpoint_value: float = 0.0
+    heuristics: tuple[str, ...] = HEURISTIC_NAMES
+    seed: int = 0
+    label: str = ""
+
+    def with_updates(self, **kwargs) -> "Scenario":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def platform(self) -> Platform:
+        """Platform of the scenario (rate :math:`\\lambda`, zero downtime)."""
+        return Platform.from_platform_rate(self.failure_rate, downtime=0.0)
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        if self.checkpoint_mode == "proportional":
+            ckpt = f"c={self.checkpoint_factor:g}*w"
+        else:
+            ckpt = f"c={self.checkpoint_value:g}s"
+        return (
+            f"{self.family} n={self.n_tasks} lambda={self.failure_rate:g} {ckpt} "
+            f"seed={self.seed}"
+        )
+
+
+def build_workflow(scenario: Scenario) -> Workflow:
+    """Instantiate the workflow of a scenario (with checkpoint costs assigned)."""
+    workflow = pegasus.generate(scenario.family, scenario.n_tasks, seed=scenario.seed)
+    return workflow.with_checkpoint_costs(
+        mode=scenario.checkpoint_mode,
+        factor=scenario.checkpoint_factor,
+        value=scenario.checkpoint_value,
+        recovery="equal",
+    )
+
+
+def scenario_grid(
+    families: Iterable[str],
+    task_counts: Sequence[int],
+    *,
+    failure_rates: dict[str, float] | None = None,
+    checkpoint_mode: str = "proportional",
+    checkpoint_factor: float = 0.1,
+    checkpoint_value: float = 0.0,
+    heuristics: Sequence[str] = HEURISTIC_NAMES,
+    seed: int = 0,
+    label: str = "",
+) -> list[Scenario]:
+    """Cartesian product of families and task counts, one scenario each."""
+    rates = dict(DEFAULT_FAILURE_RATES)
+    if failure_rates:
+        rates.update(failure_rates)
+    scenarios = []
+    for family in families:
+        family_key = family.strip().lower()
+        if family_key not in rates:
+            raise ValueError(f"no default failure rate known for family {family!r}")
+        for n in task_counts:
+            scenarios.append(
+                Scenario(
+                    family=family_key,
+                    n_tasks=int(n),
+                    failure_rate=rates[family_key],
+                    checkpoint_mode=checkpoint_mode,
+                    checkpoint_factor=checkpoint_factor,
+                    checkpoint_value=checkpoint_value,
+                    heuristics=tuple(heuristics),
+                    seed=seed,
+                    label=label,
+                )
+            )
+    return scenarios

@@ -1,0 +1,255 @@
+"""Schedule refinement: greedy construction and local search on checkpoint sets.
+
+The paper's parameterised heuristics (CkptW, CkptC, CkptD, CkptPer) rank tasks
+by a static criterion and only search over *how many* of them to checkpoint.
+Because the Theorem-3 evaluator prices any schedule exactly, two natural
+extensions become possible — both are listed as obvious follow-ups enabled by
+the paper's main result and are used here as ablations:
+
+* **Greedy construction** (:func:`greedy_checkpoint_selection`): start from the
+  empty checkpoint set and repeatedly add the single checkpoint whose addition
+  reduces the expected makespan the most, until no addition helps.  This is the
+  classical marginal-gain heuristic, with the evaluator as the oracle.
+* **Local search** (:func:`local_search_checkpoints`): starting from any
+  schedule (typically the output of a paper heuristic), repeatedly toggle the
+  single checkpoint (add or remove) that yields the best improvement, until a
+  local optimum is reached.
+
+Both are deterministic, anytime (they can be budget-limited), and can only
+improve the expected makespan of the schedule they start from — properties the
+test-suite asserts.  They cost ``O(n)`` evaluator calls per step, so they are
+noticeably more expensive than the paper's heuristics; the ablation benchmark
+``benchmarks/bench_refinement_ablation.py`` quantifies the accuracy/cost
+trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.dag import Workflow
+from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = [
+    "RefinementResult",
+    "greedy_checkpoint_selection",
+    "local_search_checkpoints",
+    "refine_schedule",
+]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of a greedy construction or local search.
+
+    Attributes
+    ----------
+    schedule:
+        The final (possibly improved) schedule.
+    evaluation:
+        Its analytical evaluation.
+    initial_expected_makespan:
+        Expected makespan of the starting schedule.
+    steps:
+        Number of accepted moves (checkpoint additions / removals).
+    evaluations:
+        Number of evaluator calls spent.
+    """
+
+    schedule: Schedule
+    evaluation: MakespanEvaluation
+    initial_expected_makespan: float
+    steps: int
+    evaluations: int
+
+    @property
+    def expected_makespan(self) -> float:
+        """Expected makespan of the refined schedule."""
+        return self.evaluation.expected_makespan
+
+    @property
+    def improvement(self) -> float:
+        """Absolute reduction of the expected makespan (>= 0)."""
+        return max(0.0, self.initial_expected_makespan - self.expected_makespan)
+
+    @property
+    def relative_improvement(self) -> float:
+        """Relative reduction of the expected makespan (0 when already optimal)."""
+        if self.initial_expected_makespan == 0.0:
+            return 0.0
+        return self.improvement / self.initial_expected_makespan
+
+
+def _best_single_change(
+    workflow: Workflow,
+    order: Sequence[int],
+    platform: Platform,
+    current: frozenset[int],
+    current_value: float,
+    *,
+    allow_add: bool,
+    allow_remove: bool,
+    candidates: Sequence[int] | None,
+) -> tuple[frozenset[int] | None, float, int]:
+    """Evaluate all single-checkpoint toggles; return the best improving one."""
+    pool = range(workflow.n_tasks) if candidates is None else candidates
+    best_set: frozenset[int] | None = None
+    best_value = current_value
+    n_evaluations = 0
+    for task in pool:
+        if task in current:
+            if not allow_remove:
+                continue
+            candidate = current - {task}
+        else:
+            if not allow_add:
+                continue
+            if workflow.task(task).checkpoint_cost == 0.0 and workflow.task(task).recovery_cost == 0.0:
+                # A free checkpoint can never hurt, but evaluating it is still
+                # needed to know whether it helps; fall through.
+                pass
+            candidate = current | {task}
+        value = evaluate_schedule(Schedule(workflow, order, candidate), platform).expected_makespan
+        n_evaluations += 1
+        if value < best_value - 1e-12:
+            best_value = value
+            best_set = candidate
+    return best_set, best_value, n_evaluations
+
+
+def greedy_checkpoint_selection(
+    workflow: Workflow,
+    order: Sequence[int],
+    platform: Platform,
+    *,
+    max_checkpoints: int | None = None,
+    candidates: Sequence[int] | None = None,
+) -> RefinementResult:
+    """Greedy marginal-gain construction of a checkpoint set.
+
+    Starting from the empty set, repeatedly add the checkpoint whose addition
+    decreases the expected makespan the most; stop when no addition improves
+    the makespan or when ``max_checkpoints`` have been placed.
+
+    Parameters
+    ----------
+    workflow, order, platform:
+        The instance; ``order`` must be a valid linearization.
+    max_checkpoints:
+        Optional budget on the number of checkpoints (``None`` = unbounded).
+    candidates:
+        Optional subset of tasks allowed to be checkpointed.
+
+    Returns
+    -------
+    RefinementResult
+    """
+    order = tuple(order)
+    current: frozenset[int] = frozenset()
+    schedule = Schedule(workflow, order, current)
+    evaluation = evaluate_schedule(schedule, platform)
+    initial_value = evaluation.expected_makespan
+    current_value = initial_value
+    steps = 0
+    total_evaluations = 1
+
+    budget = workflow.n_tasks if max_checkpoints is None else int(max_checkpoints)
+    while steps < budget:
+        best_set, best_value, n_evals = _best_single_change(
+            workflow,
+            order,
+            platform,
+            current,
+            current_value,
+            allow_add=True,
+            allow_remove=False,
+            candidates=candidates,
+        )
+        total_evaluations += n_evals
+        if best_set is None:
+            break
+        current = best_set
+        current_value = best_value
+        steps += 1
+
+    schedule = Schedule(workflow, order, current)
+    evaluation = evaluate_schedule(schedule, platform)
+    return RefinementResult(
+        schedule=schedule,
+        evaluation=evaluation,
+        initial_expected_makespan=initial_value,
+        steps=steps,
+        evaluations=total_evaluations,
+    )
+
+
+def local_search_checkpoints(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    max_steps: int | None = None,
+    candidates: Sequence[int] | None = None,
+) -> RefinementResult:
+    """Hill-climb on the checkpoint set by single add/remove moves.
+
+    Starting from ``schedule``, repeatedly apply the single checkpoint addition
+    or removal that reduces the expected makespan the most; stop at a local
+    optimum (no single toggle improves) or after ``max_steps`` accepted moves.
+    The linearization is left untouched.
+
+    Returns
+    -------
+    RefinementResult
+        Never worse than the input schedule.
+    """
+    workflow = schedule.workflow
+    order = schedule.order
+    current = schedule.checkpointed
+    evaluation = evaluate_schedule(schedule, platform)
+    initial_value = evaluation.expected_makespan
+    current_value = initial_value
+    steps = 0
+    total_evaluations = 1
+    limit = math.inf if max_steps is None else int(max_steps)
+
+    while steps < limit:
+        best_set, best_value, n_evals = _best_single_change(
+            workflow,
+            order,
+            platform,
+            current,
+            current_value,
+            allow_add=True,
+            allow_remove=True,
+            candidates=candidates,
+        )
+        total_evaluations += n_evals
+        if best_set is None:
+            break
+        current = best_set
+        current_value = best_value
+        steps += 1
+
+    final = Schedule(workflow, order, current)
+    final_eval = evaluate_schedule(final, platform)
+    return RefinementResult(
+        schedule=final,
+        evaluation=final_eval,
+        initial_expected_makespan=initial_value,
+        steps=steps,
+        evaluations=total_evaluations,
+    )
+
+
+def refine_schedule(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    max_steps: int | None = None,
+) -> Schedule:
+    """Convenience wrapper returning only the locally improved schedule."""
+    return local_search_checkpoints(schedule, platform, max_steps=max_steps).schedule

@@ -1,0 +1,164 @@
+"""Search over the number of checkpoints ``N`` (Section 5 of the paper).
+
+The parameterised checkpoint strategies (``CkptW``, ``CkptC``, ``CkptD``,
+``CkptPer``) fix a total number of checkpoints ``N``, select ``N`` tasks
+according to their criterion, and rely on an exhaustive search over
+``N = 1 .. n-1`` — each candidate being scored with the polynomial-time
+expected-makespan evaluator of Theorem 3 — to pick the best value.
+
+Because the exhaustive search costs ``n - 1`` evaluator calls, this module also
+supports *subsampled* searches (an explicit list of candidate counts, or a
+geometric grid) which the benchmark harness uses for the largest instances; the
+ablation benchmark ``benchmarks/bench_nsearch_ablation.py`` quantifies the
+accuracy loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.dag import Workflow
+from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from .checkpointing import Selector
+
+__all__ = ["CheckpointCountSearch", "candidate_counts", "search_checkpoint_count"]
+
+
+@dataclass(frozen=True)
+class CheckpointCountSearch:
+    """Outcome of the search over the number of checkpoints.
+
+    Attributes
+    ----------
+    best_schedule:
+        Schedule achieving the lowest expected makespan among the candidates.
+    best_evaluation:
+        Its :class:`~repro.core.evaluator.MakespanEvaluation`.
+    best_count:
+        The ``N`` value that was requested from the selector for the winner
+        (note the selector may return fewer checkpoints, e.g. ``CkptPer``).
+    evaluated:
+        Mapping ``N -> expected makespan`` for every candidate evaluated.
+    """
+
+    best_schedule: Schedule
+    best_evaluation: MakespanEvaluation
+    best_count: int
+    evaluated: dict[int, float]
+
+
+def candidate_counts(
+    n_tasks: int,
+    *,
+    mode: str = "exhaustive",
+    max_candidates: int = 30,
+) -> tuple[int, ...]:
+    """Candidate values of ``N`` for the checkpoint-count search.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of tasks in the workflow.
+    mode:
+        ``"exhaustive"`` — every value ``1 .. n`` (the paper searches
+        ``1 .. n-1``; including ``n`` — i.e. the CkptAlws set — costs one more
+        evaluation and guarantees the parameterised strategies never lose to
+        the checkpoint-everything baseline);
+        ``"geometric"`` — at most ``max_candidates`` values spread geometrically
+        over ``1 .. n`` (used to keep large benchmark sweeps affordable).
+    max_candidates:
+        Budget for the ``"geometric"`` mode.
+    """
+    if n_tasks <= 1:
+        return (0,) if n_tasks == 1 else ()
+    upper = n_tasks
+    if mode == "exhaustive":
+        return tuple(range(1, upper + 1))
+    if mode != "geometric":
+        raise ValueError(f"unknown candidate mode {mode!r}")
+    if upper <= max_candidates:
+        return tuple(range(1, upper + 1))
+    values: set[int] = {1, upper}
+    ratio = (upper) ** (1.0 / (max_candidates - 1))
+    current = 1.0
+    while len(values) < max_candidates:
+        current *= ratio
+        values.add(min(upper, max(1, round(current))))
+        if current >= upper:
+            break
+    return tuple(sorted(values))
+
+
+def search_checkpoint_count(
+    workflow: Workflow,
+    order: Sequence[int],
+    platform: Platform,
+    selector: Selector,
+    *,
+    counts: Iterable[int] | None = None,
+    include_zero: bool = True,
+) -> CheckpointCountSearch:
+    """Find the checkpoint count minimising the expected makespan.
+
+    Parameters
+    ----------
+    workflow, order, platform:
+        The instance: workflow, linearization, and failure model.
+    selector:
+        A parameterised checkpoint selector ``(workflow, order, N) -> set``.
+    counts:
+        Candidate values of ``N``; defaults to the exhaustive ``1 .. n-1``.
+    include_zero:
+        Also evaluate the empty checkpoint set (``N = 0``).  The paper's search
+        runs over ``1 .. n-1`` only, but including 0 makes the heuristics
+        degrade gracefully on failure-free platforms; it adds a single extra
+        evaluation.
+
+    Returns
+    -------
+    CheckpointCountSearch
+    """
+    order = tuple(order)
+    if counts is None:
+        counts = candidate_counts(workflow.n_tasks, mode="exhaustive")
+    counts = [int(c) for c in counts]
+    if include_zero and 0 not in counts:
+        counts = [0] + counts
+
+    best_schedule: Schedule | None = None
+    best_eval: MakespanEvaluation | None = None
+    best_count = -1
+    best_value = math.inf
+    evaluated: dict[int, float] = {}
+    seen_sets: dict[frozenset[int], float] = {}
+
+    for count in counts:
+        if count < 0 or count > workflow.n_tasks:
+            raise ValueError(f"invalid checkpoint count {count}")
+        selected = frozenset() if count == 0 else selector(workflow, order, count)
+        if selected in seen_sets:
+            evaluated[count] = seen_sets[selected]
+            continue
+        schedule = Schedule(workflow, order, selected)
+        evaluation = evaluate_schedule(schedule, platform)
+        value = evaluation.expected_makespan
+        evaluated[count] = value
+        seen_sets[selected] = value
+        if value < best_value:
+            best_value = value
+            best_schedule = schedule
+            best_eval = evaluation
+            best_count = count
+
+    if best_schedule is None or best_eval is None:
+        raise ValueError("no candidate checkpoint count was evaluated")
+    return CheckpointCountSearch(
+        best_schedule=best_schedule,
+        best_evaluation=best_eval,
+        best_count=best_count,
+        evaluated=evaluated,
+    )

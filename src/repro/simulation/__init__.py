@@ -1,0 +1,37 @@
+"""Monte-Carlo fault-injection simulation of workflow schedules."""
+
+from .engine import (
+    MonteCarloSummary,
+    SimulationDiverged,
+    SimulationResult,
+    run_monte_carlo,
+    simulate_schedule,
+)
+from .failures import (
+    ExponentialFailures,
+    FailureModel,
+    LogNormalFailures,
+    NoFailures,
+    ScriptedFailures,
+    WeibullFailures,
+    failure_model_for,
+)
+from .trace import EventKind, ExecutionTrace, TraceEvent
+
+__all__ = [
+    "EventKind",
+    "ExecutionTrace",
+    "ExponentialFailures",
+    "FailureModel",
+    "LogNormalFailures",
+    "MonteCarloSummary",
+    "NoFailures",
+    "ScriptedFailures",
+    "SimulationDiverged",
+    "SimulationResult",
+    "TraceEvent",
+    "WeibullFailures",
+    "failure_model_for",
+    "run_monte_carlo",
+    "simulate_schedule",
+]

@@ -1,0 +1,195 @@
+"""Failure processes for the Monte-Carlo execution engine.
+
+The paper's analytical results assume i.i.d. exponentially distributed
+inter-arrival times (memoryless platform failures of rate
+:math:`\\lambda = p \\lambda_{proc}`).  The Monte-Carlo engine accepts any
+:class:`FailureModel`, which lets the library explore the robustness of the
+heuristics to non-memoryless failure laws (Weibull, LogNormal — the classical
+alternatives in the checkpointing literature) and to replay *scripted* failure
+scenarios such as the Figure-1 walk-through of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.platform import Platform
+
+__all__ = [
+    "FailureModel",
+    "ExponentialFailures",
+    "WeibullFailures",
+    "LogNormalFailures",
+    "ScriptedFailures",
+    "NoFailures",
+    "failure_model_for",
+]
+
+
+class FailureModel(ABC):
+    """Generates successive times-to-next-failure (seconds)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw the time until the next failure, measured from *now*."""
+
+    @property
+    @abstractmethod
+    def mean_time_between_failures(self) -> float:
+        """Expected inter-arrival time (``inf`` when failures never happen)."""
+
+    def reset(self) -> None:  # pragma: no cover - default is stateless
+        """Reset internal state (only meaningful for scripted models)."""
+
+
+class NoFailures(FailureModel):
+    """A platform that never fails."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return math.inf
+
+    @property
+    def mean_time_between_failures(self) -> float:
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "NoFailures()"
+
+
+class ExponentialFailures(FailureModel):
+    """Memoryless failures with rate :math:`\\lambda` (the paper's model)."""
+
+    def __init__(self, rate: float) -> None:
+        rate = float(rate)
+        if rate < 0 or not math.isfinite(rate):
+            raise ValueError("rate must be finite and >= 0")
+        self.rate = rate
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.rate == 0.0:
+            return math.inf
+        return float(rng.exponential(1.0 / self.rate))
+
+    @property
+    def mean_time_between_failures(self) -> float:
+        return math.inf if self.rate == 0.0 else 1.0 / self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExponentialFailures(rate={self.rate:g})"
+
+
+class WeibullFailures(FailureModel):
+    """Weibull-distributed inter-arrival times.
+
+    Parameters
+    ----------
+    scale:
+        Weibull scale parameter (seconds).
+    shape:
+        Weibull shape parameter ``k``; ``k < 1`` models infant mortality
+        (the empirically observed regime on large platforms), ``k = 1`` recovers
+        the exponential law.
+    """
+
+    def __init__(self, scale: float, shape: float = 0.7) -> None:
+        if scale <= 0 or shape <= 0:
+            raise ValueError("scale and shape must be positive")
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    @classmethod
+    def from_mtbf(cls, mtbf: float, shape: float = 0.7) -> "WeibullFailures":
+        """Choose the scale so the mean inter-arrival time equals ``mtbf``."""
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        scale = mtbf / math.gamma(1.0 + 1.0 / shape)
+        return cls(scale=scale, shape=shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    @property
+    def mean_time_between_failures(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeibullFailures(scale={self.scale:g}, shape={self.shape:g})"
+
+
+class LogNormalFailures(FailureModel):
+    """Log-normally distributed inter-arrival times."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mtbf(cls, mtbf: float, sigma: float = 1.0) -> "LogNormalFailures":
+        """Choose ``mu`` so the mean inter-arrival time equals ``mtbf``."""
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        mu = math.log(mtbf) - sigma * sigma / 2.0
+        return cls(mu=mu, sigma=sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    @property
+    def mean_time_between_failures(self) -> float:
+        return math.exp(self.mu + self.sigma * self.sigma / 2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LogNormalFailures(mu={self.mu:g}, sigma={self.sigma:g})"
+
+
+class ScriptedFailures(FailureModel):
+    """Deterministic failure scenario: a fixed list of inter-arrival times.
+
+    Each call to :meth:`sample` consumes the next scripted value; once the list
+    is exhausted, no further failure occurs.  Used by the tests to replay the
+    paper's Figure-1 narrative and to exercise specific recovery paths.
+    """
+
+    def __init__(self, inter_arrival_times: Sequence[float] | Iterable[float]) -> None:
+        times = [float(t) for t in inter_arrival_times]
+        if any(t < 0 for t in times):
+            raise ValueError("inter-arrival times must be non-negative")
+        self._times = tuple(times)
+        self._cursor = 0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._cursor >= len(self._times):
+            return math.inf
+        value = self._times[self._cursor]
+        self._cursor += 1
+        return value
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of scripted failures not yet consumed."""
+        return len(self._times) - self._cursor
+
+    @property
+    def mean_time_between_failures(self) -> float:
+        if not self._times:
+            return math.inf
+        return sum(self._times) / len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScriptedFailures({list(self._times)!r})"
+
+
+def failure_model_for(platform: Platform) -> FailureModel:
+    """The paper's failure model for a platform: exponential at the platform rate."""
+    if platform.is_failure_free:
+        return NoFailures()
+    return ExponentialFailures(platform.failure_rate)

@@ -1,0 +1,148 @@
+"""Execution traces produced by the Monte-Carlo engine.
+
+Every simulated run can optionally record a timeline of events: task attempts,
+recoveries, re-executions, failures, downtimes, checkpoints and completions.
+Traces serve three purposes: debugging schedules, validating the engine against
+hand-computed scenarios (e.g. the paper's Figure-1 narrative), and producing
+human-readable execution reports in the examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["EventKind", "TraceEvent", "ExecutionTrace"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of events recorded by the simulator."""
+
+    ATTEMPT_START = "attempt_start"
+    RECOVERY = "recovery"
+    RE_EXECUTION = "re_execution"
+    COMPUTE = "compute"
+    CHECKPOINT = "checkpoint"
+    FAILURE = "failure"
+    DOWNTIME = "downtime"
+    TASK_COMPLETE = "task_complete"
+    WORKFLOW_COMPLETE = "workflow_complete"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single timeline entry.
+
+    Attributes
+    ----------
+    kind:
+        Event type.
+    time:
+        Simulation clock (seconds) at which the event *starts*.
+    duration:
+        Length of the event (0 for instantaneous markers such as failures).
+    task:
+        Index of the task concerned (``-1`` for platform-level events).
+    note:
+        Free-form annotation (e.g. which task is being recovered).
+    """
+
+    kind: EventKind
+    time: float
+    duration: float = 0.0
+    task: int = -1
+    note: str = ""
+
+    @property
+    def end_time(self) -> float:
+        """Clock value at which the event finishes."""
+        return self.time + self.duration
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered list of :class:`TraceEvent` for one simulated execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: EventKind,
+        time: float,
+        *,
+        duration: float = 0.0,
+        task: int = -1,
+        note: str = "",
+    ) -> None:
+        """Append an event to the trace."""
+        self.events.append(TraceEvent(kind=kind, time=time, duration=duration, task=task, note=note))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of a given kind, in chronological order."""
+        return [event for event in self.events if event.kind is kind]
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failures that struck during the execution."""
+        return len(self.of_kind(EventKind.FAILURE))
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the workflow (end of the last event)."""
+        if not self.events:
+            return 0.0
+        return max(event.end_time for event in self.events)
+
+    def total_duration(self, kind: EventKind) -> float:
+        """Summed duration of all events of a given kind."""
+        return sum(event.duration for event in self.of_kind(kind))
+
+    @property
+    def wasted_time(self) -> float:
+        """Time spent on work that had to be redone, plus downtime and recoveries.
+
+        Defined as the makespan minus the useful work (the weight of each task,
+        counted once) and minus the checkpoints that were eventually committed.
+        """
+        useful = self.total_duration(EventKind.COMPUTE)
+        checkpoints = self.total_duration(EventKind.CHECKPOINT)
+        return max(0.0, self.makespan - useful - checkpoints)
+
+    def tasks_completed(self) -> list[int]:
+        """Indices of tasks whose completion was recorded, in completion order."""
+        return [event.task for event in self.of_kind(EventKind.TASK_COMPLETE)]
+
+    def validate_monotonic(self) -> bool:
+        """Whether event start times are non-decreasing (sanity check)."""
+        clock = 0.0
+        for event in self.events:
+            if event.time + 1e-9 < clock:
+                return False
+            clock = max(clock, event.time)
+        return True
+
+    def render(self, *, limit: int | None = None) -> str:
+        """Human readable multi-line rendering of the trace."""
+        lines = []
+        for event in self.events[: limit if limit is not None else len(self.events)]:
+            label = f"[{event.time:12.3f}s] {event.kind.value:<18}"
+            if event.task >= 0:
+                label += f" task={event.task:<4}"
+            if event.duration:
+                label += f" dur={event.duration:.3f}s"
+            if event.note:
+                label += f" ({event.note})"
+            lines.append(label)
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Theoretical results of the paper: special-case optimal algorithms.
+
+* :mod:`repro.theory.fork` — Theorem 1 (fork DAGs, linear time).
+* :mod:`repro.theory.join` — Lemmas 1–2, Corollaries 1–2 (join DAGs).
+* :mod:`repro.theory.chain` — Toueg–Babaoğlu dynamic program for linear chains.
+* :mod:`repro.theory.npcomplete` — Theorem 2 (SUBSET-SUM reduction).
+* :mod:`repro.theory.bruteforce` — exponential test oracles.
+"""
+
+from .bruteforce import (
+    BruteForceResult,
+    all_linearizations,
+    iter_schedules,
+    optimal_checkpoints_for_order,
+    optimal_schedule,
+)
+from .chain import ChainSolution, chain_expected_makespan, chain_order, solve_chain
+from .fork import ForkSolution, fork_expected_makespan, solve_fork
+from .join import (
+    JoinSolution,
+    g_priority,
+    join_expected_makespan,
+    join_schedule,
+    optimal_join_order,
+    solve_join_equal_costs,
+)
+from .npcomplete import (
+    SubsetSumReduction,
+    build_reduction,
+    certificate_is_valid,
+    scaled_expected_makespan,
+    solve_subset_sum_by_reduction,
+)
+
+__all__ = [
+    "BruteForceResult",
+    "ChainSolution",
+    "ForkSolution",
+    "JoinSolution",
+    "SubsetSumReduction",
+    "all_linearizations",
+    "build_reduction",
+    "certificate_is_valid",
+    "chain_expected_makespan",
+    "chain_order",
+    "fork_expected_makespan",
+    "g_priority",
+    "iter_schedules",
+    "join_expected_makespan",
+    "join_schedule",
+    "optimal_checkpoints_for_order",
+    "optimal_join_order",
+    "optimal_schedule",
+    "scaled_expected_makespan",
+    "solve_chain",
+    "solve_fork",
+    "solve_join_equal_costs",
+    "solve_subset_sum_by_reduction",
+]

@@ -1,0 +1,134 @@
+"""Exhaustive optimal schedules for tiny instances.
+
+These routines enumerate every linearization and every checkpoint set of a
+workflow and evaluate each candidate with the Theorem-3 evaluator.  They are
+exponential in the number of tasks and exist purely as *test oracles*: the
+fork / join / chain closed forms, and the heuristics, are validated against
+them on small randomized instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.dag import Workflow
+from ..core.evaluator import evaluate_schedule
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = [
+    "BruteForceResult",
+    "all_linearizations",
+    "iter_schedules",
+    "optimal_schedule",
+    "optimal_checkpoints_for_order",
+]
+
+#: Safety bound: enumerating schedules beyond this many tasks is refused.
+MAX_BRUTEFORCE_TASKS = 12
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Optimal schedule found by exhaustive search."""
+
+    schedule: Schedule
+    expected_makespan: float
+    candidates_evaluated: int
+
+
+def all_linearizations(workflow: Workflow) -> Iterator[tuple[int, ...]]:
+    """Yield every topological order of the workflow (lexicographic by index).
+
+    Uses the classical recursive generation over the "ready set"; the number of
+    linearizations can be factorial in ``n``.
+    """
+    if workflow.n_tasks > MAX_BRUTEFORCE_TASKS:
+        raise ValueError(
+            f"refusing to enumerate linearizations of a {workflow.n_tasks}-task workflow "
+            f"(limit {MAX_BRUTEFORCE_TASKS})"
+        )
+    n = workflow.n_tasks
+    in_deg = [workflow.in_degree(i) for i in range(n)]
+    order: list[int] = []
+
+    def backtrack() -> Iterator[tuple[int, ...]]:
+        if len(order) == n:
+            yield tuple(order)
+            return
+        for node in range(n):
+            if in_deg[node] == 0:
+                in_deg[node] = -1
+                for succ in workflow.successors(node):
+                    in_deg[succ] -= 1
+                order.append(node)
+                yield from backtrack()
+                order.pop()
+                for succ in workflow.successors(node):
+                    in_deg[succ] += 1
+                in_deg[node] = 0
+
+    yield from backtrack()
+
+
+def iter_schedules(
+    workflow: Workflow, *, checkpoint_candidates: Sequence[int] | None = None
+) -> Iterator[Schedule]:
+    """Yield every (linearization, checkpoint set) pair of the workflow."""
+    candidates = (
+        tuple(range(workflow.n_tasks))
+        if checkpoint_candidates is None
+        else tuple(checkpoint_candidates)
+    )
+    for order in all_linearizations(workflow):
+        for size in range(len(candidates) + 1):
+            for subset in itertools.combinations(candidates, size):
+                yield Schedule(workflow, order, subset)
+
+
+def optimal_schedule(
+    workflow: Workflow,
+    platform: Platform,
+    *,
+    checkpoint_candidates: Sequence[int] | None = None,
+) -> BruteForceResult:
+    """Exhaustively find the schedule with the minimum expected makespan."""
+    best: Schedule | None = None
+    best_value = math.inf
+    count = 0
+    for schedule in iter_schedules(workflow, checkpoint_candidates=checkpoint_candidates):
+        count += 1
+        value = evaluate_schedule(schedule, platform).expected_makespan
+        if value < best_value:
+            best_value = value
+            best = schedule
+    if best is None:
+        raise ValueError("workflow has no task")
+    return BruteForceResult(schedule=best, expected_makespan=best_value, candidates_evaluated=count)
+
+
+def optimal_checkpoints_for_order(
+    workflow: Workflow,
+    platform: Platform,
+    order: Sequence[int],
+) -> BruteForceResult:
+    """Exhaustively find the best checkpoint set for a *fixed* linearization."""
+    if workflow.n_tasks > MAX_BRUTEFORCE_TASKS + 4:
+        raise ValueError("workflow too large for exhaustive checkpoint search")
+    best: Schedule | None = None
+    best_value = math.inf
+    count = 0
+    indices = tuple(range(workflow.n_tasks))
+    for size in range(workflow.n_tasks + 1):
+        for subset in itertools.combinations(indices, size):
+            schedule = Schedule(workflow, order, subset)
+            count += 1
+            value = evaluate_schedule(schedule, platform).expected_makespan
+            if value < best_value:
+                best_value = value
+                best = schedule
+    assert best is not None
+    return BruteForceResult(schedule=best, expected_makespan=best_value, candidates_evaluated=count)

@@ -1,0 +1,165 @@
+"""Optimal checkpointing of a linear chain (Toueg–Babaoğlu baseline).
+
+For a linear chain the linearization is forced, so ``DAG-ChkptSched`` reduces
+to the classical "which tasks to checkpoint" question solved optimally by a
+dynamic program (Toueg and Babaoğlu, SIAM J. Comput. 1984 — reference [13] of
+the paper).  This module provides that baseline, adapted to the paper's
+failure model (Equation (1): failures may also strike during checkpoints and
+recoveries, constant downtime ``D``).
+
+The dynamic program works over *segments*: if task ``j`` is the most recent
+checkpointed task before task ``i`` (``j = 0`` denotes the virtual start of the
+execution, with zero recovery cost), then tasks ``j+1 .. i`` form a segment
+that must execute consecutively without failure and whose expected duration is
+``E[t(w_{j+1} + ... + w_i ; c_i ; r_j)]``.
+
+The expected makespan of a chain schedule is exactly the sum of its segment
+expectations — a fact the test-suite cross-checks against the general
+evaluator of Theorem 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.dag import Workflow
+from ..core.expectation import expected_execution_time
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = [
+    "ChainSolution",
+    "chain_order",
+    "chain_expected_makespan",
+    "solve_chain",
+]
+
+
+@dataclass(frozen=True)
+class ChainSolution:
+    """Optimal chain schedule and its expected makespan."""
+
+    schedule: Schedule
+    expected_makespan: float
+    checkpointed: frozenset[int]
+
+
+def chain_order(workflow: Workflow) -> tuple[int, ...]:
+    """Return the forced linearization of a chain workflow."""
+    if not workflow.is_chain():
+        raise ValueError("workflow is not a linear chain")
+    start = workflow.sources[0]
+    order = [start]
+    current = start
+    while workflow.successors(current):
+        current = workflow.successors(current)[0]
+        order.append(current)
+    return tuple(order)
+
+
+def chain_expected_makespan(
+    workflow: Workflow,
+    platform: Platform,
+    checkpointed: Iterable[int],
+    *,
+    order: Sequence[int] | None = None,
+) -> float:
+    """Expected makespan of a chain with the given checkpointed tasks.
+
+    Computed as the sum of segment expectations (see module docstring).  The
+    last segment never pays a checkpoint cost for the final task unless the
+    final task is explicitly checkpointed.
+    """
+    if order is None:
+        order = chain_order(workflow)
+    order = tuple(order)
+    ckpt = set(int(i) for i in checkpointed)
+    lam = platform.failure_rate
+    downtime = platform.downtime
+
+    total = 0.0
+    segment_work = 0.0
+    last_recovery = 0.0  # virtual entry point: recovery cost 0 (restart from scratch)
+    for task_index in order:
+        task = workflow.task(task_index)
+        segment_work += task.weight
+        if task_index in ckpt:
+            total += expected_execution_time(
+                segment_work, task.checkpoint_cost, last_recovery, lam, downtime
+            )
+            segment_work = 0.0
+            last_recovery = task.recovery_cost
+    if segment_work > 0.0:
+        total += expected_execution_time(segment_work, 0.0, last_recovery, lam, downtime)
+    return total
+
+
+def solve_chain(workflow: Workflow, platform: Platform) -> ChainSolution:
+    """Optimal checkpoint placement on a linear chain via dynamic programming.
+
+    ``dp[i]`` is the minimal expected time to complete tasks ``1 .. i`` (1-based
+    positions along the chain) *and* checkpoint task ``i``.  The answer closes
+    the recursion with a final, non-checkpointed segment.  Complexity
+    :math:`O(n^2)`.
+    """
+    order = chain_order(workflow)
+    n = len(order)
+    lam = platform.failure_rate
+    downtime = platform.downtime
+    weights = [workflow.task(t).weight for t in order]
+    ckpt_costs = [workflow.task(t).checkpoint_cost for t in order]
+    rec_costs = [workflow.task(t).recovery_cost for t in order]
+
+    # prefix[i] = w_1 + ... + w_i  (1-based, prefix[0] = 0)
+    prefix = [0.0] * (n + 1)
+    for i in range(1, n + 1):
+        prefix[i] = prefix[i - 1] + weights[i - 1]
+
+    def recovery_of(j: int) -> float:
+        return 0.0 if j == 0 else rec_costs[j - 1]
+
+    dp = [math.inf] * (n + 1)
+    choice = [0] * (n + 1)
+    dp[0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(0, i):
+            if math.isinf(dp[j]):
+                continue
+            cost = dp[j] + expected_execution_time(
+                prefix[i] - prefix[j], ckpt_costs[i - 1], recovery_of(j), lam, downtime
+            )
+            if cost < dp[i]:
+                dp[i] = cost
+                choice[i] = j
+
+    best_value = math.inf
+    best_last_ckpt = 0
+    for j in range(0, n + 1):
+        if math.isinf(dp[j]):
+            continue
+        tail = (
+            0.0
+            if j == n
+            else expected_execution_time(prefix[n] - prefix[j], 0.0, recovery_of(j), lam, downtime)
+        )
+        value = dp[j] + tail
+        if value < best_value:
+            best_value = value
+            best_last_ckpt = j
+
+    # Reconstruct the checkpointed positions by walking the choice pointers.
+    checkpointed_positions: list[int] = []
+    j = best_last_ckpt
+    while j > 0:
+        checkpointed_positions.append(j)
+        j = choice[j]
+    checkpointed = frozenset(order[pos - 1] for pos in checkpointed_positions)
+
+    schedule = Schedule(workflow, order, checkpointed)
+    return ChainSolution(
+        schedule=schedule,
+        expected_makespan=best_value,
+        checkpointed=checkpointed,
+    )

@@ -1,0 +1,107 @@
+"""Optimal scheduling of fork DAGs (Theorem 1 of the paper).
+
+A *fork* DAG has one source task :math:`T_{src}` and ``n`` sink tasks
+:math:`T_1 \\dots T_n` that each depend only on the source.  Theorem 1 shows
+that ``DAG-ChkptSched`` is solvable in linear time for forks:
+
+* the ordering of the sink tasks does not matter (failures are memoryless and
+  each sink only needs the source's output, which is either in memory or
+  recovered before re-execution);
+* only the source may usefully be checkpointed, and the decision reduces to
+  comparing two closed-form expectations:
+
+  - checkpoint the source:
+    :math:`E[t(w_{src}; c_{src}; 0)] + \\sum_i E[t(w_i; 0; r_{src})]`
+  - do not checkpoint the source (equivalent to :math:`c_{src}=0`,
+    :math:`r_{src}=w_{src}`):
+    :math:`E[t(w_{src}; 0; 0)] + \\sum_i E[t(w_i; 0; w_{src})]`
+
+Checkpointing the sinks themselves is never useful: a sink has no successor so
+its output is never needed again (makespan is measured at its completion), and
+the checkpoint only adds failure-exposed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import Workflow
+from ..core.expectation import expected_execution_time
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = ["ForkSolution", "fork_expected_makespan", "solve_fork"]
+
+
+@dataclass(frozen=True)
+class ForkSolution:
+    """Optimal fork schedule and the two candidate expectations."""
+
+    schedule: Schedule
+    expected_makespan: float
+    checkpoint_source: bool
+    makespan_with_checkpoint: float
+    makespan_without_checkpoint: float
+
+
+def _fork_source(workflow: Workflow) -> int:
+    if not workflow.is_fork():
+        raise ValueError(
+            "workflow is not a fork DAG (one source, all other tasks are sinks "
+            "depending only on it)"
+        )
+    return workflow.sources[0]
+
+
+def fork_expected_makespan(
+    workflow: Workflow, platform: Platform, *, checkpoint_source: bool
+) -> float:
+    """Expected makespan of a fork when the source is / is not checkpointed.
+
+    The expression follows the proof of Theorem 1: the execution decomposes
+    into :math:`X_0` (source, possibly checkpointed) followed by one
+    :math:`X_i` per sink whose recovery, after a failure, is the recovery of
+    the source's output (its checkpoint if checkpointed, its re-execution
+    otherwise).
+    """
+    src = _fork_source(workflow)
+    source = workflow.task(src)
+    lam = platform.failure_rate
+    downtime = platform.downtime
+    if checkpoint_source:
+        c_src = source.checkpoint_cost
+        r_src = source.recovery_cost
+    else:
+        c_src = 0.0
+        r_src = source.weight
+    total = expected_execution_time(source.weight, c_src, 0.0, lam, downtime)
+    for task in workflow.tasks:
+        if task.index == src:
+            continue
+        total += expected_execution_time(task.weight, 0.0, r_src, lam, downtime)
+    return total
+
+
+def solve_fork(workflow: Workflow, platform: Platform) -> ForkSolution:
+    """Optimal schedule for a fork DAG (Theorem 1), in linear time.
+
+    Returns
+    -------
+    ForkSolution
+        The optimal schedule (source first, sinks in index order — any order is
+        optimal), whether the source should be checkpointed, and the two
+        candidate expected makespans.
+    """
+    src = _fork_source(workflow)
+    with_ckpt = fork_expected_makespan(workflow, platform, checkpoint_source=True)
+    without_ckpt = fork_expected_makespan(workflow, platform, checkpoint_source=False)
+    checkpoint_source = with_ckpt < without_ckpt
+    order = [src] + [i for i in range(workflow.n_tasks) if i != src]
+    schedule = Schedule(workflow, order, {src} if checkpoint_source else ())
+    return ForkSolution(
+        schedule=schedule,
+        expected_makespan=min(with_ckpt, without_ckpt),
+        checkpoint_source=checkpoint_source,
+        makespan_with_checkpoint=with_ckpt,
+        makespan_without_checkpoint=without_ckpt,
+    )

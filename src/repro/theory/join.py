@@ -1,0 +1,237 @@
+"""Join DAGs: structure of optimal schedules (Section 4.1.2 of the paper).
+
+A *join* DAG has ``n`` source tasks :math:`T_1 \\dots T_n` and a single sink
+:math:`T_{sink}` that depends on all of them.  ``DAG-ChkptSched`` is
+NP-complete for joins (Theorem 2, see :mod:`repro.theory.npcomplete`), but the
+paper proves strong structural results that this module implements:
+
+* **Lemma 1** — in an optimal schedule the checkpointed sources are executed
+  before the non-checkpointed ones, and after a failure the recoveries of
+  already-executed checkpointed sources are deferred until after the last
+  checkpointed source.
+* **Lemma 2** — given the partition (``ICkpt``, ``INCkpt``), the optimal order
+  of the checkpointed sources is by non-increasing
+
+  .. math::
+
+     g(i) = e^{-\\lambda (w_i + c_i + r_i)} + e^{-\\lambda r_i}
+            - e^{-\\lambda (w_i + c_i)}
+
+  and the resulting expected makespan has the closed form of Equation (2).
+* **Corollary 1** — when every task has the same checkpoint cost ``c`` and the
+  same recovery cost ``r``, the problem becomes polynomial: sort the sources by
+  non-increasing weight and try every prefix size as the checkpointed set.
+* **Corollary 2** — when all recovery costs are zero the ordering does not
+  matter and the expected makespan is Equation (3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.dag import Workflow
+from ..core.expectation import expected_execution_time
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+
+__all__ = [
+    "JoinSolution",
+    "g_priority",
+    "join_expected_makespan",
+    "optimal_join_order",
+    "solve_join_equal_costs",
+    "join_schedule",
+]
+
+
+@dataclass(frozen=True)
+class JoinSolution:
+    """A join schedule together with its (analytical) expected makespan."""
+
+    schedule: Schedule
+    expected_makespan: float
+    checkpointed_sources: frozenset[int]
+
+
+def _join_parts(workflow: Workflow) -> tuple[tuple[int, ...], int]:
+    """Return (sources, sink) after validating the join shape."""
+    if not workflow.is_join():
+        raise ValueError(
+            "workflow is not a join DAG (one sink, all other tasks are sources "
+            "feeding only into it)"
+        )
+    sink = workflow.sinks[0]
+    sources = tuple(i for i in range(workflow.n_tasks) if i != sink)
+    return sources, sink
+
+
+def g_priority(workflow: Workflow, task_index: int, platform: Platform) -> float:
+    """The ordering priority ``g(i)`` of Lemma 2 (higher executes earlier)."""
+    task = workflow.task(task_index)
+    lam = platform.failure_rate
+    return (
+        math.exp(-lam * (task.weight + task.checkpoint_cost + task.recovery_cost))
+        + math.exp(-lam * task.recovery_cost)
+        - math.exp(-lam * (task.weight + task.checkpoint_cost))
+    )
+
+
+def optimal_join_order(
+    workflow: Workflow,
+    platform: Platform,
+    checkpointed: Iterable[int],
+) -> tuple[int, ...]:
+    """Optimal linearization for a join given its checkpointed set (Lemmas 1-2).
+
+    Checkpointed sources come first, ordered by non-increasing ``g``; then the
+    non-checkpointed sources (their order is irrelevant — index order is used);
+    the sink comes last.
+    """
+    sources, sink = _join_parts(workflow)
+    ckpt = set(int(i) for i in checkpointed)
+    if sink in ckpt:
+        # Checkpointing the sink never helps (nothing runs after it); tolerate
+        # but ignore it for ordering purposes.
+        ckpt.discard(sink)
+    unknown = ckpt.difference(sources)
+    if unknown:
+        raise ValueError(f"checkpointed tasks {sorted(unknown)} are not sources of the join")
+    ckpt_sorted = sorted(
+        (i for i in sources if i in ckpt),
+        key=lambda i: (-g_priority(workflow, i, platform), i),
+    )
+    plain = [i for i in sources if i not in ckpt]
+    return tuple(ckpt_sorted + plain + [sink])
+
+
+def join_schedule(
+    workflow: Workflow,
+    platform: Platform,
+    checkpointed: Iterable[int],
+) -> Schedule:
+    """Build the Lemma-1/Lemma-2 schedule for a given checkpointed set."""
+    ckpt = frozenset(int(i) for i in checkpointed)
+    order = optimal_join_order(workflow, platform, ckpt)
+    sink = workflow.sinks[0]
+    return Schedule(workflow, order, ckpt - {sink})
+
+
+def join_expected_makespan(
+    workflow: Workflow,
+    platform: Platform,
+    checkpointed: Iterable[int],
+    order: Sequence[int] | None = None,
+) -> float:
+    """Expected makespan of a join schedule via Equation (2) of the paper.
+
+    Parameters
+    ----------
+    workflow:
+        A join DAG.
+    platform:
+        Failure-prone platform (rate :math:`\\lambda`, downtime ``D``).
+    checkpointed:
+        The checkpointed sources ``ICkpt``.
+    order:
+        Execution order of the checkpointed sources (a sequence of task
+        indices).  Defaults to the optimal non-increasing ``g`` order.  The
+        non-checkpointed sources' order is irrelevant (Lemma 2's proof).
+
+    Notes
+    -----
+    In the failure-free case the result is simply the total work plus the
+    checkpoint costs of ``ICkpt``.
+    """
+    sources, sink = _join_parts(workflow)
+    lam = platform.failure_rate
+    downtime = platform.downtime
+    ckpt = [i for i in (order if order is not None else sources) if i in set(checkpointed)]
+    ckpt_set = set(ckpt)
+    if order is None:
+        ckpt = [
+            i
+            for i in optimal_join_order(workflow, platform, ckpt_set)
+            if i in ckpt_set
+        ]
+    non_ckpt = [i for i in sources if i not in ckpt_set]
+
+    w = {i: workflow.task(i).weight for i in range(workflow.n_tasks)}
+    c = {i: workflow.task(i).checkpoint_cost for i in range(workflow.n_tasks)}
+    r = {i: workflow.task(i).recovery_cost for i in range(workflow.n_tasks)}
+
+    work_nckpt = sum(w[i] for i in non_ckpt) + w[sink]
+
+    if lam == 0.0:
+        return sum(w[i] + c[i] for i in ckpt) + work_nckpt
+
+    # Phase 1: each checkpointed source (with its checkpoint) is an independent
+    # renewal segment.
+    phase1 = sum(
+        expected_execution_time(w[i], c[i], 0.0, lam, downtime) for i in ckpt
+    )
+
+    if not ckpt:
+        # No checkpointed source: the whole remaining work must complete
+        # without failure, restarting from scratch after each failure.
+        return phase1 + expected_execution_time(work_nckpt, 0.0, 0.0, lam, downtime)
+
+    # Phase 2: expected time to run the non-checkpointed sources, the needed
+    # recoveries and the sink, conditioned on when the last failure of phase 1
+    # occurred (events E_1 .. E_m in the paper's proof of Lemma 2).
+    m = len(ckpt)
+    total_recovery = sum(r[i] for i in ckpt)
+    t0 = (1.0 / lam + downtime) * math.expm1(min(lam * (work_nckpt + total_recovery), 700.0))
+
+    # q[k] (1-based k): probability that the last failure of phase 1 happened
+    # while executing the k-th checkpointed source (q[1] also absorbs the
+    # "no failure at all" case, which likewise requires no recovery).
+    phase2 = 0.0
+    for k in range(1, m + 1):
+        if k == 1:
+            suffix = sum(w[ckpt[j]] + c[ckpt[j]] for j in range(1, m))
+            q_k = math.exp(-lam * suffix)
+        else:
+            own = w[ckpt[k - 1]] + c[ckpt[k - 1]]
+            suffix = sum(w[ckpt[j]] + c[ckpt[j]] for j in range(k, m))
+            q_k = (1.0 - math.exp(-lam * own)) * math.exp(-lam * suffix)
+        prior_recoveries = sum(r[ckpt[j]] for j in range(0, k - 1))
+        p_k = math.exp(-lam * (work_nckpt + prior_recoveries))
+        # t_k = p_k * A + (1 - p_k) * (E[t_lost(A)] + D + t0) with
+        # A = work_nckpt + prior_recoveries, which algebraically simplifies to
+        # (1 - p_k) * (1/lambda + D + t0)  (the paper's closed form).
+        phase2 += q_k * (1.0 - p_k) * (1.0 / lam + downtime + t0)
+
+    return phase1 + phase2
+
+
+def solve_join_equal_costs(workflow: Workflow, platform: Platform) -> JoinSolution:
+    """Optimal join schedule when all ``c_i`` are equal and all ``r_i`` are equal.
+
+    Implements Corollary 1: sort the sources by non-increasing weight, evaluate
+    the expected makespan for every prefix size ``0 .. n`` as the checkpointed
+    set, and keep the best.
+    """
+    sources, sink = _join_parts(workflow)
+    costs = {(workflow.task(i).checkpoint_cost, workflow.task(i).recovery_cost) for i in sources}
+    if len(costs) > 1:
+        raise ValueError(
+            "Corollary 1 requires identical checkpoint and recovery costs across "
+            f"all sources; found {len(costs)} distinct pairs"
+        )
+    ordered = sorted(sources, key=lambda i: (-workflow.task(i).weight, i))
+    best_value = math.inf
+    best_set: frozenset[int] = frozenset()
+    for prefix in range(0, len(ordered) + 1):
+        candidate = frozenset(ordered[:prefix])
+        value = join_expected_makespan(workflow, platform, candidate)
+        if value < best_value:
+            best_value = value
+            best_set = candidate
+    schedule = join_schedule(workflow, platform, best_set)
+    return JoinSolution(
+        schedule=schedule,
+        expected_makespan=best_value,
+        checkpointed_sources=best_set,
+    )

@@ -1,0 +1,225 @@
+"""NP-completeness of ``DAG-ChkptSched`` for join DAGs (Theorem 2).
+
+The paper proves NP-completeness by reduction from SUBSET-SUM: given positive
+integers :math:`w_1, \\dots, w_n` and a target ``X``, the reduction builds a
+join DAG with ``n`` sources (weights :math:`w_i`, zero recovery cost, carefully
+chosen checkpoint costs) and a zero-weight sink, such that a schedule meeting
+the makespan bound exists iff a subset of the integers sums to ``X``.
+
+With :math:`r_i = 0` the task ordering is irrelevant (Corollary 2) and the
+*scaled* expected makespan (dropping the constant factor
+:math:`1/\\lambda + D`, with ``D = 0`` as in the reduction) is
+
+.. math::
+
+    \\hat{E}[T] = \\sum_{i \\in I_{Ckpt}} \\left(e^{\\lambda (w_i + c_i)} - 1\\right)
+                + e^{\\lambda \\sum_{i \\in I_{NCkpt}} w_i} - 1
+               = \\lambda e^{\\lambda X}(S - W) + e^{\\lambda W} - 1
+
+where ``S`` is the sum of all weights and ``W`` the weight of the
+non-checkpointed set.  The function is minimised at ``W = X``, where it equals
+the bound :math:`t_{min} = \\lambda e^{\\lambda X}(S - X) + e^{\\lambda X} - 1`.
+
+This module exposes the reduction (useful for testing the evaluator and for
+pedagogy) and a tiny exact SUBSET-SUM solver driven through the scheduling
+formulation, demonstrating the equivalence on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.dag import Workflow
+from ..core.platform import Platform
+from ..core.task import Task
+
+__all__ = [
+    "SubsetSumReduction",
+    "build_reduction",
+    "scaled_expected_makespan",
+    "certificate_is_valid",
+    "solve_subset_sum_by_reduction",
+]
+
+
+@dataclass(frozen=True)
+class SubsetSumReduction:
+    """The join-DAG instance produced from a SUBSET-SUM instance.
+
+    Attributes
+    ----------
+    workflow:
+        Join DAG with ``n`` sources and one zero-weight sink (the sink has
+        index ``n``).
+    platform:
+        Platform with failure rate ``lambda`` and zero downtime.
+    threshold:
+        The makespan bound :math:`t_{min}` (in the scaled units described in
+        the module docstring).
+    weights:
+        Original SUBSET-SUM integers.
+    target:
+        Original SUBSET-SUM target ``X``.
+    """
+
+    workflow: Workflow
+    platform: Platform
+    threshold: float
+    weights: tuple[float, ...]
+    target: float
+
+    @property
+    def n_items(self) -> int:
+        """Number of SUBSET-SUM items (= number of join sources)."""
+        return len(self.weights)
+
+    @property
+    def sink_index(self) -> int:
+        """Index of the sink task in the workflow."""
+        return self.n_items
+
+
+def build_reduction(
+    weights: Sequence[float],
+    target: float,
+    *,
+    failure_rate: float | None = None,
+) -> SubsetSumReduction:
+    """Build the Theorem-2 join instance from a SUBSET-SUM instance.
+
+    Parameters
+    ----------
+    weights:
+        Strictly positive item values :math:`w_1 \\dots w_n`.
+    target:
+        The SUBSET-SUM target ``X`` (``0 < X <= sum(weights)`` for the instance
+        to be interesting; other values are allowed but trivially infeasible).
+    failure_rate:
+        The reduction requires :math:`\\lambda \\ge 1 / \\min_i w_i` so that all
+        checkpoint costs are positive; by default the smallest such value is
+        used.
+    """
+    weights = tuple(float(w) for w in weights)
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w <= 0 for w in weights):
+        raise ValueError("SUBSET-SUM weights must be strictly positive")
+    target = float(target)
+    if target < 0:
+        raise ValueError("target must be non-negative")
+    if any(w > target for w in weights):
+        # Items heavier than the target can never belong to the subset; the
+        # reduction's checkpoint cost c_i = (X - w_i) + log(lambda w_i + e^{-lambda X}) / lambda
+        # would be negative for them.  Such items can be removed from the
+        # SUBSET-SUM instance without loss of generality, which is what the
+        # paper's construction implicitly assumes.
+        raise ValueError(
+            "every SUBSET-SUM weight must be <= target; drop heavier items first "
+            "(they can never be part of the subset)"
+        )
+
+    min_w = min(weights)
+    lam = failure_rate if failure_rate is not None else 1.0 / min_w
+    if lam < 1.0 / min_w - 1e-12:
+        raise ValueError(
+            f"failure_rate must be at least 1/min(weights) = {1.0 / min_w:g} "
+            "for all checkpoint costs to be positive"
+        )
+
+    n = len(weights)
+    tasks = []
+    for i, w in enumerate(weights):
+        c = (target - w) + math.log(lam * w + math.exp(-lam * target)) / lam
+        tasks.append(
+            Task(
+                index=i,
+                weight=w,
+                checkpoint_cost=c,
+                recovery_cost=0.0,
+                name=f"item{i}",
+                category="subset-sum-item",
+            )
+        )
+    tasks.append(Task(index=n, weight=0.0, name="sink", category="subset-sum-sink"))
+    edges = [(i, n) for i in range(n)]
+    workflow = Workflow(tasks, edges, name="subset-sum-join")
+
+    total = sum(weights)
+    threshold = lam * math.exp(lam * target) * (total - target) + math.expm1(lam * target)
+    platform = Platform.from_platform_rate(lam, downtime=0.0)
+    return SubsetSumReduction(
+        workflow=workflow,
+        platform=platform,
+        threshold=threshold,
+        weights=weights,
+        target=target,
+    )
+
+
+def scaled_expected_makespan(
+    reduction: SubsetSumReduction, checkpointed: Iterable[int]
+) -> float:
+    """Scaled expected makespan of a schedule of the reduction instance.
+
+    This is the quantity compared against ``reduction.threshold``:
+    :math:`\\lambda \\cdot E[T]` with ``D = 0`` — i.e. Equation (3) of the paper
+    without its :math:`(1/\\lambda + D)` factor.  With zero recovery costs the
+    task ordering is irrelevant (Corollary 2), so only the checkpoint set
+    matters.
+    """
+    lam = reduction.platform.failure_rate
+    workflow = reduction.workflow
+    sink = reduction.sink_index
+    ckpt = set(int(i) for i in checkpointed)
+    ckpt.discard(sink)
+    total = 0.0
+    non_ckpt_work = workflow.task(sink).weight
+    for i in range(reduction.n_items):
+        task = workflow.task(i)
+        if i in ckpt:
+            total += math.expm1(lam * (task.weight + task.checkpoint_cost))
+        else:
+            non_ckpt_work += task.weight
+    total += math.expm1(lam * non_ckpt_work)
+    return total
+
+
+def certificate_is_valid(
+    reduction: SubsetSumReduction, checkpointed: Iterable[int], *, tolerance: float = 1e-9
+) -> bool:
+    """Whether a checkpoint set meets the reduction's makespan bound.
+
+    By Theorem 2 this holds iff the *non*-checkpointed items sum exactly to the
+    SUBSET-SUM target.
+    """
+    value = scaled_expected_makespan(reduction, checkpointed)
+    return value <= reduction.threshold * (1.0 + tolerance) + tolerance
+
+
+def solve_subset_sum_by_reduction(
+    weights: Sequence[float], target: float
+) -> tuple[bool, frozenset[int]]:
+    """Exhaustively solve a (small) SUBSET-SUM instance through the reduction.
+
+    Enumerates every checkpoint set of the reduced join instance and checks the
+    makespan bound; the non-checkpointed items of a valid certificate form the
+    subset summing to ``target``.  Exponential — intended for tests and
+    demonstrations with at most ~20 items.
+
+    Returns
+    -------
+    (feasible, subset):
+        ``feasible`` is True when some subset sums to ``target``; ``subset``
+        contains the item indices of one such subset (empty when infeasible).
+    """
+    reduction = build_reduction(weights, target)
+    items = range(reduction.n_items)
+    for size in range(reduction.n_items + 1):
+        for non_ckpt in itertools.combinations(items, size):
+            checkpointed = [i for i in items if i not in non_ckpt]
+            if certificate_is_valid(reduction, checkpointed):
+                return True, frozenset(non_ckpt)
+    return False, frozenset()

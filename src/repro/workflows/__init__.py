@@ -1,0 +1,73 @@
+"""Workflow generators and serialization.
+
+* :mod:`repro.workflows.generators` — generic shapes (chain, fork, join, ...).
+* :mod:`repro.workflows.pegasus` — the four scientific families of the paper.
+* :mod:`repro.workflows.serialization` — JSON import/export.
+"""
+
+from . import generators, pegasus
+from .generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    fork_workflow,
+    in_tree_workflow,
+    join_workflow,
+    layered_workflow,
+    out_tree_workflow,
+    paper_example_workflow,
+    random_dag_workflow,
+    single_task_workflow,
+)
+from .pegasus import (
+    AVERAGE_TASK_WEIGHTS,
+    WORKFLOW_FAMILIES,
+    cybershake,
+    epigenomics,
+    generate,
+    genome,
+    ligo,
+    montage,
+)
+from .serialization import (
+    load_schedule,
+    load_workflow,
+    save_schedule,
+    save_workflow,
+    schedule_from_dict,
+    schedule_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+__all__ = [
+    "AVERAGE_TASK_WEIGHTS",
+    "WORKFLOW_FAMILIES",
+    "chain_workflow",
+    "cybershake",
+    "diamond_workflow",
+    "epigenomics",
+    "fork_join_workflow",
+    "fork_workflow",
+    "generate",
+    "generators",
+    "genome",
+    "in_tree_workflow",
+    "join_workflow",
+    "layered_workflow",
+    "ligo",
+    "load_schedule",
+    "load_workflow",
+    "montage",
+    "out_tree_workflow",
+    "paper_example_workflow",
+    "pegasus",
+    "random_dag_workflow",
+    "save_schedule",
+    "save_workflow",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "single_task_workflow",
+    "workflow_from_dict",
+    "workflow_to_dict",
+]

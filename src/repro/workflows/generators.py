@@ -1,0 +1,286 @@
+"""Generic synthetic DAG generators.
+
+These produce the structured shapes used by the paper's theoretical sections
+(chains, forks, joins) plus a few classical families (fork-join, diamond,
+layered random DAGs, in/out-trees) used by the test-suite, the property-based
+tests and the ablation benchmarks.  The Pegasus-like scientific workflows of
+the experimental section live in :mod:`repro.workflows.pegasus`.
+
+All generators are deterministic given their ``seed`` / explicit weights and
+return :class:`~repro.core.dag.Workflow` instances with zero checkpoint /
+recovery costs — call :meth:`Workflow.with_checkpoint_costs` to assign them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dag import Workflow
+from ..core.task import Task
+
+__all__ = [
+    "chain_workflow",
+    "fork_workflow",
+    "join_workflow",
+    "fork_join_workflow",
+    "diamond_workflow",
+    "layered_workflow",
+    "random_dag_workflow",
+    "out_tree_workflow",
+    "in_tree_workflow",
+    "paper_example_workflow",
+    "single_task_workflow",
+]
+
+
+def _weights(
+    n: int,
+    weights: Sequence[float] | None,
+    rng: np.random.Generator,
+    *,
+    mean: float = 10.0,
+    spread: float = 0.5,
+) -> list[float]:
+    """Resolve an explicit weight list or draw one from a gamma distribution."""
+    if weights is not None:
+        weights = [float(w) for w in weights]
+        if len(weights) != n:
+            raise ValueError(f"expected {n} weights, got {len(weights)}")
+        return weights
+    if mean <= 0:
+        raise ValueError("mean weight must be positive")
+    spread = min(max(spread, 0.0), 0.99)
+    if spread == 0.0:
+        return [mean] * n
+    shape = 1.0 / (spread * spread)
+    scale = mean / shape
+    return [float(max(1e-9, rng.gamma(shape, scale))) for _ in range(n)]
+
+
+def _tasks(weights: Sequence[float], category: str) -> list[Task]:
+    return [
+        Task(index=i, weight=w, name=f"T{i}", category=category)
+        for i, w in enumerate(weights)
+    ]
+
+
+def single_task_workflow(weight: float = 10.0) -> Workflow:
+    """A workflow with a single task (smallest meaningful instance)."""
+    return Workflow([Task(index=0, weight=weight)], [], name="single")
+
+
+def chain_workflow(
+    n: int,
+    *,
+    weights: Sequence[float] | None = None,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A linear chain ``T0 -> T1 -> ... -> T(n-1)``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    w = _weights(n, weights, rng, mean=mean_weight)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Workflow(_tasks(w, "chain"), edges, name=f"chain-{n}")
+
+
+def fork_workflow(
+    n_sinks: int,
+    *,
+    source_weight: float = 10.0,
+    sink_weights: Sequence[float] | None = None,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A fork: one source feeding ``n_sinks`` independent sinks (Theorem 1)."""
+    if n_sinks < 1:
+        raise ValueError("n_sinks must be >= 1")
+    rng = np.random.default_rng(seed)
+    sink_w = _weights(n_sinks, sink_weights, rng, mean=mean_weight)
+    weights = [float(source_weight)] + sink_w
+    edges = [(0, i) for i in range(1, n_sinks + 1)]
+    return Workflow(_tasks(weights, "fork"), edges, name=f"fork-{n_sinks}")
+
+
+def join_workflow(
+    n_sources: int,
+    *,
+    sink_weight: float = 10.0,
+    source_weights: Sequence[float] | None = None,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A join: ``n_sources`` independent sources feeding one sink (Theorem 2)."""
+    if n_sources < 1:
+        raise ValueError("n_sources must be >= 1")
+    rng = np.random.default_rng(seed)
+    src_w = _weights(n_sources, source_weights, rng, mean=mean_weight)
+    weights = src_w + [float(sink_weight)]
+    sink = n_sources
+    edges = [(i, sink) for i in range(n_sources)]
+    return Workflow(_tasks(weights, "join"), edges, name=f"join-{n_sources}")
+
+
+def fork_join_workflow(
+    width: int,
+    *,
+    source_weight: float = 10.0,
+    sink_weight: float = 10.0,
+    branch_weights: Sequence[float] | None = None,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A fork-join (bulge): source -> ``width`` parallel tasks -> sink."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    rng = np.random.default_rng(seed)
+    branch_w = _weights(width, branch_weights, rng, mean=mean_weight)
+    weights = [float(source_weight)] + branch_w + [float(sink_weight)]
+    sink = width + 1
+    edges = [(0, i) for i in range(1, width + 1)] + [(i, sink) for i in range(1, width + 1)]
+    return Workflow(_tasks(weights, "fork-join"), edges, name=f"fork-join-{width}")
+
+
+def diamond_workflow(
+    *, weights: Sequence[float] | None = None, seed: int | None = None
+) -> Workflow:
+    """The 4-task diamond: ``T0 -> {T1, T2} -> T3``."""
+    rng = np.random.default_rng(seed)
+    w = _weights(4, weights, rng)
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+    return Workflow(_tasks(w, "diamond"), edges, name="diamond")
+
+
+def layered_workflow(
+    n_layers: int,
+    layer_width: int,
+    *,
+    density: float = 0.5,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A layered random DAG: each task depends on a random subset of the previous layer.
+
+    Every task of layer ``l > 0`` gets at least one predecessor in layer
+    ``l - 1`` so the DAG stays connected layer-to-layer.
+    """
+    if n_layers < 1 or layer_width < 1:
+        raise ValueError("n_layers and layer_width must be >= 1")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = n_layers * layer_width
+    weights = _weights(n, None, rng, mean=mean_weight)
+    tasks = _tasks(weights, "layered")
+    edges: list[tuple[int, int]] = []
+    for layer in range(1, n_layers):
+        for j in range(layer_width):
+            node = layer * layer_width + j
+            prev_layer = [(layer - 1) * layer_width + k for k in range(layer_width)]
+            chosen = [p for p in prev_layer if rng.random() < density]
+            if not chosen:
+                chosen = [prev_layer[int(rng.integers(layer_width))]]
+            edges.extend((p, node) for p in chosen)
+    return Workflow(tasks, edges, name=f"layered-{n_layers}x{layer_width}")
+
+
+def random_dag_workflow(
+    n: int,
+    *,
+    edge_probability: float = 0.2,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """An Erdős–Rényi-style random DAG on ``n`` tasks.
+
+    Each pair ``(i, j)`` with ``i < j`` is connected with probability
+    ``edge_probability`` (edges always point from lower to higher index, which
+    guarantees acyclicity).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    weights = _weights(n, None, rng, mean=mean_weight)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return Workflow(_tasks(weights, "random"), edges, name=f"random-{n}")
+
+
+def out_tree_workflow(
+    n: int,
+    *,
+    fanout: int = 2,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """A complete-ish out-tree (each task feeds up to ``fanout`` children)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    rng = np.random.default_rng(seed)
+    weights = _weights(n, None, rng, mean=mean_weight)
+    edges = [((i - 1) // fanout, i) for i in range(1, n)]
+    return Workflow(_tasks(weights, "out-tree"), edges, name=f"out-tree-{n}")
+
+
+def in_tree_workflow(
+    n: int,
+    *,
+    fanin: int = 2,
+    seed: int | None = None,
+    mean_weight: float = 10.0,
+) -> Workflow:
+    """An in-tree (reduction tree): each task feeds its parent, the root is last."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if fanin < 1:
+        raise ValueError("fanin must be >= 1")
+    rng = np.random.default_rng(seed)
+    weights = _weights(n, None, rng, mean=mean_weight)
+    # Mirror of the out-tree: node i (in out-tree numbering) becomes n-1-i.
+    edges = [(n - 1 - i, n - 1 - (i - 1) // fanin) for i in range(1, n)]
+    return Workflow(_tasks(weights, "in-tree"), edges, name=f"in-tree-{n}")
+
+
+def paper_example_workflow() -> Workflow:
+    """The 8-task example DAG of Figure 1 of the paper.
+
+    Tasks ``T3`` and ``T4`` are the ones whose output is checkpointed in the
+    paper's walk-through; the linearization discussed there is
+    ``T0 T3 T1 T2 T4 T5 T6 T7``.  The edge set below is the one consistent with
+    the recovery narrative of Section 3:
+
+    * a failure during ``T5`` requires recovering ``T3``'s checkpoint
+      (``T3 -> T5``);
+    * executing ``T6`` requires recovering ``T4`` and using ``T5``'s output
+      (``T4 -> T6``, ``T5 -> T6``);
+    * ``T7`` needs ``T2`` (itself needing the entry task ``T1``) and ``T6``
+      (``T1 -> T2``, ``T2 -> T7``, ``T6 -> T7``);
+    * ``T0`` is the entry task feeding ``T3`` and ``T4``.
+    """
+    weights = [10.0, 8.0, 12.0, 20.0, 15.0, 9.0, 11.0, 7.0]
+    tasks = [
+        Task(index=i, weight=w, name=f"T{i}", category="paper-example")
+        for i, w in enumerate(weights)
+    ]
+    edges = [
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (2, 7),
+        (6, 7),
+    ]
+    return Workflow(tasks, edges, name="paper-example")

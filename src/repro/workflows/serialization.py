@@ -1,0 +1,125 @@
+"""JSON serialization of workflows and schedules.
+
+The experiment harness writes out the instances it generated (so that any run
+can be reproduced exactly) and the schedules the heuristics selected.  The
+format is a small, documented JSON dialect — not the Pegasus DAX format, which
+carries execution-site information that is irrelevant to this study.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.dag import Workflow
+from ..core.schedule import Schedule
+from ..core.task import Task
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_workflow",
+    "load_workflow",
+    "save_schedule",
+    "load_schedule",
+]
+
+FORMAT_VERSION = 1
+
+
+def workflow_to_dict(workflow: Workflow) -> dict[str, Any]:
+    """Serialize a workflow to a plain dictionary."""
+    return {
+        "format": "repro-workflow",
+        "version": FORMAT_VERSION,
+        "name": workflow.name,
+        "tasks": [
+            {
+                "index": task.index,
+                "name": task.name,
+                "category": task.category,
+                "weight": task.weight,
+                "checkpoint_cost": task.checkpoint_cost,
+                "recovery_cost": task.recovery_cost,
+            }
+            for task in workflow.tasks
+        ],
+        "edges": [[u, v] for u, v in workflow.edges],
+    }
+
+
+def workflow_from_dict(data: Mapping[str, Any]) -> Workflow:
+    """Rebuild a workflow from :func:`workflow_to_dict` output."""
+    if data.get("format") != "repro-workflow":
+        raise ValueError("not a serialized repro workflow")
+    if int(data.get("version", -1)) != FORMAT_VERSION:
+        raise ValueError(f"unsupported workflow format version {data.get('version')!r}")
+    tasks = [
+        Task(
+            index=int(entry["index"]),
+            weight=float(entry["weight"]),
+            checkpoint_cost=float(entry.get("checkpoint_cost", 0.0)),
+            recovery_cost=float(entry.get("recovery_cost", 0.0)),
+            name=str(entry.get("name", "")),
+            category=str(entry.get("category", "")),
+        )
+        for entry in sorted(data["tasks"], key=lambda e: int(e["index"]))
+    ]
+    edges = [(int(u), int(v)) for u, v in data.get("edges", [])]
+    return Workflow(tasks, edges, name=str(data.get("name", "workflow")))
+
+
+def schedule_to_dict(schedule: Schedule, *, include_workflow: bool = True) -> dict[str, Any]:
+    """Serialize a schedule (and, by default, its workflow) to a dictionary."""
+    payload: dict[str, Any] = {
+        "format": "repro-schedule",
+        "version": FORMAT_VERSION,
+        "order": list(schedule.order),
+        "checkpointed": sorted(schedule.checkpointed),
+    }
+    if include_workflow:
+        payload["workflow"] = workflow_to_dict(schedule.workflow)
+    return payload
+
+
+def schedule_from_dict(
+    data: Mapping[str, Any], *, workflow: Workflow | None = None
+) -> Schedule:
+    """Rebuild a schedule; the workflow may be embedded or supplied explicitly."""
+    if data.get("format") != "repro-schedule":
+        raise ValueError("not a serialized repro schedule")
+    if int(data.get("version", -1)) != FORMAT_VERSION:
+        raise ValueError(f"unsupported schedule format version {data.get('version')!r}")
+    if workflow is None:
+        embedded = data.get("workflow")
+        if embedded is None:
+            raise ValueError("no workflow embedded in the payload and none supplied")
+        workflow = workflow_from_dict(embedded)
+    return Schedule(workflow, [int(i) for i in data["order"]], data.get("checkpointed", ()))
+
+
+def save_workflow(workflow: Workflow, path: str | Path) -> Path:
+    """Write a workflow to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(workflow_to_dict(workflow), indent=2))
+    return path
+
+
+def load_workflow(path: str | Path) -> Workflow:
+    """Read a workflow from a JSON file."""
+    return workflow_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_schedule(schedule: Schedule, path: str | Path, *, include_workflow: bool = True) -> Path:
+    """Write a schedule to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(schedule_to_dict(schedule, include_workflow=include_workflow), indent=2))
+    return path
+
+
+def load_schedule(path: str | Path, *, workflow: Workflow | None = None) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()), workflow=workflow)

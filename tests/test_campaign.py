@@ -1,0 +1,77 @@
+"""Tests for multi-seed campaigns and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scenario
+from repro.experiments.campaign import aggregate_rows, run_campaign
+
+
+HEURISTICS = ("DF-CkptW", "DF-CkptNvr")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    scenario = Scenario(
+        family="montage",
+        n_tasks=20,
+        failure_rate=1e-3,
+        heuristics=HEURISTICS,
+        label="campaign-test",
+    )
+    return run_campaign([scenario], seeds=(0, 1, 2), search_mode="geometric", max_candidates=6)
+
+
+class TestRunCampaign:
+    def test_row_count(self, campaign):
+        assert len(campaign.rows) == 3 * len(HEURISTICS)
+        assert {row.seed for row in campaign.rows} == {0, 1, 2}
+
+    def test_aggregation_one_entry_per_heuristic(self, campaign):
+        assert len(campaign.aggregated) == len(HEURISTICS)
+        for entry in campaign.aggregated:
+            assert entry.n_seeds == 3
+            assert entry.min_ratio <= entry.mean_ratio <= entry.max_ratio
+            assert entry.std_ratio >= 0.0
+            assert entry.sem_ratio == pytest.approx(entry.std_ratio / 3 ** 0.5)
+
+    def test_ranking_and_best(self, campaign):
+        ranking = campaign.ranking("montage", 20)
+        assert [entry.heuristic for entry in ranking][0] == campaign.best_heuristic("montage", 20)
+        ratios = [entry.mean_ratio for entry in ranking]
+        assert ratios == sorted(ratios)
+        # The searchful heuristic cannot lose to never-checkpointing on average.
+        assert campaign.best_heuristic("montage", 20) == "DF-CkptW"
+
+    def test_best_heuristic_unknown_point(self, campaign):
+        with pytest.raises(KeyError):
+            campaign.best_heuristic("montage", 999)
+
+    def test_render(self, campaign):
+        text = campaign.render()
+        assert "montage" in text
+        assert "DF-CkptW" in text
+        assert len(text.splitlines()) == 1 + len(HEURISTICS)
+
+    def test_requires_at_least_one_seed(self):
+        scenario = Scenario(family="montage", n_tasks=20, failure_rate=1e-3, heuristics=HEURISTICS)
+        with pytest.raises(ValueError):
+            run_campaign([scenario], seeds=())
+
+
+class TestAggregateRows:
+    def test_single_row_statistics(self, campaign):
+        single = aggregate_rows(campaign.rows[:1])
+        assert len(single) == 1
+        entry = single[0]
+        assert entry.n_seeds == 1
+        assert entry.std_ratio == 0.0
+        assert entry.mean_ratio == pytest.approx(campaign.rows[0].overhead_ratio)
+
+    def test_groups_by_heuristic(self, campaign):
+        aggregated = aggregate_rows(campaign.rows)
+        assert {entry.heuristic for entry in aggregated} == set(HEURISTICS)
+
+    def test_empty(self):
+        assert aggregate_rows([]) == ()

@@ -1,0 +1,92 @@
+"""Tests for the linear-chain dynamic program (Toueg–Babaoğlu baseline)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule
+from repro.theory import chain_expected_makespan, chain_order, solve_chain
+from repro.theory.bruteforce import optimal_checkpoints_for_order
+from repro.workflows import generators
+
+
+class TestChainOrder:
+    def test_returns_the_only_linearization(self):
+        wf = generators.chain_workflow(5, seed=0)
+        assert chain_order(wf) == (0, 1, 2, 3, 4)
+
+    def test_rejects_non_chain(self):
+        wf = generators.diamond_workflow(seed=0)
+        with pytest.raises(ValueError):
+            chain_order(wf)
+        with pytest.raises(ValueError):
+            solve_chain(wf, Platform.from_platform_rate(1e-3))
+
+
+class TestChainExpectedMakespan:
+    def test_failure_free(self):
+        wf = generators.chain_workflow(4, weights=[10, 20, 30, 40]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        value = chain_expected_makespan(wf, Platform.failure_free(), {1})
+        assert value == pytest.approx(100 + 2.0)
+
+    def test_matches_general_evaluator_for_many_checkpoint_sets(self):
+        wf = generators.chain_workflow(6, seed=3, mean_weight=25.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(6e-3, downtime=2.0)
+        for size in range(0, 4):
+            for subset in itertools.combinations(range(6), size):
+                closed = chain_expected_makespan(wf, platform, subset)
+                general = evaluate_schedule(Schedule(wf, range(6), subset), platform).expected_makespan
+                assert closed == pytest.approx(general), subset
+
+
+class TestSolveChain:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce(self, seed):
+        wf = generators.chain_workflow(7, seed=seed, mean_weight=40.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(7e-3, downtime=1.0)
+        solution = solve_chain(wf, platform)
+        brute = optimal_checkpoints_for_order(wf, platform, range(7))
+        assert solution.expected_makespan == pytest.approx(brute.expected_makespan)
+        assert solution.expected_makespan == pytest.approx(
+            evaluate_schedule(solution.schedule, platform).expected_makespan
+        )
+
+    def test_failure_free_checkpoints_nothing(self):
+        wf = generators.chain_workflow(6, seed=1).with_checkpoint_costs(mode="proportional", factor=0.1)
+        solution = solve_chain(wf, Platform.failure_free())
+        assert solution.checkpointed == frozenset()
+        assert solution.expected_makespan == pytest.approx(wf.total_weight)
+
+    def test_heavy_failure_checkpoints_many(self):
+        wf = generators.chain_workflow(8, weights=[80] * 8).with_checkpoint_costs(
+            mode="proportional", factor=0.02
+        )
+        solution = solve_chain(wf, Platform.from_platform_rate(1e-2))
+        assert len(solution.checkpointed) >= 4
+
+    def test_never_worse_than_baselines(self):
+        wf = generators.chain_workflow(10, seed=9, mean_weight=60.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(4e-3)
+        solution = solve_chain(wf, platform)
+        never = chain_expected_makespan(wf, platform, ())
+        always = chain_expected_makespan(wf, platform, range(10))
+        assert solution.expected_makespan <= never + 1e-9
+        assert solution.expected_makespan <= always + 1e-9
+
+    def test_last_task_checkpoint_is_useless(self):
+        """Checkpointing the final task only adds overhead; the DP must avoid it."""
+        wf = generators.chain_workflow(5, seed=2, mean_weight=50.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        solution = solve_chain(wf, Platform.from_platform_rate(8e-3))
+        assert 4 not in solution.checkpointed

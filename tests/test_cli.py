@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workflows import load_schedule, load_workflow
+
+
+@pytest.fixture
+def workflow_path(tmp_path):
+    path = tmp_path / "wf.json"
+    code = main([
+        "generate",
+        "--family", "cybershake",
+        "--tasks", "25",
+        "--seed", "3",
+        "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def schedule_path(tmp_path, workflow_path):
+    path = tmp_path / "sched.json"
+    code = main([
+        "solve",
+        "--workflow", str(workflow_path),
+        "--heuristic", "DF-CkptW",
+        "--failure-rate", "1e-3",
+        "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestGenerate:
+    def test_generates_pegasus_workflow(self, workflow_path, capsys):
+        workflow = load_workflow(workflow_path)
+        assert 20 <= workflow.n_tasks <= 30
+        assert all(t.checkpoint_cost > 0 for t in workflow.tasks)
+
+    def test_generates_generic_chain(self, tmp_path):
+        path = tmp_path / "chain.json"
+        assert main(["generate", "--family", "chain", "--tasks", "12", "--output", str(path)]) == 0
+        workflow = load_workflow(path)
+        assert workflow.n_tasks == 12
+        assert workflow.is_chain()
+
+    def test_constant_checkpoint_mode(self, tmp_path):
+        path = tmp_path / "wf.json"
+        assert main([
+            "generate", "--family", "montage", "--tasks", "30",
+            "--checkpoint-mode", "constant", "--checkpoint-value", "5",
+            "--output", str(path),
+        ]) == 0
+        workflow = load_workflow(path)
+        assert all(t.checkpoint_cost == pytest.approx(5.0) for t in workflow.tasks)
+
+    def test_unknown_family_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--family", "nonsense", "--output", str(tmp_path / "x.json")])
+
+
+class TestSolveAndEvaluate:
+    def test_solve_writes_valid_schedule(self, schedule_path, workflow_path, capsys):
+        schedule = load_schedule(schedule_path)
+        workflow = load_workflow(workflow_path)
+        assert sorted(schedule.order) == list(range(workflow.n_tasks))
+        out = capsys.readouterr().out
+        assert "E[makespan]" in out or out == ""  # printed during the fixture
+
+    def test_solve_with_refinement(self, tmp_path, workflow_path, capsys):
+        path = tmp_path / "refined.json"
+        code = main([
+            "solve", "--workflow", str(workflow_path),
+            "--heuristic", "DF-CkptPer", "--refine",
+            "--output", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refinement" in out
+        assert path.exists()
+
+    def test_evaluate_outputs_json(self, schedule_path, capsys):
+        code = main(["evaluate", "--schedule", str(schedule_path), "--failure-rate", "1e-3"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["expected_makespan"] >= payload["failure_free_work"]
+        assert payload["overhead_ratio"] >= 1.0
+
+    def test_analyse_report(self, schedule_path, capsys):
+        code = main([
+            "analyse", "--schedule", str(schedule_path),
+            "--failure-rate", "1e-3", "--top", "3", "--utilities",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected makespan" in out
+        assert "checkpoint utilities" in out
+
+    def test_simulate_summary(self, schedule_path, capsys):
+        code = main([
+            "simulate", "--schedule", str(schedule_path),
+            "--failure-rate", "1e-3", "--runs", "50", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated executions" in out
+        assert "95% CI" in out
+
+
+class TestFigures:
+    def test_figures_smoke_writes_csv(self, tmp_path, capsys, monkeypatch):
+        # Patch the figure runner to a tiny configuration to keep the test fast.
+        import repro.cli as cli
+
+        def tiny_all_figures(*, preset, seed):
+            from repro.experiments import figure2
+
+            return {"figure2": figure2(sizes=(20,), seed=seed, search_mode="geometric")}
+
+        monkeypatch.setattr(cli, "all_figures", tiny_all_figures)
+        outdir = tmp_path / "figs"
+        code = main(["figures", "--preset", "smoke", "--outdir", str(outdir)])
+        assert code == 0
+        assert (outdir / "figure2.csv").exists()
+        assert "figure2" in capsys.readouterr().out

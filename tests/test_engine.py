@@ -1,0 +1,217 @@
+"""Tests for the Monte-Carlo execution engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Platform, Schedule, run_monte_carlo, simulate_schedule
+from repro.simulation import EventKind, ScriptedFailures, SimulationDiverged, WeibullFailures
+from repro.workflows import generators
+
+
+@pytest.fixture
+def chain():
+    return generators.chain_workflow(4, weights=[10, 20, 30, 40]).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+
+
+class TestFailureFreeExecution:
+    def test_makespan_equals_failure_free_makespan(self, chain):
+        schedule = Schedule(chain, range(4), {1, 2})
+        result = simulate_schedule(schedule, Platform.failure_free(), rng=0)
+        assert result.makespan == pytest.approx(schedule.failure_free_makespan)
+        assert result.n_failures == 0
+        assert result.total_recovery_time == 0.0
+
+    def test_trace_records_all_completions(self, chain):
+        schedule = Schedule(chain, range(4), {1})
+        result = simulate_schedule(
+            schedule, Platform.failure_free(), rng=0, collect_trace=True
+        )
+        assert result.trace is not None
+        assert result.trace.tasks_completed() == [0, 1, 2, 3]
+        assert result.trace.validate_monotonic()
+        assert result.trace.n_failures == 0
+
+
+class TestScriptedFailures:
+    def test_single_failure_without_checkpoint_restarts_the_chain_segment(self, chain):
+        # One failure 15 seconds in (during task 1), then no more failures.
+        schedule = Schedule(chain, range(4), ())
+        platform = Platform.from_platform_rate(1e-3, downtime=5.0)
+        result = simulate_schedule(
+            schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([15.0]),
+            collect_trace=True,
+        )
+        # Timeline: 10s of T0 + 5s of T1 lost, failure, 5s downtime, then T0 must
+        # be re-executed (its output was lost and T1 needs it), then T1..T3.
+        assert result.n_failures == 1
+        assert result.makespan == pytest.approx(15.0 + 5.0 + 10.0 + 20.0 + 30.0 + 40.0)
+        assert result.total_reexecution_time == pytest.approx(10.0)
+        assert result.total_downtime == pytest.approx(5.0)
+
+    def test_single_failure_with_checkpoint_recovers_instead(self, chain):
+        # Checkpoint T0 (cost 1s): the same failure now only pays a recovery.
+        schedule = Schedule(chain, range(4), {0})
+        platform = Platform.from_platform_rate(1e-3, downtime=5.0)
+        result = simulate_schedule(
+            schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([16.0]),  # 10 + 1 (ckpt) + 5 into T1
+            collect_trace=True,
+        )
+        assert result.n_failures == 1
+        assert result.total_recovery_time == pytest.approx(chain.task(0).recovery_cost)
+        assert result.total_reexecution_time == 0.0
+        expected = 16.0 + 5.0 + chain.task(0).recovery_cost + 20.0 + 30.0 + 40.0
+        assert result.makespan == pytest.approx(expected)
+
+    def test_failure_during_checkpoint_forces_reexecution(self, chain):
+        # Failure strikes at t=10.5, in the middle of T0's checkpoint: the
+        # checkpoint is not committed and T0 must be fully redone.
+        schedule = Schedule(chain, range(4), {0})
+        platform = Platform.from_platform_rate(1e-3, downtime=0.0)
+        result = simulate_schedule(
+            schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([10.5]),
+            collect_trace=True,
+        )
+        assert result.n_failures == 1
+        expected = 10.5 + 10.0 + 1.0 + 20.0 + 30.0 + 40.0
+        assert result.makespan == pytest.approx(expected)
+
+    def test_two_failures_same_task(self, chain):
+        schedule = Schedule(chain, range(4), ())
+        platform = Platform.from_platform_rate(1e-3, downtime=1.0)
+        result = simulate_schedule(
+            schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([5.0, 3.0]),
+            collect_trace=True,
+        )
+        # 5s lost, failure, 1s downtime, 3s lost, failure, 1s downtime, then clean run.
+        assert result.n_failures == 2
+        assert result.makespan == pytest.approx(5 + 1 + 3 + 1 + 100.0)
+
+
+class TestPaperFigureOneNarrative:
+    def test_failure_during_t5_triggers_the_documented_recoveries(self, paper_example):
+        """Reproduces the Section-3 walk-through of Figure 1."""
+        schedule = Schedule(paper_example, (0, 3, 1, 2, 4, 5, 6, 7), {3, 4})
+        platform = Platform.from_platform_rate(1e-4, downtime=0.0)
+        # Failure-free prefix: T0(10) T3*(20+2) T1(8) T2(12) T4*(15+1.5) = 68.5s;
+        # inject the single failure 1 second into T5.
+        result = simulate_schedule(
+            schedule,
+            platform,
+            rng=0,
+            failure_model=ScriptedFailures([69.5]),
+            collect_trace=True,
+        )
+        assert result.n_failures == 1
+        trace = result.trace
+        recoveries = [e.task for e in trace.of_kind(EventKind.RECOVERY)]
+        reexecutions = [e.task for e in trace.of_kind(EventKind.RE_EXECUTION)]
+        # T5 needs T3's checkpoint; T6 needs T4's checkpoint; T7 needs T1 and T2
+        # re-executed (no checkpoint on that path).
+        assert recoveries == [3, 4]
+        assert reexecutions == [1, 2]
+        # Every task completes exactly once at the end.
+        assert trace.tasks_completed() == [0, 3, 1, 2, 4, 5, 6, 7]
+
+
+class TestStatisticalAgreement:
+    def test_mean_converges_to_analytical_single_task(self):
+        from repro import evaluate_schedule
+
+        wf = generators.single_task_workflow(weight=50.0).with_checkpoint_costs(
+            mode="constant", value=5.0
+        )
+        schedule = Schedule(wf, (0,), {0})
+        platform = Platform.from_platform_rate(1e-2, downtime=2.0)
+        summary = run_monte_carlo(schedule, platform, n_runs=4000, rng=1)
+        analytical = evaluate_schedule(schedule, platform).expected_makespan
+        low, high = summary.ci95
+        assert low <= analytical <= high or abs(summary.mean_makespan - analytical) < 0.05 * analytical
+
+    def test_downtime_increases_makespan(self, chain):
+        schedule = Schedule(chain, range(4), {0, 1, 2})
+        no_down = run_monte_carlo(
+            schedule, Platform.from_platform_rate(1e-2, downtime=0.0), n_runs=800, rng=2
+        )
+        with_down = run_monte_carlo(
+            schedule, Platform.from_platform_rate(1e-2, downtime=20.0), n_runs=800, rng=2
+        )
+        assert with_down.mean_makespan > no_down.mean_makespan
+
+    def test_weibull_failures_supported(self, chain):
+        schedule = Schedule(chain, range(4), {0, 1, 2})
+        platform = Platform.from_platform_rate(1e-2)
+        summary = run_monte_carlo(
+            schedule,
+            platform,
+            n_runs=300,
+            rng=3,
+            failure_model=WeibullFailures.from_mtbf(100.0, shape=0.7),
+        )
+        assert summary.mean_makespan > schedule.failure_free_makespan - 1e-9
+        assert summary.mean_failures > 0
+
+    def test_keep_samples(self, chain):
+        schedule = Schedule(chain, range(4), ())
+        summary = run_monte_carlo(
+            schedule, Platform.from_platform_rate(1e-3), n_runs=50, rng=4, keep_samples=True
+        )
+        assert len(summary.samples) == 50
+        assert summary.min_makespan <= summary.mean_makespan <= summary.max_makespan
+
+
+class TestGuards:
+    def test_divergence_detection(self):
+        wf = generators.chain_workflow(2, weights=[1e4, 1e4]).with_checkpoint_costs(
+            mode="constant", value=0.0
+        )
+        schedule = Schedule(wf, (0, 1), ())
+        platform = Platform.from_platform_rate(0.5)
+        with pytest.raises(SimulationDiverged):
+            simulate_schedule(schedule, platform, rng=0, max_failures=50)
+
+    def test_invalid_overlap_rejected(self, chain):
+        schedule = Schedule(chain, range(4), {0})
+        with pytest.raises(ValueError):
+            simulate_schedule(schedule, Platform.failure_free(), checkpoint_overlap=1.5)
+
+    def test_invalid_run_count_rejected(self, chain):
+        schedule = Schedule(chain, range(4), ())
+        with pytest.raises(ValueError):
+            run_monte_carlo(schedule, Platform.failure_free(), n_runs=0)
+
+
+class TestNonBlockingCheckpointExtension:
+    def test_full_overlap_removes_checkpoint_time(self, chain):
+        schedule = Schedule(chain, range(4), {0, 1, 2, 3})
+        blocking = simulate_schedule(schedule, Platform.failure_free(), rng=0)
+        overlapped = simulate_schedule(
+            schedule, Platform.failure_free(), rng=0, checkpoint_overlap=1.0
+        )
+        assert overlapped.makespan == pytest.approx(chain.total_weight)
+        assert blocking.makespan == pytest.approx(schedule.failure_free_makespan)
+
+    def test_partial_overlap_interpolates(self, chain):
+        schedule = Schedule(chain, range(4), {0, 1, 2, 3})
+        half = simulate_schedule(
+            schedule, Platform.failure_free(), rng=0, checkpoint_overlap=0.5
+        )
+        expected = chain.total_weight + 0.5 * schedule.total_checkpoint_cost
+        assert half.makespan == pytest.approx(expected)

@@ -1,0 +1,195 @@
+"""Unit tests for the expected-makespan evaluator (Theorem 3)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro import (
+    Platform,
+    Schedule,
+    Task,
+    Workflow,
+    compute_lost_work,
+    evaluate_schedule,
+    expected_execution_time,
+    expected_makespan,
+)
+from repro.theory import chain_expected_makespan, fork_expected_makespan, join_expected_makespan
+from repro.theory.join import join_schedule
+from repro.workflows import generators
+
+
+class TestDegenerateCases:
+    def test_empty_workflow(self):
+        wf = Workflow([], [])
+        evaluation = evaluate_schedule(Schedule(wf, (), ()), Platform.from_platform_rate(1e-3))
+        assert evaluation.expected_makespan == 0.0
+        assert evaluation.overhead_ratio == 1.0
+
+    def test_single_task_matches_equation_one(self):
+        task = Task(index=0, weight=50.0, checkpoint_cost=5.0, recovery_cost=5.0)
+        wf = Workflow([task], [])
+        platform = Platform.from_platform_rate(1e-2, downtime=1.0)
+        with_ckpt = evaluate_schedule(Schedule(wf, (0,), {0}), platform).expected_makespan
+        without = evaluate_schedule(Schedule(wf, (0,), ()), platform).expected_makespan
+        assert with_ckpt == pytest.approx(expected_execution_time(50.0, 5.0, 0.0, 1e-2, 1.0))
+        assert without == pytest.approx(expected_execution_time(50.0, 0.0, 0.0, 1e-2, 1.0))
+
+    def test_failure_free_platform_gives_failure_free_makespan(self, diamond):
+        schedule = Schedule(diamond, (0, 1, 2, 3), {1, 2})
+        evaluation = evaluate_schedule(schedule, Platform.failure_free())
+        assert evaluation.expected_makespan == pytest.approx(schedule.failure_free_makespan)
+        assert evaluation.expected_task_times == pytest.approx(
+            (10.0, 22.0, 5.5, 8.0)
+        )
+
+
+class TestGeneralProperties:
+    @pytest.fixture
+    def schedule(self, diamond):
+        return Schedule(diamond, (0, 1, 2, 3), {1})
+
+    def test_makespan_at_least_failure_free(self, schedule, platform):
+        evaluation = evaluate_schedule(schedule, platform)
+        assert evaluation.expected_makespan >= schedule.failure_free_makespan
+
+    def test_monotonic_in_failure_rate(self, schedule):
+        rates = [0.0, 1e-4, 1e-3, 1e-2, 1e-1]
+        values = [
+            evaluate_schedule(schedule, Platform.from_platform_rate(r)).expected_makespan
+            for r in rates
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_monotonic_in_downtime(self, schedule):
+        low = evaluate_schedule(schedule, Platform.from_platform_rate(1e-2, downtime=0.0))
+        high = evaluate_schedule(schedule, Platform.from_platform_rate(1e-2, downtime=10.0))
+        assert high.expected_makespan > low.expected_makespan
+
+    def test_task_times_sum_to_makespan(self, schedule, platform):
+        evaluation = evaluate_schedule(schedule, platform)
+        assert sum(evaluation.expected_task_times) == pytest.approx(evaluation.expected_makespan)
+
+    def test_event_probabilities_sum_to_one(self, schedule, harsh_platform):
+        evaluation = evaluate_schedule(schedule, harsh_platform, keep_probabilities=True)
+        assert evaluation.event_probabilities is not None
+        for row in evaluation.event_probabilities:
+            assert sum(row) == pytest.approx(1.0, abs=1e-9)
+            assert all(p >= 0.0 for p in row)
+
+    def test_precomputed_lost_work_gives_same_result(self, schedule, platform):
+        lw = compute_lost_work(schedule)
+        direct = evaluate_schedule(schedule, platform).expected_makespan
+        reused = evaluate_schedule(schedule, platform, lost_work=lw).expected_makespan
+        assert direct == pytest.approx(reused)
+
+    def test_expected_makespan_wrapper(self, schedule, platform):
+        assert expected_makespan(schedule, platform) == pytest.approx(
+            evaluate_schedule(schedule, platform).expected_makespan
+        )
+
+    def test_overhead_ratio_definition(self, schedule, platform):
+        evaluation = evaluate_schedule(schedule, platform)
+        assert evaluation.overhead_ratio == pytest.approx(
+            evaluation.expected_makespan / schedule.workflow.total_weight
+        )
+        assert evaluation.slowdown == pytest.approx(
+            evaluation.expected_makespan / schedule.failure_free_makespan
+        )
+
+
+class TestAgainstClosedForms:
+    """The evaluator must agree with every closed form derived in the paper."""
+
+    @pytest.mark.parametrize("checkpoints", [(), (1,), (2,), (1, 3), (0, 1, 2, 3, 4)])
+    def test_chain_segment_decomposition(self, checkpoints):
+        wf = generators.chain_workflow(5, weights=[4, 12, 7, 3, 9]).with_checkpoint_costs(
+            mode="proportional", factor=0.15
+        )
+        platform = Platform.from_platform_rate(2e-2, downtime=1.0)
+        schedule = Schedule(wf, range(5), checkpoints)
+        assert evaluate_schedule(schedule, platform).expected_makespan == pytest.approx(
+            chain_expected_makespan(wf, platform, checkpoints)
+        )
+
+    @pytest.mark.parametrize("checkpoint_source", [True, False])
+    def test_fork_formula(self, checkpoint_source):
+        wf = generators.fork_workflow(
+            4, source_weight=20.0, sink_weights=[5, 10, 15, 20]
+        ).with_checkpoint_costs(mode="proportional", factor=0.1)
+        platform = Platform.from_platform_rate(1e-2, downtime=0.5)
+        src = wf.sources[0]
+        order = [src] + [i for i in range(wf.n_tasks) if i != src]
+        schedule = Schedule(wf, order, {src} if checkpoint_source else ())
+        assert evaluate_schedule(schedule, platform).expected_makespan == pytest.approx(
+            fork_expected_makespan(wf, platform, checkpoint_source=checkpoint_source)
+        )
+
+    def test_fork_sink_order_is_irrelevant(self):
+        """Theorem 1: any ordering of the sinks has the same expected makespan."""
+        wf = generators.fork_workflow(4, source_weight=8.0, sink_weights=[3, 6, 9, 12]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(3e-2)
+        values = []
+        for perm in itertools.permutations(range(1, 5)):
+            schedule = Schedule(wf, (0,) + perm, {0})
+            values.append(evaluate_schedule(schedule, platform).expected_makespan)
+        assert max(values) - min(values) < 1e-8 * max(values)
+
+    @pytest.mark.parametrize("checkpoints", [(), (0,), (0, 2), (0, 1, 2, 3)])
+    def test_join_equation_two(self, checkpoints):
+        wf = generators.join_workflow(
+            4, sink_weight=6.0, source_weights=[10, 20, 5, 8]
+        ).with_checkpoint_costs(mode="proportional", factor=0.2)
+        platform = Platform.from_platform_rate(1.5e-2, downtime=2.0)
+        schedule = join_schedule(wf, platform, checkpoints)
+        assert evaluate_schedule(schedule, platform).expected_makespan == pytest.approx(
+            join_expected_makespan(wf, platform, checkpoints), rel=1e-9
+        )
+
+    def test_join_non_checkpointed_order_is_irrelevant(self):
+        """Lemma 2 proof: ordering of the non-checkpointed sources does not matter."""
+        wf = generators.join_workflow(3, sink_weight=4.0, source_weights=[7, 11, 3]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(2e-2)
+        values = []
+        for perm in itertools.permutations(range(3)):
+            schedule = Schedule(wf, tuple(perm) + (3,), ())
+            values.append(evaluate_schedule(schedule, platform).expected_makespan)
+        assert max(values) - min(values) < 1e-9 * max(values)
+
+
+class TestCheckpointTradeoff:
+    """The paper's core trade-off: checkpoints cost time but bound re-execution."""
+
+    def test_checkpointing_helps_under_heavy_failures(self):
+        wf = generators.chain_workflow(6, weights=[50] * 6).with_checkpoint_costs(
+            mode="proportional", factor=0.05
+        )
+        platform = Platform.from_platform_rate(5e-3)
+        never = evaluate_schedule(Schedule(wf, range(6), ()), platform).expected_makespan
+        always = evaluate_schedule(Schedule(wf, range(6), range(6)), platform).expected_makespan
+        assert always < never
+
+    def test_checkpointing_hurts_when_failure_free(self):
+        wf = generators.chain_workflow(6, weights=[50] * 6).with_checkpoint_costs(
+            mode="proportional", factor=0.05
+        )
+        platform = Platform.failure_free()
+        never = evaluate_schedule(Schedule(wf, range(6), ()), platform).expected_makespan
+        always = evaluate_schedule(Schedule(wf, range(6), range(6)), platform).expected_makespan
+        assert never < always
+
+    def test_extreme_rate_saturates_to_infinity(self):
+        wf = generators.chain_workflow(3, weights=[1e4] * 3).with_checkpoint_costs(
+            mode="constant", value=0.0
+        )
+        platform = Platform.from_platform_rate(1.0)
+        value = evaluate_schedule(Schedule(wf, range(3), ()), platform).expected_makespan
+        assert math.isinf(value)

@@ -1,0 +1,153 @@
+"""Unit tests for the closed-form expectations (Equation 1 and friends)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import expected_execution_time, expected_time_lost, success_probability
+from repro.core.expectation import expected_number_of_failures
+
+
+class TestExpectedExecutionTime:
+    def test_failure_free_limit(self):
+        assert expected_execution_time(10.0, 2.0, 1.0, 0.0) == pytest.approx(12.0)
+
+    def test_matches_equation_one(self):
+        lam, downtime = 1e-2, 3.0
+        w, c, r = 40.0, 4.0, 2.0
+        expected = math.exp(lam * r) * (1.0 / lam + downtime) * (math.exp(lam * (w + c)) - 1.0)
+        assert expected_execution_time(w, c, r, lam, downtime) == pytest.approx(expected)
+
+    def test_zero_work_zero_checkpoint_is_zero(self):
+        assert expected_execution_time(0.0, 0.0, 5.0, 1e-2) == 0.0
+
+    def test_increasing_in_work(self):
+        values = [expected_execution_time(w, 1.0, 1.0, 1e-2) for w in (1, 5, 10, 50)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_increasing_in_failure_rate(self):
+        values = [expected_execution_time(10.0, 1.0, 1.0, lam) for lam in (0.0, 1e-4, 1e-2, 1e-1)]
+        assert values == sorted(values)
+
+    def test_increasing_in_recovery(self):
+        low = expected_execution_time(10.0, 1.0, 0.0, 1e-2)
+        high = expected_execution_time(10.0, 1.0, 10.0, 1e-2)
+        assert high > low
+
+    def test_increasing_in_downtime(self):
+        low = expected_execution_time(10.0, 1.0, 1.0, 1e-2, downtime=0.0)
+        high = expected_execution_time(10.0, 1.0, 1.0, 1e-2, downtime=60.0)
+        assert high > low
+
+    def test_always_at_least_failure_free_time(self):
+        for lam in (0.0, 1e-4, 1e-2):
+            assert expected_execution_time(10.0, 2.0, 1.0, lam) >= 12.0 - 1e-12
+
+    def test_overflow_saturates_to_inf(self):
+        assert expected_execution_time(1e6, 0.0, 0.0, 1.0) == math.inf
+
+    @pytest.mark.parametrize("kwargs", [
+        {"work": -1.0, "checkpoint": 0.0, "recovery": 0.0, "failure_rate": 0.1},
+        {"work": 1.0, "checkpoint": -1.0, "recovery": 0.0, "failure_rate": 0.1},
+        {"work": 1.0, "checkpoint": 0.0, "recovery": -1.0, "failure_rate": 0.1},
+        {"work": 1.0, "checkpoint": 0.0, "recovery": 0.0, "failure_rate": -0.1},
+        {"work": 1.0, "checkpoint": 0.0, "recovery": 0.0, "failure_rate": 0.1, "downtime": -1.0},
+    ])
+    def test_negative_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            expected_execution_time(**kwargs)
+
+    def test_against_direct_monte_carlo(self):
+        """Simulate the renewal process directly and compare with the formula."""
+        rng = np.random.default_rng(7)
+        lam, downtime = 0.02, 1.5
+        w, c, r = 30.0, 3.0, 2.0
+        total = 0.0
+        n_runs = 20000
+        for _ in range(n_runs):
+            clock = 0.0
+            remaining = w + c  # first attempt has no recovery
+            while True:
+                ttf = rng.exponential(1.0 / lam)
+                if ttf >= remaining:
+                    clock += remaining
+                    break
+                clock += ttf + downtime
+                remaining = r + w + c
+            total += clock
+        estimate = total / n_runs
+        analytical = expected_execution_time(w, c, r, lam, downtime)
+        assert estimate == pytest.approx(analytical, rel=0.02)
+
+
+class TestExpectedTimeLost:
+    def test_zero_work(self):
+        assert expected_time_lost(0.0, 1e-2) == 0.0
+
+    def test_failure_free_limit_is_half(self):
+        assert expected_time_lost(10.0, 0.0) == pytest.approx(5.0, rel=1e-6)
+
+    def test_matches_formula(self):
+        lam, w = 1e-2, 50.0
+        expected = 1.0 / lam - w / (math.exp(lam * w) - 1.0)
+        assert expected_time_lost(w, lam) == pytest.approx(expected)
+
+    def test_tiny_rate_stable(self):
+        # The naive formula is 0/0-ish here; the Taylor branch must kick in.
+        assert expected_time_lost(10.0, 1e-14) == pytest.approx(5.0, rel=1e-6)
+
+    def test_bounded_by_work_and_mtbf(self):
+        lam, w = 1e-3, 200.0
+        value = expected_time_lost(w, lam)
+        assert 0.0 < value < min(w, 1.0 / lam)
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            expected_time_lost(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_time_lost(1.0, -0.1)
+
+
+class TestSuccessProbability:
+    def test_zero_rate(self):
+        assert success_probability(100.0, 0.0) == 1.0
+
+    def test_exponential_decay(self):
+        assert success_probability(100.0, 1e-2) == pytest.approx(math.exp(-1.0))
+
+    def test_zero_duration(self):
+        assert success_probability(0.0, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_probability(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            success_probability(1.0, -0.1)
+
+
+class TestExpectedNumberOfFailures:
+    def test_zero_rate(self):
+        assert expected_number_of_failures(10.0, 1.0, 1.0, 0.0) == 0.0
+
+    def test_positive_for_positive_rate(self):
+        assert expected_number_of_failures(10.0, 1.0, 1.0, 1e-2) > 0.0
+
+    def test_increases_with_work(self):
+        small = expected_number_of_failures(1.0, 0.0, 0.0, 1e-2)
+        large = expected_number_of_failures(100.0, 0.0, 0.0, 1e-2)
+        assert large > small
+
+    def test_matches_geometric_argument(self):
+        lam, w, c, r = 0.05, 10.0, 1.0, 2.0
+        p_first = math.exp(-lam * (w + c))
+        p_retry = math.exp(-lam * (r + w + c))
+        expected = (1 - p_first) / p_retry
+        assert expected_number_of_failures(w, c, r, lam) == pytest.approx(expected)
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            expected_number_of_failures(-1.0, 0.0, 0.0, 0.1)

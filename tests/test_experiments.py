@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (scenarios, runs, reporting, figures)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_FAILURE_RATES,
+    Scenario,
+    best_by_strategy,
+    build_workflow,
+    figure2,
+    figure7,
+    format_ratio_table,
+    ratio_table,
+    rows_to_csv,
+    rows_to_markdown,
+    run_scenario,
+    save_rows_csv,
+    scenario_grid,
+    series_by_heuristic,
+)
+from repro.heuristics import HEURISTIC_NAMES
+
+
+SMALL_HEURISTICS = ("DF-CkptNvr", "DF-CkptAlws", "DF-CkptW", "DF-CkptC")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    scenario = Scenario(
+        family="cybershake",
+        n_tasks=25,
+        failure_rate=1e-3,
+        heuristics=SMALL_HEURISTICS,
+        seed=3,
+        label="unit",
+    )
+    return run_scenario(scenario, search_mode="geometric", max_candidates=8)
+
+
+class TestScenario:
+    def test_platform_matches_rate(self):
+        scenario = Scenario(family="ligo", n_tasks=50, failure_rate=2e-4)
+        assert scenario.platform.failure_rate == pytest.approx(2e-4)
+        assert scenario.platform.downtime == 0.0
+
+    def test_describe(self):
+        scenario = Scenario(family="montage", n_tasks=50, failure_rate=1e-3)
+        text = scenario.describe()
+        assert "montage" in text and "n=50" in text
+        constant = scenario.with_updates(checkpoint_mode="constant", checkpoint_value=5.0)
+        assert "c=5" in constant.describe()
+
+    def test_build_workflow_assigns_costs(self):
+        scenario = Scenario(
+            family="montage", n_tasks=40, failure_rate=1e-3, checkpoint_factor=0.1, seed=1
+        )
+        wf = build_workflow(scenario)
+        assert all(
+            t.checkpoint_cost == pytest.approx(0.1 * t.weight) for t in wf.tasks
+        )
+        assert all(t.recovery_cost == pytest.approx(t.checkpoint_cost) for t in wf.tasks)
+
+    def test_scenario_grid(self):
+        scenarios = scenario_grid(("montage", "genome"), (50, 100), label="x")
+        assert len(scenarios) == 4
+        rates = {s.family: s.failure_rate for s in scenarios}
+        assert rates["montage"] == DEFAULT_FAILURE_RATES["montage"]
+        assert rates["genome"] == DEFAULT_FAILURE_RATES["genome"]
+
+    def test_scenario_grid_unknown_family(self):
+        with pytest.raises(ValueError):
+            scenario_grid(("unknown",), (50,))
+
+
+class TestRunScenario:
+    def test_one_row_per_heuristic(self, rows):
+        assert len(rows) == len(SMALL_HEURISTICS)
+        assert {r.heuristic for r in rows} == set(SMALL_HEURISTICS)
+
+    def test_rows_have_consistent_ratios(self, rows):
+        for row in rows:
+            assert row.overhead_ratio == pytest.approx(
+                row.expected_makespan / row.failure_free_work
+            )
+            assert row.overhead_ratio >= 1.0
+            assert row.solve_seconds >= 0.0
+
+    def test_searchful_heuristics_beat_baselines(self, rows):
+        by_name = {r.heuristic: r for r in rows}
+        assert by_name["DF-CkptW"].overhead_ratio <= by_name["DF-CkptNvr"].overhead_ratio + 1e-9
+        assert by_name["DF-CkptW"].overhead_ratio <= by_name["DF-CkptAlws"].overhead_ratio + 1e-9
+
+
+class TestAggregation:
+    def test_series_by_heuristic(self, rows):
+        series = series_by_heuristic(rows)
+        assert set(series) == set(SMALL_HEURISTICS)
+        for points in series.values():
+            assert all(len(point) == 2 for point in points)
+
+    def test_series_invalid_axis(self, rows):
+        with pytest.raises(ValueError):
+            series_by_heuristic(rows, x_axis="seed")
+
+    def test_best_by_strategy_keeps_minimum(self, rows):
+        best = best_by_strategy(rows)
+        for (family, n, strategy), row in best.items():
+            assert row.checkpoint_strategy == strategy
+            assert row.family == family
+
+    def test_ratio_table(self, rows):
+        table = ratio_table(rows)
+        assert len(table) == 1
+        ((key, values),) = table.items()
+        assert set(values) == set(SMALL_HEURISTICS)
+
+
+class TestReporting:
+    def test_csv_round_trip(self, rows):
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["heuristic"] == rows[0].heuristic
+
+    def test_save_csv(self, rows, tmp_path):
+        path = save_rows_csv(rows, tmp_path / "rows.csv")
+        assert path.exists()
+        assert "heuristic" in path.read_text()
+
+    def test_markdown(self, rows):
+        text = rows_to_markdown(rows)
+        assert text.startswith("| family |")
+        assert text.count("\n") == len(rows) + 1
+
+    def test_format_ratio_table_marks_best(self, rows):
+        text = format_ratio_table(rows)
+        assert "*" in text
+        assert "cybershake" in text
+
+
+class TestFigures:
+    def test_figure2_smoke(self):
+        result = figure2(sizes=(20,), seed=1, search_mode="geometric")
+        assert result.figure == "figure2"
+        assert set(result.panels) == {"cybershake", "ligo", "genome"}
+        series = result.series("cybershake")
+        assert set(series) == {
+            "DF-CkptW", "BF-CkptW", "RF-CkptW", "DF-CkptC", "BF-CkptC", "RF-CkptC",
+        }
+        best = result.best_heuristic_per_x("cybershake")
+        assert len(best) == 1
+
+    def test_figure7_smoke(self):
+        result = figure7(
+            n_tasks=20,
+            seed=1,
+            search_mode="geometric",
+            rates={"montage": (1e-4, 9e-4)},
+        )
+        assert result.x_axis == "failure_rate"
+        series = result.series("montage")
+        assert set(series) == set(HEURISTIC_NAMES)
+        # The overhead grows with the failure rate for every heuristic.
+        for points in series.values():
+            assert points[0][1] <= points[-1][1] + 1e-6
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            figure2(preset="gigantic")

@@ -1,0 +1,126 @@
+"""Tests for the failure models of the Monte-Carlo engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Platform
+from repro.simulation import (
+    ExponentialFailures,
+    LogNormalFailures,
+    NoFailures,
+    ScriptedFailures,
+    WeibullFailures,
+    failure_model_for,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestNoFailures:
+    def test_never_fails(self, rng):
+        model = NoFailures()
+        assert model.sample(rng) == math.inf
+        assert model.mean_time_between_failures == math.inf
+
+
+class TestExponential:
+    def test_mean_matches_rate(self, rng):
+        model = ExponentialFailures(rate=1e-2)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+        assert model.mean_time_between_failures == pytest.approx(100.0)
+
+    def test_zero_rate_never_fails(self, rng):
+        assert ExponentialFailures(0.0).sample(rng) == math.inf
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ExponentialFailures(-1.0)
+        with pytest.raises(ValueError):
+            ExponentialFailures(math.inf)
+
+    def test_memoryless_cv_close_to_one(self, rng):
+        model = ExponentialFailures(rate=0.05)
+        samples = np.array([model.sample(rng) for _ in range(20000)])
+        assert np.std(samples) / np.mean(samples) == pytest.approx(1.0, rel=0.05)
+
+
+class TestWeibull:
+    def test_from_mtbf_matches_mean(self, rng):
+        model = WeibullFailures.from_mtbf(500.0, shape=0.7)
+        samples = [model.sample(rng) for _ in range(40000)]
+        assert np.mean(samples) == pytest.approx(500.0, rel=0.05)
+        assert model.mean_time_between_failures == pytest.approx(500.0)
+
+    def test_shape_one_is_exponential_mean(self):
+        model = WeibullFailures.from_mtbf(200.0, shape=1.0)
+        assert model.scale == pytest.approx(200.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WeibullFailures(scale=-1.0)
+        with pytest.raises(ValueError):
+            WeibullFailures(scale=1.0, shape=0.0)
+        with pytest.raises(ValueError):
+            WeibullFailures.from_mtbf(0.0)
+
+    def test_infant_mortality_has_higher_variance(self, rng):
+        exp_like = WeibullFailures.from_mtbf(100.0, shape=1.0)
+        infant = WeibullFailures.from_mtbf(100.0, shape=0.5)
+        exp_samples = np.array([exp_like.sample(rng) for _ in range(20000)])
+        infant_samples = np.array([infant.sample(rng) for _ in range(20000)])
+        assert np.std(infant_samples) > np.std(exp_samples)
+
+
+class TestLogNormal:
+    def test_from_mtbf_matches_mean(self, rng):
+        model = LogNormalFailures.from_mtbf(300.0, sigma=0.8)
+        samples = [model.sample(rng) for _ in range(40000)]
+        assert np.mean(samples) == pytest.approx(300.0, rel=0.05)
+        assert model.mean_time_between_failures == pytest.approx(300.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalFailures(mu=0.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            LogNormalFailures.from_mtbf(-10.0)
+
+
+class TestScripted:
+    def test_replays_and_then_stops(self, rng):
+        model = ScriptedFailures([5.0, 3.0])
+        assert model.sample(rng) == 5.0
+        assert model.sample(rng) == 3.0
+        assert model.sample(rng) == math.inf
+        assert model.remaining == 0
+
+    def test_reset(self, rng):
+        model = ScriptedFailures([5.0])
+        model.sample(rng)
+        model.reset()
+        assert model.sample(rng) == 5.0
+
+    def test_mean(self):
+        assert ScriptedFailures([2.0, 4.0]).mean_time_between_failures == pytest.approx(3.0)
+        assert ScriptedFailures([]).mean_time_between_failures == math.inf
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            ScriptedFailures([1.0, -2.0])
+
+
+class TestFailureModelFor:
+    def test_failure_free_platform(self):
+        assert isinstance(failure_model_for(Platform.failure_free()), NoFailures)
+
+    def test_failing_platform(self):
+        model = failure_model_for(Platform.from_platform_rate(1e-3))
+        assert isinstance(model, ExponentialFailures)
+        assert model.rate == pytest.approx(1e-3)

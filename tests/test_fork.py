@@ -1,0 +1,82 @@
+"""Tests for Theorem 1 (fork DAGs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform
+from repro.theory import fork_expected_makespan, optimal_schedule, solve_fork
+from repro.workflows import generators
+
+
+class TestValidation:
+    def test_rejects_non_fork(self):
+        wf = generators.chain_workflow(3, seed=0)
+        with pytest.raises(ValueError):
+            solve_fork(wf, Platform.from_platform_rate(1e-3))
+        with pytest.raises(ValueError):
+            fork_expected_makespan(wf, Platform.from_platform_rate(1e-3), checkpoint_source=True)
+
+
+class TestClosedForm:
+    def test_failure_free_reduces_to_total_work(self):
+        wf = generators.fork_workflow(3, source_weight=10.0, sink_weights=[1, 2, 3]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.failure_free()
+        no_ckpt = fork_expected_makespan(wf, platform, checkpoint_source=False)
+        with_ckpt = fork_expected_makespan(wf, platform, checkpoint_source=True)
+        assert no_ckpt == pytest.approx(16.0)
+        assert with_ckpt == pytest.approx(16.0 + 1.0)  # checkpoint of the source
+
+    def test_checkpoint_decision_flips_with_failure_rate(self):
+        """Cheap checkpoint + many sinks: checkpointing wins once failures appear."""
+        wf = generators.fork_workflow(
+            8, source_weight=100.0, sink_weights=[20] * 8
+        ).with_checkpoint_costs(mode="proportional", factor=0.02)
+        quiet = solve_fork(wf, Platform.from_platform_rate(1e-7))
+        noisy = solve_fork(wf, Platform.from_platform_rate(1e-2))
+        assert not quiet.checkpoint_source
+        assert noisy.checkpoint_source
+
+    def test_expensive_checkpoint_not_taken(self):
+        """If recovering costs more than re-executing, the checkpoint is useless."""
+        wf = generators.fork_workflow(3, source_weight=1.0, sink_weights=[5, 5, 5])
+        wf = wf.map_tasks(
+            lambda t: t.with_costs(checkpoint_cost=50.0, recovery_cost=50.0)
+            if t.index == 0
+            else t
+        )
+        solution = solve_fork(wf, Platform.from_platform_rate(1e-2))
+        assert not solution.checkpoint_source
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce(self, seed):
+        wf = generators.fork_workflow(4, seed=seed, mean_weight=30.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(8e-3, downtime=1.0)
+        solution = solve_fork(wf, platform)
+        brute = optimal_schedule(wf, platform, checkpoint_candidates=[wf.sources[0]])
+        assert solution.expected_makespan == pytest.approx(brute.expected_makespan)
+
+    def test_solution_reports_both_candidates(self):
+        wf = generators.fork_workflow(3, seed=1).with_checkpoint_costs(mode="proportional", factor=0.1)
+        platform = Platform.from_platform_rate(5e-3)
+        solution = solve_fork(wf, platform)
+        assert solution.expected_makespan == pytest.approx(
+            min(solution.makespan_with_checkpoint, solution.makespan_without_checkpoint)
+        )
+        assert solution.schedule.order[0] == wf.sources[0]
+
+    def test_checkpointing_sinks_never_helps(self):
+        """Sanity check of the argument that only the source matters."""
+        wf = generators.fork_workflow(3, source_weight=30.0, sink_weights=[10, 20, 30]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(1e-2)
+        solution = solve_fork(wf, platform)
+        brute = optimal_schedule(wf, platform)  # all checkpoint subsets allowed
+        assert solution.expected_makespan == pytest.approx(brute.expected_makespan)

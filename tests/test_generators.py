@@ -1,0 +1,138 @@
+"""Tests for the generic DAG generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorkflowStructure
+from repro.workflows import generators
+
+
+class TestChain:
+    def test_shape(self):
+        wf = generators.chain_workflow(6, seed=0)
+        assert wf.n_tasks == 6
+        assert wf.is_chain()
+
+    def test_explicit_weights(self):
+        wf = generators.chain_workflow(3, weights=[1, 2, 3])
+        assert [t.weight for t in wf.tasks] == [1, 2, 3]
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            generators.chain_workflow(3, weights=[1, 2])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            generators.chain_workflow(0)
+
+    def test_deterministic_given_seed(self):
+        assert generators.chain_workflow(5, seed=3) == generators.chain_workflow(5, seed=3)
+        assert generators.chain_workflow(5, seed=3) != generators.chain_workflow(5, seed=4)
+
+
+class TestForkAndJoin:
+    def test_fork_shape(self):
+        wf = generators.fork_workflow(5, seed=1)
+        assert wf.n_tasks == 6
+        assert wf.is_fork()
+        assert wf.sources == (0,)
+
+    def test_join_shape(self):
+        wf = generators.join_workflow(5, seed=1)
+        assert wf.n_tasks == 6
+        assert wf.is_join()
+        assert wf.sinks == (5,)
+
+    def test_fork_join_shape(self):
+        wf = generators.fork_join_workflow(4, seed=2)
+        assert wf.n_tasks == 6
+        assert wf.sources == (0,)
+        assert wf.sinks == (5,)
+        assert wf.structure() is WorkflowStructure.GENERAL
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generators.fork_workflow(0)
+        with pytest.raises(ValueError):
+            generators.join_workflow(0)
+        with pytest.raises(ValueError):
+            generators.fork_join_workflow(0)
+
+
+class TestDiamondAndTrees:
+    def test_diamond(self):
+        wf = generators.diamond_workflow(seed=0)
+        assert wf.n_tasks == 4
+        assert wf.sources == (0,)
+        assert wf.sinks == (3,)
+
+    def test_out_tree(self):
+        wf = generators.out_tree_workflow(7, fanout=2, seed=1)
+        assert wf.n_tasks == 7
+        assert wf.sources == (0,)
+        assert all(wf.in_degree(i) == 1 for i in range(1, 7))
+        assert all(wf.out_degree(i) <= 2 for i in range(7))
+
+    def test_in_tree(self):
+        wf = generators.in_tree_workflow(7, fanin=2, seed=1)
+        assert wf.n_tasks == 7
+        assert wf.sinks == (6,)
+        assert all(wf.out_degree(i) == 1 for i in range(6))
+
+    def test_tree_validation(self):
+        with pytest.raises(ValueError):
+            generators.out_tree_workflow(3, fanout=0)
+        with pytest.raises(ValueError):
+            generators.in_tree_workflow(0)
+
+
+class TestLayeredAndRandom:
+    def test_layered_connectivity(self):
+        wf = generators.layered_workflow(4, 5, density=0.4, seed=3)
+        assert wf.n_tasks == 20
+        # Every non-first-layer task has at least one predecessor.
+        for i in range(5, 20):
+            assert wf.in_degree(i) >= 1
+
+    def test_layered_validation(self):
+        with pytest.raises(ValueError):
+            generators.layered_workflow(0, 3)
+        with pytest.raises(ValueError):
+            generators.layered_workflow(3, 3, density=1.5)
+
+    def test_random_dag_edge_probability_extremes(self):
+        empty = generators.random_dag_workflow(8, edge_probability=0.0, seed=1)
+        full = generators.random_dag_workflow(8, edge_probability=1.0, seed=1)
+        assert empty.n_edges == 0
+        assert full.n_edges == 8 * 7 // 2
+
+    def test_random_dag_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_dag_workflow(5, edge_probability=-0.1)
+
+    def test_deterministic(self):
+        a = generators.layered_workflow(3, 3, seed=7)
+        b = generators.layered_workflow(3, 3, seed=7)
+        assert a == b
+
+
+class TestPaperExample:
+    def test_matches_figure_one(self):
+        wf = generators.paper_example_workflow()
+        assert wf.n_tasks == 8
+        # The linearization discussed in the paper must be valid.
+        assert wf.is_linearization((0, 3, 1, 2, 4, 5, 6, 7))
+        # Entry tasks are T0 and T1; exit task is T7.
+        assert set(wf.sources) == {0, 1}
+        assert wf.sinks == (7,)
+        # Narrative dependencies.
+        assert wf.has_edge(3, 5)
+        assert wf.has_edge(4, 6)
+        assert wf.has_edge(5, 6)
+        assert wf.has_edge(2, 7)
+        assert wf.has_edge(1, 2)
+
+    def test_mean_weight_positive(self):
+        wf = generators.paper_example_workflow()
+        assert all(t.weight > 0 for t in wf.tasks)

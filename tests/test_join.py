@@ -1,0 +1,158 @@
+"""Tests for the join-DAG results (Lemmas 1-2, Corollaries 1-2)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule
+from repro.theory import (
+    g_priority,
+    join_expected_makespan,
+    join_schedule,
+    optimal_join_order,
+    optimal_schedule,
+    solve_join_equal_costs,
+)
+from repro.workflows import generators
+
+
+@pytest.fixture
+def join_wf():
+    return generators.join_workflow(
+        4, sink_weight=5.0, source_weights=[12.0, 30.0, 7.0, 18.0]
+    ).with_checkpoint_costs(mode="proportional", factor=0.15)
+
+
+@pytest.fixture
+def platform():
+    return Platform.from_platform_rate(1.2e-2, downtime=1.0)
+
+
+class TestValidation:
+    def test_rejects_non_join(self, platform):
+        wf = generators.fork_workflow(3, seed=0)
+        with pytest.raises(ValueError):
+            join_expected_makespan(wf, platform, ())
+        with pytest.raises(ValueError):
+            optimal_join_order(wf, platform, ())
+
+    def test_rejects_checkpointing_unknown_tasks(self, join_wf, platform):
+        with pytest.raises(ValueError):
+            optimal_join_order(join_wf, platform, {17})
+
+
+class TestOrdering:
+    def test_checkpointed_sources_come_first_sorted_by_g(self, join_wf, platform):
+        order = optimal_join_order(join_wf, platform, {0, 1, 3})
+        sink = join_wf.sinks[0]
+        assert order[-1] == sink
+        ckpt_prefix = order[:3]
+        assert set(ckpt_prefix) == {0, 1, 3}
+        g_values = [g_priority(join_wf, i, platform) for i in ckpt_prefix]
+        assert g_values == sorted(g_values, reverse=True)
+
+    def test_g_priority_formula(self, join_wf, platform):
+        task = join_wf.task(1)
+        lam = platform.failure_rate
+        expected = (
+            math.exp(-lam * (task.weight + task.checkpoint_cost + task.recovery_cost))
+            + math.exp(-lam * task.recovery_cost)
+            - math.exp(-lam * (task.weight + task.checkpoint_cost))
+        )
+        assert g_priority(join_wf, 1, platform) == pytest.approx(expected)
+
+    def test_g_order_is_optimal_among_permutations(self, join_wf, platform):
+        """Lemma 2: no permutation of the checkpointed sources beats the g order."""
+        checkpointed = {0, 1, 3}
+        best = join_expected_makespan(join_wf, platform, checkpointed)
+        for perm in itertools.permutations(checkpointed):
+            value = join_expected_makespan(join_wf, platform, checkpointed, order=perm)
+            assert value >= best - 1e-9
+
+    def test_checkpointing_the_sink_is_ignored(self, join_wf, platform):
+        schedule = join_schedule(join_wf, platform, {0, join_wf.sinks[0]})
+        assert join_wf.sinks[0] not in schedule.checkpointed
+
+
+class TestEquationTwo:
+    def test_failure_free_value(self, join_wf):
+        platform = Platform.failure_free()
+        value = join_expected_makespan(join_wf, platform, {0, 1})
+        expected = join_wf.total_weight + join_wf.task(0).checkpoint_cost + join_wf.task(1).checkpoint_cost
+        assert value == pytest.approx(expected)
+
+    def test_no_checkpoints_reduces_to_single_segment(self, join_wf, platform):
+        value = join_expected_makespan(join_wf, platform, ())
+        schedule = join_schedule(join_wf, platform, ())
+        assert value == pytest.approx(evaluate_schedule(schedule, platform).expected_makespan)
+
+    @pytest.mark.parametrize("checkpoints", [(), (2,), (0, 1), (0, 1, 2, 3)])
+    def test_matches_general_evaluator(self, join_wf, platform, checkpoints):
+        analytical = join_expected_makespan(join_wf, platform, checkpoints)
+        schedule = join_schedule(join_wf, platform, checkpoints)
+        general = evaluate_schedule(schedule, platform).expected_makespan
+        assert analytical == pytest.approx(general, rel=1e-9)
+
+
+class TestCorollaryOne:
+    def test_requires_equal_costs(self, platform):
+        wf = generators.join_workflow(3, source_weights=[5, 6, 7], sink_weight=2.0).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        with pytest.raises(ValueError):
+            solve_join_equal_costs(wf, platform)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce(self, seed, platform):
+        wf = generators.join_workflow(4, seed=seed, mean_weight=25.0, sink_weight=10.0).with_checkpoint_costs(
+            mode="constant", value=2.0
+        )
+        solution = solve_join_equal_costs(wf, platform)
+        brute = optimal_schedule(wf, platform)
+        assert solution.expected_makespan == pytest.approx(brute.expected_makespan, rel=1e-9)
+
+    def test_no_failures_means_no_checkpoints(self):
+        wf = generators.join_workflow(4, seed=1, mean_weight=25.0).with_checkpoint_costs(
+            mode="constant", value=2.0
+        )
+        solution = solve_join_equal_costs(wf, Platform.failure_free())
+        assert solution.checkpointed_sources == frozenset()
+
+    def test_heavy_failures_checkpoint_everything(self):
+        wf = generators.join_workflow(
+            4, source_weights=[100, 120, 90, 110], sink_weight=10.0
+        ).with_checkpoint_costs(mode="constant", value=1.0)
+        solution = solve_join_equal_costs(wf, Platform.from_platform_rate(5e-2))
+        assert solution.checkpointed_sources == frozenset({0, 1, 2, 3})
+
+
+class TestCorollaryTwo:
+    def test_zero_recovery_order_does_not_matter(self):
+        """Corollary 2: with r_i = 0, any order of the checkpointed set is equivalent."""
+        wf = generators.join_workflow(
+            4, source_weights=[9, 14, 4, 22], sink_weight=3.0
+        ).with_checkpoint_costs(mode="proportional", factor=0.1, recovery="zero")
+        platform = Platform.from_platform_rate(2e-2)
+        checkpointed = {0, 1, 3}
+        values = {
+            round(join_expected_makespan(wf, platform, checkpointed, order=perm), 9)
+            for perm in itertools.permutations(checkpointed)
+        }
+        assert len(values) == 1
+
+    def test_zero_recovery_closed_form(self):
+        """Equation (3) written out explicitly."""
+        wf = generators.join_workflow(
+            3, source_weights=[10, 20, 30], sink_weight=5.0
+        ).with_checkpoint_costs(mode="proportional", factor=0.1, recovery="zero")
+        lam = 1e-2
+        platform = Platform.from_platform_rate(lam)
+        checkpointed = {1}
+        w_nc = 10 + 30 + 5
+        expected = (1 / lam) * (
+            (math.exp(lam * (20 + 2.0)) - 1) + (math.exp(lam * w_nc) - 1)
+        )
+        assert join_expected_makespan(wf, platform, checkpointed) == pytest.approx(expected)

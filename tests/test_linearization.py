@@ -1,0 +1,126 @@
+"""Tests for the DF / BF / RF linearization strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.heuristics import LINEARIZATION_STRATEGIES, linearize, linearize_all
+from repro.workflows import generators, pegasus
+
+
+class TestValidity:
+    @pytest.mark.parametrize("strategy", LINEARIZATION_STRATEGIES)
+    @pytest.mark.parametrize(
+        "workflow_factory",
+        [
+            lambda: generators.chain_workflow(8, seed=1),
+            lambda: generators.fork_workflow(6, seed=2),
+            lambda: generators.join_workflow(6, seed=3),
+            lambda: generators.diamond_workflow(seed=4),
+            lambda: generators.layered_workflow(4, 4, seed=5),
+            lambda: generators.random_dag_workflow(15, seed=6),
+            lambda: pegasus.montage(30, seed=7),
+            lambda: pegasus.cybershake(25, seed=8),
+            lambda: generators.paper_example_workflow(),
+        ],
+    )
+    def test_produces_valid_topological_orders(self, strategy, workflow_factory):
+        wf = workflow_factory()
+        order = linearize(wf, strategy, rng=0)
+        assert wf.is_linearization(order)
+
+    def test_empty_workflow(self):
+        from repro import Workflow
+
+        assert linearize(Workflow([], []), "DF") == ()
+
+    def test_unknown_strategy_rejected(self):
+        wf = generators.chain_workflow(3, seed=0)
+        with pytest.raises(ValueError):
+            linearize(wf, "ZF")
+
+    def test_strategy_name_case_insensitive(self):
+        wf = generators.chain_workflow(3, seed=0)
+        assert linearize(wf, "df") == linearize(wf, "DF")
+
+
+class TestDepthFirstBehaviour:
+    def test_chain_in_order(self):
+        wf = generators.chain_workflow(6, seed=0)
+        assert linearize(wf, "DF") == (0, 1, 2, 3, 4, 5)
+
+    def test_follows_newly_enabled_branch(self):
+        # Two independent chains: a DF order must finish one chain before
+        # starting the other (depth-first dives into the opened branch).
+        from repro import Task, Workflow
+
+        tasks = [Task(index=i, weight=1.0) for i in range(6)]
+        edges = [(0, 1), (1, 2), (3, 4), (4, 5)]
+        wf = Workflow(tasks, edges)
+        order = linearize(wf, "DF")
+        position = {t: i for i, t in enumerate(order)}
+        chain_a = [position[0], position[1], position[2]]
+        chain_b = [position[3], position[4], position[5]]
+        assert max(chain_a) < min(chain_b) or max(chain_b) < min(chain_a)
+
+    def test_prioritises_heavy_subtree_first(self):
+        from repro import Task, Workflow
+
+        # Source fans out to a light task (1s subtree) and a heavy task (100s subtree).
+        tasks = [
+            Task(index=0, weight=1.0),
+            Task(index=1, weight=1.0),
+            Task(index=2, weight=1.0),
+            Task(index=3, weight=1.0),
+            Task(index=4, weight=100.0),
+        ]
+        edges = [(0, 1), (0, 2), (1, 3), (2, 4)]
+        wf = Workflow(tasks, edges)
+        order = linearize(wf, "DF")
+        # Task 2 leads to the heavy task 4, so it must be executed before task 1.
+        assert order.index(2) < order.index(1)
+
+
+class TestBreadthFirstBehaviour:
+    def test_processes_levels_in_order(self):
+        wf = generators.fork_join_workflow(4, seed=1)
+        order = linearize(wf, "BF")
+        # Source first, sink last, the branches in between.
+        assert order[0] == 0
+        assert order[-1] == wf.n_tasks - 1
+
+    def test_differs_from_df_on_parallel_chains(self):
+        from repro import Task, Workflow
+
+        tasks = [Task(index=i, weight=1.0) for i in range(6)]
+        edges = [(0, 1), (1, 2), (3, 4), (4, 5)]
+        wf = Workflow(tasks, edges)
+        df = linearize(wf, "DF")
+        bf = linearize(wf, "BF")
+        assert df != bf  # BF interleaves the two chains, DF does not.
+
+
+class TestRandomFirst:
+    def test_deterministic_given_seed(self):
+        wf = generators.layered_workflow(4, 4, seed=9)
+        assert linearize(wf, "RF", rng=123) == linearize(wf, "RF", rng=123)
+
+    def test_varies_across_seeds(self):
+        wf = generators.layered_workflow(4, 4, seed=9)
+        orders = {linearize(wf, "RF", rng=s) for s in range(8)}
+        assert len(orders) > 1
+
+    def test_accepts_generator_instance(self):
+        wf = generators.chain_workflow(4, seed=0)
+        order = linearize(wf, "RF", rng=np.random.default_rng(5))
+        assert wf.is_linearization(order)
+
+
+class TestLinearizeAll:
+    def test_returns_every_strategy(self):
+        wf = generators.layered_workflow(3, 3, seed=2)
+        result = linearize_all(wf, rng=1)
+        assert set(result) == set(LINEARIZATION_STRATEGIES)
+        for order in result.values():
+            assert wf.is_linearization(order)

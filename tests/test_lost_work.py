@@ -1,0 +1,174 @@
+"""Unit tests for the lost-work sets (Algorithm 1, :mod:`repro.core.lost_work`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Schedule, compute_lost_work
+from repro.core.lost_work import lost_and_needed_tasks
+from repro.workflows import generators
+
+
+class TestChainLostWork:
+    """Hand-checked values on a small chain."""
+
+    @pytest.fixture
+    def schedule(self):
+        wf = generators.chain_workflow(4, weights=[10.0, 20.0, 30.0, 40.0]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        # Checkpoint the second task (index 1, position 2).
+        return Schedule(wf, (0, 1, 2, 3), {1})
+
+    def test_row_zero_is_empty(self, schedule):
+        lw = compute_lost_work(schedule)
+        assert all(lw.w(0, i) == 0.0 for i in range(schedule.n_tasks + 1))
+        assert all(lw.r(0, i) == 0.0 for i in range(schedule.n_tasks + 1))
+
+    def test_diagonal_values(self, schedule):
+        lw = compute_lost_work(schedule)
+        # Fault during X_1: T1 has no predecessor.
+        assert lw.w(1, 1) == 0.0 and lw.r(1, 1) == 0.0
+        # Fault during X_2: T2's predecessor T1 (not checkpointed) must be redone.
+        assert lw.w(2, 2) == pytest.approx(10.0)
+        # Fault during X_3: T3's predecessor T2 is checkpointed -> recovery only.
+        assert lw.w(3, 3) == 0.0
+        assert lw.r(3, 3) == pytest.approx(2.0)
+        # Fault during X_4: T4's predecessor T3 not checkpointed, then T2 checkpointed.
+        assert lw.w(4, 4) == pytest.approx(30.0)
+        assert lw.r(4, 4) == pytest.approx(2.0)
+
+    def test_regeneration_suppresses_later_rows(self, schedule):
+        lw = compute_lost_work(schedule)
+        # After a fault in X_2, T1 is re-executed while finishing T2; by the time
+        # T3 runs, nothing is missing (T2's fresh output is in memory).
+        assert lw.w(2, 3) == 0.0 and lw.r(2, 3) == 0.0
+        assert lw.w(2, 4) == 0.0 and lw.r(2, 4) == 0.0
+
+    def test_members_sets(self, schedule):
+        lw = compute_lost_work(schedule)
+        assert lw.lost_set(2, 2) == frozenset({1})
+        assert lw.lost_set(4, 4) == frozenset({2, 3})
+        assert lw.lost_set(2, 3) == frozenset()
+
+    def test_n_tasks(self, schedule):
+        assert compute_lost_work(schedule).n_tasks == 4
+
+
+class TestPaperExample:
+    """The Figure-1 narrative: failure during T5 with checkpoints on T3 and T4."""
+
+    def test_narrative_sets(self, paper_example_schedule):
+        schedule = paper_example_schedule
+        lw = compute_lost_work(schedule)
+        pos = {t: schedule.position_of(t) + 1 for t in range(8)}
+
+        # A fault while executing T5 (position 6): T5 needs T3's checkpoint only.
+        k = pos[5]
+        assert lw.lost_set(k, pos[5]) == frozenset({pos[3]})
+        assert lw.r(k, pos[5]) == pytest.approx(schedule.workflow.task(3).recovery_cost)
+        assert lw.w(k, pos[5]) == 0.0
+
+        # T6 then needs T4's checkpoint (T5's output is freshly in memory).
+        assert lw.lost_set(k, pos[6]) == frozenset({pos[4]})
+        assert lw.r(k, pos[6]) == pytest.approx(schedule.workflow.task(4).recovery_cost)
+
+        # T7 needs T2, which needs the entry task T1 (none checkpointed).
+        assert lw.lost_set(k, pos[7]) == frozenset({pos[1], pos[2]})
+        assert lw.w(k, pos[7]) == pytest.approx(
+            schedule.workflow.task(1).weight + schedule.workflow.task(2).weight
+        )
+        assert lw.r(k, pos[7]) == 0.0
+
+    def test_no_checkpoint_means_reexecute_from_entry(self, paper_example):
+        schedule = Schedule(paper_example, (0, 3, 1, 2, 4, 5, 6, 7), ())
+        lw = compute_lost_work(schedule)
+        # Without any checkpoint, a fault during T5 (position 6) forces the
+        # re-execution of T3 and of the entry task T0 for T5.
+        assert lw.lost_set(6, 6) == frozenset({1, 2})  # positions of T0 and T3
+        assert lw.w(6, 6) == pytest.approx(
+            paper_example.task(0).weight + paper_example.task(3).weight
+        )
+
+
+class TestStructuralProperties:
+    def test_checkpointed_tasks_stop_upward_traversal(self):
+        wf = generators.chain_workflow(5, weights=[1, 2, 3, 4, 5]).with_checkpoint_costs(
+            mode="constant", value=0.5
+        )
+        schedule = Schedule(wf, range(5), {2})
+        lw = compute_lost_work(schedule)
+        # Fault during X_5: tasks 4 (position 5) needs 3 (re-exec) and 2 (recover),
+        # but never 0 or 1 (hidden behind the checkpoint of task 2).
+        assert lw.lost_set(5, 5) == frozenset({3, 4})
+
+    def test_fork_source_only_charged_once_per_failure(self):
+        wf = generators.fork_workflow(3, source_weight=9.0, sink_weights=[1, 2, 3]).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        schedule = Schedule(wf, (0, 1, 2, 3), ())
+        lw = compute_lost_work(schedule)
+        # Fault during X_2 (first sink): the source must be redone for that sink...
+        assert lw.w(2, 2) == pytest.approx(9.0)
+        # ... but not again for the following sinks (its output is back in memory).
+        assert lw.w(2, 3) == 0.0
+        assert lw.w(2, 4) == 0.0
+
+    def test_values_are_non_negative_and_bounded(self):
+        wf = generators.layered_workflow(4, 3, seed=3).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        schedule = Schedule(wf, wf.topological_order(), set(range(0, wf.n_tasks, 2)))
+        lw = compute_lost_work(schedule)
+        total_w = wf.total_weight
+        total_r = sum(t.recovery_cost for t in wf.tasks)
+        n = wf.n_tasks
+        for k in range(n + 1):
+            for i in range(n + 1):
+                assert 0.0 <= lw.w(k, i) <= total_w + 1e-9
+                assert 0.0 <= lw.r(k, i) <= total_r + 1e-9
+
+    def test_subset_property_t_down_k_included_in_t_down_i(self):
+        """T down-k-i is included in T down-i-i (needed for property [C])."""
+        wf = generators.layered_workflow(3, 4, seed=9).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        schedule = Schedule(wf, wf.topological_order(), {1, 5, 7})
+        lw = compute_lost_work(schedule)
+        n = wf.n_tasks
+        for i in range(1, n + 1):
+            full = lw.w(i, i) + lw.r(i, i)
+            for k in range(1, i + 1):
+                assert lw.w(k, i) + lw.r(k, i) <= full + 1e-9
+
+
+class TestLostAndNeededTasks:
+    def test_everything_in_memory_needs_nothing(self, paper_example_schedule):
+        schedule = paper_example_schedule
+        needed, work, recovery = lost_and_needed_tasks(
+            schedule, 8, frozenset(range(1, 8))
+        )
+        assert needed == []
+        assert work == 0.0 and recovery == 0.0
+
+    def test_empty_memory_full_closure(self, paper_example_schedule):
+        schedule = paper_example_schedule
+        # Task T7 is at position 8; with nothing in memory it needs T2, T1 (re-exec),
+        # T6, T5, T4, T3 ... T6 is not checkpointed so its inputs are needed too.
+        needed, work, recovery = lost_and_needed_tasks(schedule, 8, frozenset())
+        needed_tasks = {schedule.order[p - 1] for p in needed}
+        assert needed_tasks == {1, 2, 3, 4, 5, 6}
+        assert recovery == pytest.approx(
+            schedule.workflow.task(3).recovery_cost + schedule.workflow.task(4).recovery_cost
+        )
+
+    def test_plan_is_topologically_ordered(self, paper_example_schedule):
+        schedule = paper_example_schedule
+        needed, _, _ = lost_and_needed_tasks(schedule, 8, frozenset())
+        assert needed == sorted(needed)
+
+    def test_invalid_position_rejected(self, paper_example_schedule):
+        with pytest.raises(ValueError):
+            lost_and_needed_tasks(paper_example_schedule, 0, frozenset())
+        with pytest.raises(ValueError):
+            lost_and_needed_tasks(paper_example_schedule, 99, frozenset())

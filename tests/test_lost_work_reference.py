@@ -1,0 +1,132 @@
+"""Cross-validation of the fast lost-work computation against Algorithm 1.
+
+The production implementation (:func:`repro.core.lost_work.compute_lost_work`)
+replaces the paper's ``tab_k`` matrix bookkeeping with a per-``k`` visited set.
+This module contains a literal, line-by-line transcription of Algorithm 1
+(``FindWikRik`` / ``Traverse``) from the paper and checks that both produce
+identical :math:`W^i_k` / :math:`R^i_k` arrays on a variety of randomized
+workflows and schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Schedule, compute_lost_work
+from repro.heuristics import linearize
+from repro.workflows import generators, pegasus
+
+
+def algorithm1_reference(schedule: Schedule, k: int) -> tuple[list[float], list[float]]:
+    """Literal transcription of Algorithm 1 (1-based positions).
+
+    Returns the ``W_k`` and ``R_k`` arrays (index ``i`` = position, entry 0 unused).
+    """
+    workflow = schedule.workflow
+    order = schedule.order
+    n = len(order)
+    position = {task: pos + 1 for pos, task in enumerate(order)}
+
+    def pred_positions(pos: int) -> list[int]:
+        return [position[p] for p in workflow.predecessors(order[pos - 1])]
+
+    def weight(pos: int) -> float:
+        return workflow.task(order[pos - 1]).weight
+
+    def recovery(pos: int) -> float:
+        return workflow.task(order[pos - 1]).recovery_cost
+
+    def is_ckpt(pos: int) -> bool:
+        return schedule.is_checkpointed(order[pos - 1])
+
+    # tab_k is an (n+1) x (n+1) matrix initialised with -1 (index 0 unused).
+    tab = [[-1] * (n + 1) for _ in range(n + 1)]
+    W = [0.0] * (n + 1)
+    R = [0.0] * (n + 1)
+
+    def traverse(l: int, i: int) -> None:
+        for j in pred_positions(l):
+            state = tab[i][j]
+            if state == 0:
+                continue  # exists i' < i with T_j in T-down-k-i'
+            if state in (1, 2):
+                continue  # already studied for this i
+            # state == -1: not yet studied
+            for r in range(i + 1, n + 1):
+                tab[r][j] = 0
+            if j < k:
+                if is_ckpt(j):
+                    tab[i][j] = 2
+                else:
+                    tab[i][j] = 1
+                    traverse(j, i)
+            else:
+                tab[i][j] = 0
+
+    for i in range(k, n + 1):
+        traverse(i, i)
+        for j in range(1, k):
+            if tab[i][j] == 1:
+                W[i] += weight(j)
+            elif tab[i][j] == 2:
+                R[i] += recovery(j)
+    return W, R
+
+
+def assert_matches_reference(schedule: Schedule) -> None:
+    lw = compute_lost_work(schedule)
+    n = schedule.n_tasks
+    for k in range(1, n + 1):
+        ref_w, ref_r = algorithm1_reference(schedule, k)
+        for i in range(k, n + 1):
+            assert lw.w(k, i) == pytest.approx(ref_w[i]), (k, i)
+            assert lw.r(k, i) == pytest.approx(ref_r[i]), (k, i)
+
+
+class TestAgainstAlgorithm1:
+    def test_paper_example(self, paper_example_schedule):
+        assert_matches_reference(paper_example_schedule)
+
+    def test_chain_with_scattered_checkpoints(self):
+        wf = generators.chain_workflow(8, seed=1).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        assert_matches_reference(Schedule(wf, range(8), {1, 4, 6}))
+
+    def test_fork_and_join(self):
+        fork = generators.fork_workflow(5, seed=2).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        assert_matches_reference(Schedule(fork, fork.topological_order(), {0}))
+        join = generators.join_workflow(5, seed=3).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        assert_matches_reference(Schedule(join, join.topological_order(), {1, 2}))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_layered_workflows(self, seed):
+        rng = np.random.default_rng(seed)
+        wf = generators.layered_workflow(
+            int(rng.integers(2, 5)), int(rng.integers(2, 5)), density=0.6, seed=seed
+        ).with_checkpoint_costs(mode="proportional", factor=0.1)
+        n = wf.n_tasks
+        order = linearize(wf, "RF", rng=rng)
+        checkpointed = {int(i) for i in rng.choice(n, size=n // 3, replace=False)} if n >= 3 else set()
+        assert_matches_reference(Schedule(wf, order, checkpointed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_erdos_renyi_dags(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        wf = generators.random_dag_workflow(10, edge_probability=0.3, seed=seed).with_checkpoint_costs(
+            mode="proportional", factor=0.2
+        )
+        order = linearize(wf, "DF")
+        checkpointed = {int(i) for i in rng.choice(10, size=3, replace=False)}
+        assert_matches_reference(Schedule(wf, order, checkpointed))
+
+    def test_pegasus_montage_small(self):
+        wf = pegasus.montage(20, seed=4).with_checkpoint_costs(mode="proportional", factor=0.1)
+        order = linearize(wf, "BF")
+        checkpointed = set(range(0, wf.n_tasks, 3))
+        assert_matches_reference(Schedule(wf, order, checkpointed))

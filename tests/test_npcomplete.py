@@ -1,0 +1,103 @@
+"""Tests for the SUBSET-SUM reduction of Theorem 2."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.theory.npcomplete import (
+    build_reduction,
+    certificate_is_valid,
+    scaled_expected_makespan,
+    solve_subset_sum_by_reduction,
+)
+
+
+class TestReductionConstruction:
+    def test_structure_is_a_join(self):
+        reduction = build_reduction([3, 5, 7], 8)
+        assert reduction.workflow.is_join()
+        assert reduction.workflow.n_tasks == 4
+        assert reduction.workflow.task(reduction.sink_index).weight == 0.0
+
+    def test_checkpoint_costs_positive_and_recovery_zero(self):
+        reduction = build_reduction([2, 4, 6], 6)
+        for i in range(reduction.n_items):
+            task = reduction.workflow.task(i)
+            assert task.checkpoint_cost > 0.0
+            assert task.recovery_cost == 0.0
+
+    def test_default_failure_rate_is_inverse_min_weight(self):
+        reduction = build_reduction([2, 4, 6], 6)
+        assert reduction.platform.failure_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_reduction([], 1)
+        with pytest.raises(ValueError):
+            build_reduction([1, -2], 1)
+        with pytest.raises(ValueError):
+            build_reduction([1, 2], -1)
+        with pytest.raises(ValueError):
+            build_reduction([1, 2], 2, failure_rate=0.1)
+        with pytest.raises(ValueError):
+            # Items heavier than the target are rejected (see module docstring).
+            build_reduction([1, 5], 3)
+
+
+class TestCertificates:
+    def test_exact_subset_meets_threshold(self):
+        weights = [3.0, 5.0, 7.0, 2.0]
+        target = 9.0  # 7 + 2
+        reduction = build_reduction(weights, target)
+        non_ckpt = {2, 3}
+        checkpointed = [i for i in range(4) if i not in non_ckpt]
+        assert certificate_is_valid(reduction, checkpointed)
+
+    def test_wrong_subsets_exceed_threshold(self):
+        weights = [3.0, 5.0, 7.0, 2.0]
+        target = 9.0
+        reduction = build_reduction(weights, target)
+        for size in range(5):
+            for non_ckpt in itertools.combinations(range(4), size):
+                if sum(weights[i] for i in non_ckpt) == target:
+                    continue
+                checkpointed = [i for i in range(4) if i not in non_ckpt]
+                assert not certificate_is_valid(reduction, checkpointed), non_ckpt
+
+    def test_threshold_is_the_minimum_of_the_scaled_makespan(self):
+        weights = [4.0, 6.0, 10.0]
+        target = 10.0
+        reduction = build_reduction(weights, target)
+        values = []
+        for size in range(4):
+            for non_ckpt in itertools.combinations(range(3), size):
+                checkpointed = [i for i in range(3) if i not in non_ckpt]
+                values.append(scaled_expected_makespan(reduction, checkpointed))
+        assert min(values) == pytest.approx(reduction.threshold, rel=1e-9)
+
+    def test_sink_in_checkpoint_set_is_ignored(self):
+        reduction = build_reduction([3.0, 5.0], 5.0)
+        with_sink = scaled_expected_makespan(reduction, {0, reduction.sink_index})
+        without = scaled_expected_makespan(reduction, {0})
+        assert with_sink == pytest.approx(without)
+
+
+class TestSolveSubsetSum:
+    @pytest.mark.parametrize(
+        "weights, target, feasible",
+        [
+            ([3, 5, 7], 8, True),
+            ([3, 5, 7], 15, True),
+            ([3, 5, 7], 11, False),
+            ([3, 5, 7], 14, False),
+            ([1, 2, 4, 8], 13, True),
+            ([2, 4, 6], 9, False),
+        ],
+    )
+    def test_small_instances(self, weights, target, feasible):
+        found, subset = solve_subset_sum_by_reduction(weights, target)
+        assert found is feasible
+        if feasible:
+            assert sum(weights[i] for i in subset) == pytest.approx(target)

@@ -1,0 +1,128 @@
+"""Tests for the Pegasus-like scientific workflow generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflows import pegasus
+from repro.workflows.pegasus import AVERAGE_TASK_WEIGHTS, WORKFLOW_FAMILIES
+
+
+ALL_FAMILIES = list(WORKFLOW_FAMILIES)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    @pytest.mark.parametrize("n_tasks", [50, 120, 300])
+    def test_size_close_to_requested(self, family, n_tasks):
+        wf = pegasus.generate(family, n_tasks, seed=1)
+        assert abs(wf.n_tasks - n_tasks) <= max(4, 0.1 * n_tasks)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_is_a_connected_dag_with_positive_weights(self, family):
+        wf = pegasus.generate(family, 80, seed=2)
+        assert wf.n_edges >= wf.n_tasks - 1
+        assert all(t.weight > 0 for t in wf.tasks)
+        # No isolated task: everything participates in a dependency.
+        for i in range(wf.n_tasks):
+            assert wf.in_degree(i) + wf.out_degree(i) > 0
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_average_weight_matches_paper(self, family):
+        wf = pegasus.generate(family, 150, seed=3)
+        mean = wf.total_weight / wf.n_tasks
+        assert mean == pytest.approx(AVERAGE_TASK_WEIGHTS[family], rel=1e-6)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_deterministic_given_seed(self, family):
+        assert pegasus.generate(family, 60, seed=5) == pegasus.generate(family, 60, seed=5)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_different_seeds_differ(self, family):
+        assert pegasus.generate(family, 60, seed=5) != pegasus.generate(family, 60, seed=6)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_checkpoint_costs_initially_zero(self, family):
+        wf = pegasus.generate(family, 50, seed=1)
+        assert all(t.checkpoint_cost == 0.0 for t in wf.tasks)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            pegasus.generate("blast", 50)
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_too_small_rejected(self, family):
+        with pytest.raises(ValueError):
+            pegasus.generate(family, 3)
+
+
+class TestMontageStructure:
+    def test_has_expected_task_types(self):
+        wf = pegasus.montage(100, seed=1)
+        categories = {t.category for t in wf.tasks}
+        assert {"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel", "mBackground", "mAdd"} <= categories
+
+    def test_diff_fit_consumes_two_projections(self):
+        wf = pegasus.montage(100, seed=1)
+        diffs = [t.index for t in wf.tasks if t.category == "mDiffFit"]
+        assert diffs
+        assert all(1 <= wf.in_degree(i) <= 2 for i in diffs)
+
+    def test_concat_fit_is_a_synchronisation_point(self):
+        wf = pegasus.montage(100, seed=1)
+        concat = [t.index for t in wf.tasks if t.category == "mConcatFit"]
+        assert len(concat) == 1
+        n_diff = sum(1 for t in wf.tasks if t.category == "mDiffFit")
+        assert wf.in_degree(concat[0]) == n_diff
+
+
+class TestCyberShakeStructure:
+    def test_has_expected_task_types(self):
+        wf = pegasus.cybershake(100, seed=1)
+        categories = {t.category for t in wf.tasks}
+        assert {"ExtractSGT", "SeismogramSynthesis", "ZipSeismograms", "PeakValCalcOkaya", "ZipPSA"} <= categories
+
+    def test_synthesis_depends_on_one_extract(self):
+        wf = pegasus.cybershake(100, seed=1)
+        synth = [t.index for t in wf.tasks if t.category == "SeismogramSynthesis"]
+        assert synth
+        extracts = {t.index for t in wf.tasks if t.category == "ExtractSGT"}
+        for i in synth:
+            preds = set(wf.predecessors(i))
+            assert len(preds) == 1 and preds <= extracts
+
+
+class TestLigoStructure:
+    def test_has_expected_task_types(self):
+        wf = pegasus.ligo(120, seed=1)
+        categories = {t.category for t in wf.tasks}
+        assert {"TmpltBank", "Inspiral", "Thinca", "TrigBank"} <= categories
+
+    def test_thinca_tasks_synchronise_groups(self):
+        wf = pegasus.ligo(120, seed=1)
+        thincas = [t.index for t in wf.tasks if t.category == "Thinca"]
+        assert len(thincas) >= 2
+        assert all(wf.in_degree(i) >= 2 for i in thincas)
+
+
+class TestGenomeStructure:
+    def test_has_expected_task_types(self):
+        wf = pegasus.genome(80, seed=1)
+        categories = {t.category for t in wf.tasks}
+        assert {"fastQSplit", "filterContams", "sol2sanger", "fastq2bfq", "map", "mapMerge", "pileup"} <= categories
+
+    def test_pipeline_chains_within_lanes(self):
+        wf = pegasus.genome(80, seed=1)
+        sol = [t.index for t in wf.tasks if t.category == "sol2sanger"]
+        assert sol
+        for i in sol:
+            preds = [wf.task(p).category for p in wf.predecessors(i)]
+            assert preds == ["filterContams"]
+
+    def test_genome_alias(self):
+        assert pegasus.genome is pegasus.epigenomics
+
+    def test_heaviest_family(self):
+        genome = pegasus.genome(60, seed=2)
+        montage = pegasus.montage(60, seed=2)
+        assert genome.total_weight / genome.n_tasks > 10 * montage.total_weight / montage.n_tasks

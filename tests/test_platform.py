@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.core.platform`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Platform
+
+
+class TestConstruction:
+    def test_defaults_are_failure_free(self):
+        platform = Platform()
+        assert platform.is_failure_free
+        assert platform.failure_rate == 0.0
+        assert platform.mtbf == math.inf
+
+    def test_aggregated_rate_is_p_times_lambda(self):
+        # Section 3: lambda = p * lambda_proc.
+        platform = Platform(processors=100, processor_failure_rate=1e-5)
+        assert platform.failure_rate == pytest.approx(1e-3)
+        assert platform.mtbf == pytest.approx(1e3)
+
+    def test_processor_mtbf(self):
+        platform = Platform(processors=10, processor_failure_rate=1e-4)
+        assert platform.processor_mtbf == pytest.approx(1e4)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_processor_count_must_be_positive(self, bad):
+        with pytest.raises(ValueError):
+            Platform(processors=bad)
+
+    def test_processor_count_must_be_int(self):
+        with pytest.raises(TypeError):
+            Platform(processors=2.5)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("bad", [-1e-3, math.nan, math.inf])
+    def test_rate_validation(self, bad):
+        with pytest.raises(ValueError):
+            Platform(processor_failure_rate=bad)
+
+    @pytest.mark.parametrize("bad", [-1.0, math.nan])
+    def test_downtime_validation(self, bad):
+        with pytest.raises(ValueError):
+            Platform(downtime=bad)
+
+
+class TestConstructors:
+    def test_from_platform_rate(self):
+        platform = Platform.from_platform_rate(1e-3, downtime=30.0)
+        assert platform.failure_rate == pytest.approx(1e-3)
+        assert platform.downtime == 30.0
+
+    def test_from_mtbf(self):
+        platform = Platform.from_mtbf(1000.0, processors=4)
+        assert platform.failure_rate == pytest.approx(1e-3)
+
+    def test_from_mtbf_infinite(self):
+        assert Platform.from_mtbf(math.inf).is_failure_free
+
+    def test_from_mtbf_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Platform.from_mtbf(0.0)
+
+    def test_from_processor_mtbf(self):
+        platform = Platform.from_processor_mtbf(1e5, processors=100)
+        assert platform.failure_rate == pytest.approx(1e-3)
+
+    def test_from_processor_mtbf_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Platform.from_processor_mtbf(-5)
+
+    def test_failure_free_constructor(self):
+        assert Platform.failure_free().is_failure_free
+
+
+class TestHelpers:
+    def test_scaled(self):
+        platform = Platform.from_platform_rate(1e-3)
+        assert platform.scaled(2.0).failure_rate == pytest.approx(2e-3)
+        assert platform.scaled(0.0).is_failure_free
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Platform.from_platform_rate(1e-3).scaled(-1.0)
+
+    def test_describe(self):
+        assert "failure-free" in Platform.failure_free().describe()
+        text = Platform.from_platform_rate(1e-3, downtime=5).describe()
+        assert "lambda" in text and "MTBF" in text
+
+    def test_frozen(self):
+        platform = Platform()
+        with pytest.raises(AttributeError):
+            platform.downtime = 3.0  # type: ignore[misc]

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Platform,
+    Schedule,
+    Task,
+    Workflow,
+    compute_lost_work,
+    evaluate_schedule,
+    expected_execution_time,
+    expected_time_lost,
+)
+from repro.heuristics import checkpoint_by_cost, checkpoint_by_weight, checkpoint_periodic, linearize
+from repro.theory import chain_expected_makespan, solve_chain
+from repro.workflows import generators
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.5, max_value=200.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=10,
+)
+
+rate_strategy = st.floats(min_value=0.0, max_value=0.05, allow_nan=False, allow_infinity=False)
+downtime_strategy = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def random_workflow_and_schedule(draw):
+    """A random DAG (edges i->j with i<j), a random valid schedule."""
+    n = draw(st.integers(min_value=1, max_value=9))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    edge_flags = draw(
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    edges = []
+    flag_index = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if edge_flags[flag_index]:
+                edges.append((i, j))
+            flag_index += 1
+    factor = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    tasks = [Task(index=i, weight=w) for i, w in enumerate(weights)]
+    workflow = Workflow(tasks, edges).with_checkpoint_costs(mode="proportional", factor=factor)
+    checkpoint_flags = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    checkpointed = {i for i, flag in enumerate(checkpoint_flags) if flag}
+    # Natural order 0..n-1 is always a valid linearization for i<j edges.
+    schedule = Schedule(workflow, range(n), checkpointed)
+    return workflow, schedule
+
+
+# ----------------------------------------------------------------------
+# Equation (1) properties
+# ----------------------------------------------------------------------
+
+
+class TestExpectationProperties:
+    @given(
+        w=st.floats(min_value=0.0, max_value=500.0),
+        c=st.floats(min_value=0.0, max_value=50.0),
+        r=st.floats(min_value=0.0, max_value=50.0),
+        lam=rate_strategy,
+        d=downtime_strategy,
+    )
+    @settings(max_examples=200)
+    def test_expected_time_bounds(self, w, c, r, lam, d):
+        value = expected_execution_time(w, c, r, lam, d)
+        assert value >= w + c - 1e-9
+        if lam == 0.0:
+            assert value == pytest.approx(w + c)
+
+    @given(
+        w=st.floats(min_value=0.1, max_value=500.0),
+        c=st.floats(min_value=0.0, max_value=50.0),
+        r=st.floats(min_value=0.0, max_value=50.0),
+        d=downtime_strategy,
+        lam1=st.floats(min_value=1e-6, max_value=0.05),
+        lam2=st.floats(min_value=1e-6, max_value=0.05),
+    )
+    @settings(max_examples=200)
+    def test_monotonic_in_rate(self, w, c, r, d, lam1, lam2):
+        low, high = sorted((lam1, lam2))
+        assert expected_execution_time(w, c, r, low, d) <= expected_execution_time(
+            w, c, r, high, d
+        ) + 1e-9
+
+    @given(w=st.floats(min_value=0.0, max_value=1e4), lam=rate_strategy)
+    @settings(max_examples=200)
+    def test_time_lost_is_bounded_by_work(self, w, lam):
+        value = expected_time_lost(w, lam)
+        assert 0.0 <= value <= w + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Evaluator properties on random DAGs
+# ----------------------------------------------------------------------
+
+
+class TestEvaluatorProperties:
+    @given(data=random_workflow_and_schedule(), lam=rate_strategy, d=downtime_strategy)
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_makespan_bounds_and_probability_mass(self, data, lam, d):
+        workflow, schedule = data
+        platform = Platform.from_platform_rate(lam, downtime=d)
+        evaluation = evaluate_schedule(schedule, platform, keep_probabilities=True)
+        # Lower bound: the failure-free makespan of the same schedule.
+        assert evaluation.expected_makespan >= schedule.failure_free_makespan - 1e-6
+        # Per-task expectations are non-negative and sum to the makespan.
+        assert all(x >= 0.0 for x in evaluation.expected_task_times)
+        assert sum(evaluation.expected_task_times) == pytest.approx(
+            evaluation.expected_makespan, rel=1e-9, abs=1e-9
+        )
+        # The Z events partition the space.
+        assert evaluation.event_probabilities is not None
+        for row in evaluation.event_probabilities:
+            assert sum(row) == pytest.approx(1.0, abs=1e-6)
+            assert all(-1e-12 <= p <= 1.0 + 1e-12 for p in row)
+
+    @given(data=random_workflow_and_schedule())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_failure_free_equals_schedule_length(self, data):
+        workflow, schedule = data
+        evaluation = evaluate_schedule(schedule, Platform.failure_free())
+        assert evaluation.expected_makespan == pytest.approx(schedule.failure_free_makespan)
+
+    @given(data=random_workflow_and_schedule(), lam=st.floats(min_value=1e-5, max_value=0.02))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_lost_work_subset_property(self, data, lam):
+        """W/R for event Z^i_k never exceeds the full loss W/R of Z^i_i."""
+        workflow, schedule = data
+        lw = compute_lost_work(schedule)
+        n = schedule.n_tasks
+        for i in range(1, n + 1):
+            full = lw.w(i, i) + lw.r(i, i)
+            for k in range(0, i + 1):
+                assert lw.w(k, i) + lw.r(k, i) <= full + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Heuristic building blocks
+# ----------------------------------------------------------------------
+
+
+class TestLinearizationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_layers=st.integers(min_value=1, max_value=5),
+        width=st.integers(min_value=1, max_value=5),
+        strategy=st.sampled_from(["DF", "BF", "RF"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_linearizations_are_topological_orders(self, seed, n_layers, width, strategy):
+        wf = generators.layered_workflow(n_layers, width, seed=seed)
+        order = linearize(wf, strategy, rng=seed)
+        assert wf.is_linearization(order)
+
+
+class TestCheckpointSelectorProperties:
+    @given(
+        weights=weights_strategy,
+        count=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=100)
+    def test_selectors_return_valid_subsets_of_requested_size(self, weights, count):
+        n = len(weights)
+        wf = generators.chain_workflow(n, weights=weights).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        order = tuple(range(n))
+        for selector in (checkpoint_by_weight, checkpoint_by_cost):
+            selected = selector(wf, order, count)
+            assert selected <= frozenset(range(n))
+            assert len(selected) == min(count, n)
+        periodic = checkpoint_periodic(wf, order, count)
+        assert periodic <= frozenset(range(n))
+        assert len(periodic) <= max(0, count - 1)
+
+
+# ----------------------------------------------------------------------
+# Chain dynamic program optimality
+# ----------------------------------------------------------------------
+
+
+class TestChainDpProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=1.0, max_value=150.0, allow_nan=False), min_size=2, max_size=8
+        ),
+        lam=st.floats(min_value=1e-5, max_value=0.02),
+        factor=st.floats(min_value=0.01, max_value=0.3),
+        subset_mask=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dp_never_worse_than_any_sampled_checkpoint_set(self, weights, lam, factor, subset_mask):
+        n = len(weights)
+        wf = generators.chain_workflow(n, weights=weights).with_checkpoint_costs(
+            mode="proportional", factor=factor
+        )
+        platform = Platform.from_platform_rate(lam)
+        solution = solve_chain(wf, platform)
+        subset = {i for i in range(n) if subset_mask & (1 << i)}
+        candidate = chain_expected_makespan(wf, platform, subset)
+        assert solution.expected_makespan <= candidate + 1e-6 * max(1.0, candidate)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.core.schedule`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Schedule
+from repro.workflows import generators
+
+
+@pytest.fixture
+def wf():
+    return generators.diamond_workflow(weights=[10.0, 20.0, 5.0, 8.0]).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+
+
+class TestConstruction:
+    def test_valid_schedule(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1})
+        assert schedule.order == (0, 1, 2, 3)
+        assert schedule.checkpointed == frozenset({1})
+        assert schedule.n_tasks == 4
+        assert schedule.n_checkpointed == 1
+
+    def test_other_valid_linearization(self, wf):
+        schedule = Schedule(wf, (0, 2, 1, 3))
+        assert schedule.order == (0, 2, 1, 3)
+
+    def test_order_must_be_permutation(self, wf):
+        with pytest.raises(ValueError):
+            Schedule(wf, (0, 1, 2))
+        with pytest.raises(ValueError):
+            Schedule(wf, (0, 1, 2, 2))
+
+    def test_order_must_respect_dependencies(self, wf):
+        with pytest.raises(ValueError):
+            Schedule(wf, (1, 0, 2, 3))
+        with pytest.raises(ValueError):
+            Schedule(wf, (0, 1, 3, 2))
+
+    def test_checkpoint_indices_validated(self, wf):
+        with pytest.raises(ValueError):
+            Schedule(wf, (0, 1, 2, 3), {7})
+
+    def test_workflow_type_checked(self):
+        with pytest.raises(TypeError):
+            Schedule("not a workflow", (0,), ())  # type: ignore[arg-type]
+
+    def test_iteration_and_len(self, wf):
+        schedule = Schedule(wf, (0, 2, 1, 3))
+        assert list(schedule) == [0, 2, 1, 3]
+        assert len(schedule) == 4
+
+
+class TestAccessors:
+    def test_positions(self, wf):
+        schedule = Schedule(wf, (0, 2, 1, 3))
+        assert schedule.position_of(2) == 1
+        assert schedule.task_at(3) == 3
+        with pytest.raises(ValueError):
+            schedule.position_of(9)
+
+    def test_is_checkpointed(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {0, 3})
+        assert schedule.is_checkpointed(0)
+        assert not schedule.is_checkpointed(1)
+
+
+class TestDerivedSchedules:
+    def test_with_checkpoints(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1})
+        other = schedule.with_checkpoints({2, 3})
+        assert other.checkpointed == frozenset({2, 3})
+        assert other.order == schedule.order
+        assert schedule.checkpointed == frozenset({1})
+
+    def test_with_order(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1})
+        other = schedule.with_order((0, 2, 1, 3))
+        assert other.order == (0, 2, 1, 3)
+        assert other.checkpointed == frozenset({1})
+
+    def test_checkpoint_all_none(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1})
+        assert schedule.checkpoint_all().n_checkpointed == 4
+        assert schedule.checkpoint_none().n_checkpointed == 0
+
+
+class TestAggregates:
+    def test_failure_free_makespan(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1, 2})
+        expected = (10 + 20 + 5 + 8) + (2.0 + 0.5)
+        assert schedule.failure_free_makespan == pytest.approx(expected)
+
+    def test_total_checkpoint_cost(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {0, 3})
+        assert schedule.total_checkpoint_cost == pytest.approx(1.0 + 0.8)
+
+    def test_completion_times_include_checkpoints(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3), {1})
+        times = schedule.completion_times_failure_free()
+        assert times == pytest.approx((10.0, 32.0, 37.0, 45.0))
+
+    def test_completion_times_without_checkpoints(self, wf):
+        schedule = Schedule(wf, (0, 1, 2, 3))
+        assert schedule.completion_times_failure_free() == pytest.approx((10.0, 30.0, 35.0, 43.0))
+
+    def test_describe_marks_checkpointed(self, wf):
+        text = Schedule(wf, (0, 1, 2, 3), {1}).describe()
+        assert "T1*" in text
+        assert "T0 ->" in text
+
+
+class TestEquality:
+    def test_equal_schedules(self, wf):
+        a = Schedule(wf, (0, 1, 2, 3), {1})
+        b = Schedule(wf, (0, 1, 2, 3), {1})
+        assert a == b
+
+    def test_different_checkpoints_differ(self, wf):
+        a = Schedule(wf, (0, 1, 2, 3), {1})
+        b = Schedule(wf, (0, 1, 2, 3), {2})
+        assert a != b

@@ -1,0 +1,119 @@
+"""Tests for the checkpoint-count search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Platform, Schedule, evaluate_schedule
+from repro.heuristics import (
+    candidate_counts,
+    checkpoint_by_weight,
+    linearize,
+    search_checkpoint_count,
+)
+from repro.workflows import generators
+
+
+@pytest.fixture
+def wf():
+    return generators.chain_workflow(10, seed=4, mean_weight=40.0).with_checkpoint_costs(
+        mode="proportional", factor=0.1
+    )
+
+
+@pytest.fixture
+def platform():
+    return Platform.from_platform_rate(5e-3)
+
+
+class TestCandidateCounts:
+    def test_exhaustive_covers_everything(self):
+        assert candidate_counts(6) == (1, 2, 3, 4, 5, 6)
+
+    def test_tiny_workflows(self):
+        assert candidate_counts(1) == (0,)
+        assert candidate_counts(0) == ()
+        assert candidate_counts(2) == (1, 2)
+
+    def test_geometric_respects_budget(self):
+        counts = candidate_counts(500, mode="geometric", max_candidates=12)
+        assert len(counts) <= 12
+        assert counts[0] == 1 and counts[-1] == 500
+        assert list(counts) == sorted(set(counts))
+
+    def test_geometric_small_falls_back_to_exhaustive(self):
+        assert candidate_counts(10, mode="geometric", max_candidates=30) == tuple(range(1, 11))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_counts(10, mode="fancy")
+
+
+class TestSearch:
+    def test_finds_the_best_count_exhaustively(self, wf, platform):
+        order = linearize(wf, "DF")
+        search = search_checkpoint_count(wf, order, platform, checkpoint_by_weight)
+        # Recompute every candidate by hand and compare.
+        best = min(
+            evaluate_schedule(
+                Schedule(wf, order, checkpoint_by_weight(wf, order, n)), platform
+            ).expected_makespan
+            for n in range(0, wf.n_tasks + 1)
+        )
+        assert search.best_evaluation.expected_makespan == pytest.approx(best)
+        assert search.best_schedule.workflow is wf
+
+    def test_reports_every_candidate(self, wf, platform):
+        order = linearize(wf, "DF")
+        search = search_checkpoint_count(wf, order, platform, checkpoint_by_weight)
+        assert set(search.evaluated) == set(range(0, wf.n_tasks + 1))
+        assert min(search.evaluated.values()) == pytest.approx(
+            search.best_evaluation.expected_makespan
+        )
+
+    def test_subsampled_counts_are_respected(self, wf, platform):
+        order = linearize(wf, "DF")
+        search = search_checkpoint_count(
+            wf, order, platform, checkpoint_by_weight, counts=[2, 5], include_zero=False
+        )
+        assert set(search.evaluated) == {2, 5}
+
+    def test_include_zero_allows_empty_checkpoint_set(self, wf):
+        order = linearize(wf, "DF")
+        search = search_checkpoint_count(
+            wf, order, Platform.failure_free(), checkpoint_by_weight
+        )
+        assert search.best_count == 0
+        assert search.best_schedule.n_checkpointed == 0
+
+    def test_invalid_count_rejected(self, wf, platform):
+        order = linearize(wf, "DF")
+        with pytest.raises(ValueError):
+            search_checkpoint_count(
+                wf, order, platform, checkpoint_by_weight, counts=[-3]
+            )
+        with pytest.raises(ValueError):
+            search_checkpoint_count(
+                wf, order, platform, checkpoint_by_weight, counts=[999]
+            )
+
+    def test_empty_counts_rejected(self, wf, platform):
+        order = linearize(wf, "DF")
+        with pytest.raises(ValueError):
+            search_checkpoint_count(
+                wf, order, platform, checkpoint_by_weight, counts=[], include_zero=False
+            )
+
+    def test_duplicate_selections_not_reevaluated(self, wf, platform):
+        """CkptPer-style selectors can map several counts to the same set."""
+        order = linearize(wf, "DF")
+
+        calls = []
+
+        def selector(workflow, order_, count):
+            calls.append(count)
+            return frozenset({0})  # constant selection regardless of count
+
+        search = search_checkpoint_count(wf, order, platform, selector, counts=[1, 2, 3])
+        assert len(set(search.evaluated.values())) == 2  # {0 checkpoints, {0}}
+        assert len(calls) == 3

@@ -1,0 +1,101 @@
+"""Tests for JSON serialization of workflows and schedules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Schedule
+from repro.workflows import (
+    load_schedule,
+    load_workflow,
+    save_schedule,
+    save_workflow,
+    schedule_from_dict,
+    schedule_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.workflows import generators, pegasus
+
+
+@pytest.fixture
+def workflow():
+    return pegasus.montage(30, seed=9).with_checkpoint_costs(mode="proportional", factor=0.1)
+
+
+@pytest.fixture
+def schedule(workflow):
+    order = workflow.topological_order()
+    return Schedule(workflow, order, set(order[::3]))
+
+
+class TestWorkflowRoundTrip:
+    def test_dict_round_trip(self, workflow):
+        data = workflow_to_dict(workflow)
+        back = workflow_from_dict(data)
+        assert back == workflow
+        assert back.name == workflow.name
+
+    def test_dict_is_json_serialisable(self, workflow):
+        json.dumps(workflow_to_dict(workflow))
+
+    def test_file_round_trip(self, workflow, tmp_path):
+        path = save_workflow(workflow, tmp_path / "wf.json")
+        assert path.exists()
+        assert load_workflow(path) == workflow
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            workflow_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, workflow):
+        data = workflow_to_dict(workflow)
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            workflow_from_dict(data)
+
+    def test_preserves_task_attributes(self, workflow):
+        back = workflow_from_dict(workflow_to_dict(workflow))
+        for original, restored in zip(workflow.tasks, back.tasks):
+            assert restored.weight == pytest.approx(original.weight)
+            assert restored.checkpoint_cost == pytest.approx(original.checkpoint_cost)
+            assert restored.recovery_cost == pytest.approx(original.recovery_cost)
+            assert restored.category == original.category
+
+    def test_tasks_out_of_order_in_payload(self):
+        wf = generators.chain_workflow(3, weights=[1, 2, 3])
+        data = workflow_to_dict(wf)
+        data["tasks"] = list(reversed(data["tasks"]))
+        assert workflow_from_dict(data) == wf
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip_with_embedded_workflow(self, schedule):
+        data = schedule_to_dict(schedule)
+        back = schedule_from_dict(data)
+        assert back.order == schedule.order
+        assert back.checkpointed == schedule.checkpointed
+        assert back.workflow == schedule.workflow
+
+    def test_dict_round_trip_with_external_workflow(self, schedule, workflow):
+        data = schedule_to_dict(schedule, include_workflow=False)
+        assert "workflow" not in data
+        back = schedule_from_dict(data, workflow=workflow)
+        assert back.order == schedule.order
+
+    def test_missing_workflow_rejected(self, schedule):
+        data = schedule_to_dict(schedule, include_workflow=False)
+        with pytest.raises(ValueError):
+            schedule_from_dict(data)
+
+    def test_file_round_trip(self, schedule, tmp_path):
+        path = save_schedule(schedule, tmp_path / "sched.json")
+        back = load_schedule(path)
+        assert back.order == schedule.order
+        assert back.checkpointed == schedule.checkpointed
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            schedule_from_dict({"format": "nope"})

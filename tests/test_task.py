@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.core.task`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Task
+
+
+class TestTaskConstruction:
+    def test_basic_fields(self):
+        task = Task(index=3, weight=12.5, checkpoint_cost=1.25, recovery_cost=1.0)
+        assert task.index == 3
+        assert task.weight == 12.5
+        assert task.checkpoint_cost == 1.25
+        assert task.recovery_cost == 1.0
+
+    def test_default_name_uses_index(self):
+        assert Task(index=7, weight=1.0).name == "T7"
+
+    def test_explicit_name_preserved(self):
+        assert Task(index=0, weight=1.0, name="mAdd").name == "mAdd"
+
+    def test_paper_notation_aliases(self):
+        task = Task(index=0, weight=3.0, checkpoint_cost=0.5, recovery_cost=0.25)
+        assert task.w == 3.0
+        assert task.c == 0.5
+        assert task.r == 0.25
+
+    def test_zero_weight_allowed(self):
+        # The Theorem-2 reduction uses a zero-weight sink.
+        assert Task(index=0, weight=0.0).weight == 0.0
+
+    def test_category_and_metadata(self):
+        task = Task(index=0, weight=1.0, category="mProjectPP", metadata={"level": 1})
+        assert task.category == "mProjectPP"
+        assert task.metadata["level"] == 1
+
+    def test_frozen(self):
+        task = Task(index=0, weight=1.0)
+        with pytest.raises(AttributeError):
+            task.weight = 2.0  # type: ignore[misc]
+
+
+class TestTaskValidation:
+    @pytest.mark.parametrize("bad_index", [-1, -10])
+    def test_negative_index_rejected(self, bad_index):
+        with pytest.raises(ValueError):
+            Task(index=bad_index, weight=1.0)
+
+    @pytest.mark.parametrize("bad_index", [1.5, "3", None, True])
+    def test_non_int_index_rejected(self, bad_index):
+        with pytest.raises((TypeError, ValueError)):
+            Task(index=bad_index, weight=1.0)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("field", ["weight", "checkpoint_cost", "recovery_cost"])
+    def test_negative_durations_rejected(self, field):
+        kwargs = {"index": 0, "weight": 1.0, field: -0.5}
+        with pytest.raises(ValueError):
+            Task(**kwargs)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_non_finite_weight_rejected(self, value):
+        with pytest.raises(ValueError):
+            Task(index=0, weight=value)
+
+    def test_metadata_must_be_mapping(self):
+        with pytest.raises(TypeError):
+            Task(index=0, weight=1.0, metadata=[1, 2])  # type: ignore[arg-type]
+
+
+class TestTaskDerivation:
+    def test_with_costs_replaces_selected_fields(self):
+        task = Task(index=1, weight=10.0, checkpoint_cost=1.0, recovery_cost=1.0)
+        updated = task.with_costs(checkpoint_cost=2.0)
+        assert updated.checkpoint_cost == 2.0
+        assert updated.weight == 10.0
+        assert updated.recovery_cost == 1.0
+        assert updated.index == 1
+
+    def test_with_costs_returns_new_instance(self):
+        task = Task(index=1, weight=10.0)
+        assert task.with_costs(weight=5.0) is not task
+        assert task.weight == 10.0
+
+    def test_with_index_renames_default_name(self):
+        task = Task(index=2, weight=1.0)
+        moved = task.with_index(9)
+        assert moved.index == 9
+        assert moved.name == "T9"
+
+    def test_with_index_keeps_custom_name(self):
+        task = Task(index=2, weight=1.0, name="Inspiral_7")
+        assert task.with_index(5).name == "Inspiral_7"
+
+    def test_describe_mentions_costs(self):
+        text = Task(index=0, weight=10.0, checkpoint_cost=1.0, recovery_cost=0.5).describe()
+        assert "w=10" in text and "c=1" in text and "r=0.5" in text

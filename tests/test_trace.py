@@ -1,0 +1,81 @@
+"""Tests for execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import EventKind, ExecutionTrace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_end_time(self):
+        event = TraceEvent(kind=EventKind.COMPUTE, time=10.0, duration=5.0, task=2)
+        assert event.end_time == 15.0
+
+    def test_instantaneous_event(self):
+        event = TraceEvent(kind=EventKind.FAILURE, time=3.0)
+        assert event.end_time == 3.0
+        assert event.task == -1
+
+
+class TestExecutionTrace:
+    @pytest.fixture
+    def trace(self):
+        trace = ExecutionTrace()
+        trace.record(EventKind.ATTEMPT_START, 0.0, task=0)
+        trace.record(EventKind.COMPUTE, 0.0, duration=10.0, task=0)
+        trace.record(EventKind.FAILURE, 10.0)
+        trace.record(EventKind.DOWNTIME, 10.0, duration=2.0)
+        trace.record(EventKind.COMPUTE, 12.0, duration=10.0, task=0)
+        trace.record(EventKind.CHECKPOINT, 22.0, duration=1.0, task=0)
+        trace.record(EventKind.TASK_COMPLETE, 23.0, task=0)
+        trace.record(EventKind.WORKFLOW_COMPLETE, 23.0)
+        return trace
+
+    def test_len_and_iter(self, trace):
+        assert len(trace) == 8
+        assert len(list(trace)) == 8
+
+    def test_of_kind(self, trace):
+        assert len(trace.of_kind(EventKind.COMPUTE)) == 2
+        assert len(trace.of_kind(EventKind.RECOVERY)) == 0
+
+    def test_n_failures(self, trace):
+        assert trace.n_failures == 1
+
+    def test_makespan(self, trace):
+        assert trace.makespan == 23.0
+
+    def test_total_duration(self, trace):
+        assert trace.total_duration(EventKind.COMPUTE) == 20.0
+        assert trace.total_duration(EventKind.DOWNTIME) == 2.0
+
+    def test_wasted_time(self, trace):
+        # makespan 23 - useful compute 20 - checkpoint 1 = 2 ... but the first
+        # compute attempt was wasted: the accounting counts every COMPUTE event,
+        # so wasted time here is makespan - 20 - 1 = 2 (downtime).
+        assert trace.wasted_time == pytest.approx(2.0)
+
+    def test_tasks_completed(self, trace):
+        assert trace.tasks_completed() == [0]
+
+    def test_validate_monotonic(self, trace):
+        assert trace.validate_monotonic()
+        bad = ExecutionTrace()
+        bad.record(EventKind.COMPUTE, 10.0, duration=1.0)
+        bad.record(EventKind.COMPUTE, 5.0, duration=1.0)
+        assert not bad.validate_monotonic()
+
+    def test_render(self, trace):
+        text = trace.render()
+        assert "compute" in text
+        assert "failure" in text
+        truncated = trace.render(limit=2)
+        assert "more events" in truncated
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.makespan == 0.0
+        assert trace.n_failures == 0
+        assert trace.wasted_time == 0.0
+        assert trace.validate_monotonic()
