@@ -1,0 +1,80 @@
+"""Campaign runtime — parallel fan-out and content-addressed caching.
+
+Not a paper figure: this benchmark measures the execution layer itself on a
+repeated figure sweep.
+
+* **Warm cache**: running the same sweep twice against one
+  :class:`repro.runtime.ResultCache` must answer the second pass entirely
+  from the cache — zero evaluator calls, a 100% hit rate, and a large
+  wall-clock reduction (only instance generation and key hashing remain).
+* **Parallel determinism**: fanning the sweep over worker processes must
+  reproduce the serial rows exactly (`solve_seconds`, a wall-clock
+  measurement, is the one excluded field).  The speedup itself depends on
+  the machine's core count, so it is reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import figure3
+from repro.runtime import ResultCache
+
+_ROW_KEY_FIELDS = (
+    "label", "family", "n_tasks", "actual_n_tasks", "heuristic",
+    "n_checkpointed", "expected_makespan", "overhead_ratio", "seed",
+)
+
+
+def _comparable(rows):
+    return [tuple(getattr(r, f) for f in _ROW_KEY_FIELDS) for r in rows]
+
+
+@pytest.mark.figure("runtime")
+def test_runtime_warm_cache_repeated_sweep(benchmark, figure_sizes, search_mode):
+    cache = ResultCache()
+
+    def cold_sweep():
+        return figure3(sizes=figure_sizes, seed=0, search_mode=search_mode, cache=cache)
+
+    cold_start = time.perf_counter()
+    cold = benchmark.pedantic(cold_sweep, iterations=1, rounds=1)
+    cold_seconds = time.perf_counter() - cold_start
+    assert cache.stats.hits == 0 and cache.stats.misses == len(cold.rows)
+
+    warm_start = time.perf_counter()
+    warm = figure3(sizes=figure_sizes, seed=0, search_mode=search_mode, cache=cache)
+    warm_seconds = time.perf_counter() - warm_start
+
+    # The repeated sweep is answered without a single evaluator call.
+    assert cache.stats.misses == len(cold.rows)
+    assert cache.stats.hits == len(warm.rows)
+    assert _comparable(warm.rows) == _comparable(cold.rows)
+    assert warm_seconds < cold_seconds
+
+    print(
+        f"\n--- runtime: warm-cache repeated sweep ({len(cold.rows)} rows) ---\n"
+        f"  cold: {cold_seconds:.2f}s   warm: {warm_seconds:.2f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x faster)\n"
+        f"  session cache stats: {cache.stats.as_dict()}"
+    )
+
+
+@pytest.mark.figure("runtime")
+def test_runtime_parallel_matches_serial(figure_sizes, search_mode):
+    serial_start = time.perf_counter()
+    serial = figure3(sizes=figure_sizes, seed=0, search_mode=search_mode, jobs=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel = figure3(sizes=figure_sizes, seed=0, search_mode=search_mode, jobs=2)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    assert _comparable(parallel.rows) == _comparable(serial.rows)
+    print(
+        f"\n--- runtime: parallel vs serial ({len(serial.rows)} rows) ---\n"
+        f"  serial: {serial_seconds:.2f}s   jobs=2: {parallel_seconds:.2f}s\n"
+        f"  identical rows: yes (solve_seconds timing field excluded)"
+    )

@@ -57,7 +57,7 @@ from .heuristics import (
 )
 from .simulation import MonteCarloSummary, SimulationResult, run_monte_carlo, simulate_schedule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CycleError",

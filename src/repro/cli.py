@@ -3,32 +3,46 @@
 Exposes the library's main workflows as sub-commands so that a scheduling study
 can be scripted without writing Python:
 
-* ``repro-workflows generate`` — generate a workflow instance (Pegasus-like
-  family or generic shape) and write it to JSON;
-* ``repro-workflows solve`` — run one of the paper's heuristics (optionally
-  followed by local-search refinement) and write the schedule to JSON;
-* ``repro-workflows evaluate`` — expected makespan of a schedule (Theorem 3);
-* ``repro-workflows analyse`` — expected-time breakdown and checkpoint utilities;
-* ``repro-workflows simulate`` — Monte-Carlo fault-injection estimate;
-* ``repro-workflows figures`` — regenerate the data behind the paper's figures.
+* ``repro generate`` — generate a workflow instance (Pegasus-like family or
+  generic shape) and write it to JSON;
+* ``repro solve`` — run one of the paper's heuristics (optionally followed by
+  local-search refinement) and write the schedule to JSON;
+* ``repro evaluate`` — expected makespan of a schedule (Theorem 3);
+* ``repro analyse`` — expected-time breakdown and checkpoint utilities;
+* ``repro simulate`` — Monte-Carlo fault-injection estimate;
+* ``repro figures`` — regenerate the data behind the paper's figures;
+* ``repro campaign`` — multi-seed sweep with aggregation and error bars;
+* ``repro cache`` — inspect / clear the persistent result cache.
 
-Every sub-command prints a short human-readable report to stdout; machine
-consumable artefacts (workflows, schedules, figure data) are written to files.
+``figures`` and ``campaign`` accept ``--jobs N`` (worker processes) and
+``--cache PATH`` (persistent result cache); both route through the campaign
+runtime of :mod:`repro.runtime`.  Every sub-command prints a short
+human-readable report to stdout; machine consumable artefacts (workflows,
+schedules, figure data) are written to files.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import sqlite3
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
 
 from .analysis import analyse_schedule, checkpoint_utilities
 from .core.evaluator import evaluate_schedule
 from .core.platform import Platform
-from .experiments import all_figures, save_rows_csv
-from .heuristics import HEURISTIC_NAMES, solve_heuristic
+from .experiments import all_figures, run_campaign, save_rows_csv, scenario_grid
+from .heuristics import (
+    HEURISTIC_NAMES,
+    candidate_counts,
+    parse_heuristic_name,
+    solve_heuristic,
+)
+from .runtime import DiskCache, ResultCache, read_disk_stats, resolve_jobs
 from .heuristics.refinement import local_search_checkpoints
 from .simulation import run_monte_carlo
 from .workflows import generators, pegasus
@@ -48,7 +62,7 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
-        prog="repro-workflows",
+        prog="repro",
         description="Scheduling computational workflows on failure-prone platforms "
         "(reproduction of Aupy, Benoit, Casanova, Robert — IPDPS 2015).",
     )
@@ -105,8 +119,51 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--preset", choices=("smoke", "paper"), default="smoke")
     figures.add_argument("--outdir", default="figure_data")
     figures.add_argument("--seed", type=int, default=0)
+    _add_runtime_arguments(figures)
+
+    # campaign ----------------------------------------------------------
+    campaign = subparsers.add_parser(
+        "campaign", help="multi-seed heuristic sweep with aggregation"
+    )
+    campaign.add_argument("--families", default="montage",
+                          help="comma-separated workflow families")
+    campaign.add_argument("--sizes", default="30,60",
+                          help="comma-separated task counts")
+    campaign.add_argument("--seeds", default="0,1,2",
+                          help="comma-separated instance seeds")
+    campaign.add_argument("--heuristics", default="",
+                          help="comma-separated heuristic names (default: all 14)")
+    campaign.add_argument("--checkpoint-mode", choices=("proportional", "constant"),
+                          default="proportional")
+    campaign.add_argument("--checkpoint-factor", type=float, default=0.1)
+    campaign.add_argument("--checkpoint-value", type=float, default=0.0)
+    campaign.add_argument("--search-mode", choices=("exhaustive", "geometric"),
+                          default="geometric")
+    campaign.add_argument("--max-candidates", type=int, default=30)
+    campaign.add_argument("--output", "-o", help="write the raw result rows to this CSV path")
+    _add_runtime_arguments(campaign)
+
+    # cache -------------------------------------------------------------
+    cache = subparsers.add_parser("cache", help="inspect the persistent result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, size and lifetime hit/miss counters"
+    )
+    cache_stats.add_argument("path", help="cache file created via --cache PATH")
+    cache_clear = cache_sub.add_parser("clear", help="delete every cached entry")
+    cache_clear.add_argument("path", help="cache file created via --cache PATH")
 
     return parser
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache`` / ``--progress`` shared by the sweep commands."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, 0 = all CPUs)")
+    parser.add_argument("--cache", dest="cache_path", metavar="PATH",
+                        help="persistent result cache (sqlite file, created on demand)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report sweep progress and throughput on stderr")
 
 
 # ----------------------------------------------------------------------
@@ -214,13 +271,165 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_writable(directory: Path) -> None:
+    """Raise early if ``directory`` (or its closest existing ancestor, when
+    it does not exist yet) cannot be written — without creating anything."""
+    probe = directory
+    while not probe.exists() and probe != probe.parent:
+        probe = probe.parent
+    if not os.access(probe, os.W_OK | os.X_OK):
+        raise ValueError(f"output directory {directory} is not writable")
+
+
+@contextmanager
+def _managed_cache(args: argparse.Namespace):
+    """Open the ``--cache`` store for the duration of one sweep command.
+
+    Encodes the whole lifecycle once: open, close on exit, and — when the
+    command fails before storing anything — removal of the cache file *and*
+    any parent directories this invocation created, so a rejected command
+    leaves no trace.  A partially completed sweep keeps what it already
+    paid for.
+    """
+    path = getattr(args, "cache_path", None)
+    if path is None:
+        yield None
+        return
+    target = Path(path)
+    fresh = not target.exists()
+    created_dirs: list[Path] = []
+    parent = target.parent
+    while not parent.exists() and parent != parent.parent:
+        created_dirs.append(parent)
+        parent = parent.parent
+    cache = ResultCache.open(path)
+    try:
+        yield cache
+    except BaseException:
+        if fresh and len(cache) == 0:
+            cache.close()
+            for suffix in ("", "-wal", "-shm"):
+                stray = Path(path + suffix)
+                if stray.exists():
+                    stray.unlink()
+            for directory in created_dirs:  # deepest first
+                try:
+                    directory.rmdir()
+                except OSError:
+                    break
+        raise
+    finally:
+        cache.close()
+
+
+def _print_cache_summary(cache: ResultCache | None) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.puts} new entries (hit rate {stats.hit_rate:.0%})"
+    )
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    resolve_jobs(args.jobs)  # reject a bad --jobs before creating any file
     outdir = Path(args.outdir)
+    _check_writable(outdir)  # fail fast, before hours of sweep work
+    with _managed_cache(args) as cache:
+        results = all_figures(
+            preset=args.preset,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+            progress=args.progress or None,
+        )
+    # Create the output tree only once the sweep has succeeded, so a
+    # rejected invocation leaves no trace.
     outdir.mkdir(parents=True, exist_ok=True)
-    results = all_figures(preset=args.preset, seed=args.seed)
     for name, result in results.items():
         path = save_rows_csv(list(result.rows), outdir / f"{name}.csv")
         print(f"wrote {path} ({len(result.rows)} rows) — {result.description}")
+    _print_cache_summary(cache)
+    return 0
+
+
+def _split_csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Validate everything cheap *before* opening the cache, so a rejected
+    # invocation never leaves a stray cache file behind.
+    resolve_jobs(args.jobs)
+    heuristics = _split_csv(args.heuristics) or list(HEURISTIC_NAMES)
+    for heuristic in heuristics:
+        parse_heuristic_name(heuristic)
+    if args.search_mode == "geometric":
+        # Probe call: raises the library's own ValueError for a bad budget
+        # (e.g. --max-candidates 1) before any cache file is created.
+        candidate_counts(3, mode="geometric", max_candidates=args.max_candidates)
+    families = _split_csv(args.families)
+    sizes = [int(s) for s in _split_csv(args.sizes)]
+    seeds = [int(s) for s in _split_csv(args.seeds)]
+    if not families:
+        raise ValueError("at least one family is required")
+    if not sizes:
+        raise ValueError("at least one size is required")
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    if args.output:
+        out_parent = Path(args.output).parent
+        if not out_parent.exists():
+            raise ValueError(f"output directory {out_parent} does not exist")
+        _check_writable(out_parent)
+    scenarios = scenario_grid(
+        families,
+        sizes,
+        checkpoint_mode=args.checkpoint_mode,
+        checkpoint_factor=args.checkpoint_factor,
+        checkpoint_value=args.checkpoint_value,
+        heuristics=heuristics,
+        label="campaign",
+    )
+    with _managed_cache(args) as cache:
+        result = run_campaign(
+            scenarios,
+            seeds=seeds,
+            search_mode=args.search_mode,
+            max_candidates=args.max_candidates,
+            jobs=args.jobs,
+            cache=cache,
+            progress=args.progress or None,
+        )
+    print(result.render())
+    _print_cache_summary(cache)
+    if args.output:
+        path = save_rows_csv(list(result.rows), args.output)
+        print(f"wrote {path} ({len(result.rows)} rows)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if args.cache_command == "stats":
+        try:
+            stats = read_disk_stats(path)
+        except FileNotFoundError:
+            print(f"no cache file at {path}", file=sys.stderr)
+            return 1
+        print(json.dumps(stats, indent=2))
+        return 0
+    if not path.exists():
+        print(f"no cache file at {path}", file=sys.stderr)
+        return 1
+    read_disk_stats(path)  # refuse (read-only) before mutating a foreign file
+    disk = DiskCache(path)
+    try:
+        removed = disk.clear()
+    finally:
+        disk.close()
+    print(f"removed {removed} entries from {path}")
     return 0
 
 
@@ -231,6 +440,8 @@ _COMMANDS = {
     "analyse": _cmd_analyse,
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
+    "campaign": _cmd_campaign,
+    "cache": _cmd_cache,
 }
 
 
@@ -239,7 +450,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except (ValueError, OSError, sqlite3.DatabaseError) as exc:
+        # Routine bad input (unknown family/heuristic, empty seed list,
+        # missing/corrupt/unwritable file) gets a one-line message, not a
+        # traceback.
+        # The library signals every one of these with ValueError, so the
+        # blanket catch is the price of clean messages; REPRO_DEBUG=1
+        # re-raises for debugging an unexpected ValueError from deeper in
+        # the stack.
+        if os.environ.get("REPRO_DEBUG", "").lower() in ("1", "true", "yes"):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Canonical serialization and stable hashing (leaf module, stdlib only).
+
+Shared by :mod:`repro.runtime.keys` (content-addressed cache keys) and
+:mod:`repro.heuristics.registry` (derivation of per-heuristic random
+streams).  It lives in :mod:`repro.core` so that both the solver layer and
+the execution layer can depend on it without depending on each other.
+
+Canonical form: JSON with sorted keys and no whitespace.  CPython's
+shortest-``repr`` float formatting makes the serialization of equal floats
+identical across platforms and process boundaries; non-finite floats are
+rejected because no experiment quantity is legitimately NaN or infinite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "digest", "stable_seed_words"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize a JSON-able payload to its canonical textual form."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical serialization of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def stable_seed_words(*parts: Any) -> tuple[int, ...]:
+    """Four 64-bit words derived from ``parts``, stable across processes.
+
+    Unlike :func:`hash`, which is salted per interpreter, this derivation is
+    reproducible everywhere; it feeds ``numpy.random.SeedSequence`` so that
+    independent random streams can be re-created identically by any worker.
+    """
+    raw = hashlib.sha256(canonical_json(list(parts)).encode("utf-8")).digest()
+    return tuple(
+        int.from_bytes(raw[i : i + 8], "big") for i in range(0, 32, 8)
+    )

@@ -12,7 +12,14 @@ from .figures import (
     figure6,
     figure7,
 )
-from .harness import ResultRow, best_by_strategy, run_grid, run_scenario, series_by_heuristic
+from .harness import (
+    ResultRow,
+    best_by_strategy,
+    run_grid,
+    run_heuristic,
+    run_scenario,
+    series_by_heuristic,
+)
 from .reporting import (
     format_ratio_table,
     ratio_table,
@@ -55,6 +62,7 @@ __all__ = [
     "rows_to_csv",
     "rows_to_markdown",
     "run_grid",
+    "run_heuristic",
     "run_scenario",
     "save_rows_csv",
     "scenario_grid",

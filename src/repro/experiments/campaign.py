@@ -12,10 +12,10 @@ downstream user should run before trusting a ranking on their own workloads.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
-from .harness import ResultRow, run_scenario
+from .harness import ResultRow
 from .scenarios import Scenario
 
 __all__ = ["AggregatedResult", "CampaignResult", "run_campaign", "aggregate_rows"]
@@ -122,24 +122,36 @@ def run_campaign(
     seeds: Sequence[int] = (0, 1, 2),
     search_mode: str = "geometric",
     max_candidates: int = 30,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
 ) -> CampaignResult:
     """Run every scenario once per seed and aggregate the results.
 
     Each seed controls both the workflow-instance generation and the RF
     linearization, so the aggregation captures the full instance-to-instance
     variability of the reported ratios.
+
+    ``jobs``, ``cache`` and ``progress`` are forwarded to the campaign
+    runtime (:mod:`repro.runtime`): ``jobs=4`` fans the
+    (scenario × seed × heuristic) work units over four worker processes,
+    and a :class:`~repro.runtime.cache.ResultCache` makes repeated points
+    free.  Because every work unit draws from its own seed-derived random
+    stream, the aggregates of a parallel run are identical to the serial
+    ones.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ValueError("at least one seed is required")
-    rows: list[ResultRow] = []
-    for scenario in scenarios:
-        for seed in seeds:
-            rows.extend(
-                run_scenario(
-                    replace(scenario, seed=seed),
-                    search_mode=search_mode,
-                    max_candidates=max_candidates,
-                )
-            )
+
+    from ..runtime.runner import CampaignRunner
+
+    with CampaignRunner(
+        jobs=jobs,
+        cache=cache,
+        search_mode=search_mode,
+        max_candidates=max_candidates,
+        progress=progress,
+    ) as runner:
+        rows = runner.run_rows(scenarios, seeds=seeds)
     return CampaignResult(rows=tuple(rows), aggregated=aggregate_rows(rows))

@@ -25,10 +25,10 @@ Figure map (paper -> here):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..heuristics.registry import HEURISTIC_NAMES
-from .harness import ResultRow, run_grid, series_by_heuristic
+from .harness import ResultRow, run_grid, series_by_heuristic, wants_runtime
 from .scenarios import (
     DEFAULT_FAILURE_RATES,
     PAPER_TASK_COUNTS,
@@ -103,12 +103,37 @@ def _search_mode(preset: str) -> str:
     return "exhaustive" if preset == "paper" else "geometric"
 
 
+def _figure_rows(
+    scenarios,
+    *,
+    preset: str,
+    search_mode: str | None,
+    jobs: int | None,
+    cache: Any,
+    progress: Any,
+    runner: Any,
+) -> list[ResultRow]:
+    """One figure sweep through the grid runner: shared option plumbing."""
+    return run_grid(
+        scenarios,
+        search_mode=search_mode or _search_mode(preset),
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        runner=runner,
+    )
+
+
 def figure2(
     *,
     preset: str = "smoke",
     sizes: Sequence[int] | None = None,
     seed: int = 0,
     search_mode: str | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 2: impact of the linearization strategy (CkptW and CkptC)."""
     sizes = _preset_sizes(preset, sizes)
@@ -121,7 +146,10 @@ def figure2(
         seed=seed,
         label="fig2",
     )
-    rows = run_grid(scenarios, search_mode=search_mode or _search_mode(preset))
+    rows = _figure_rows(
+        scenarios, preset=preset, search_mode=search_mode,
+        jobs=jobs, cache=cache, progress=progress, runner=runner,
+    )
     return FigureResult(
         figure="figure2",
         description="Impact of the linearization strategy (c = 0.1 w)",
@@ -136,6 +164,10 @@ def figure3(
     sizes: Sequence[int] | None = None,
     seed: int = 0,
     search_mode: str | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 3: impact of the checkpointing strategy (c = 0.1 w)."""
     sizes = _preset_sizes(preset, sizes)
@@ -148,7 +180,10 @@ def figure3(
         seed=seed,
         label="fig3",
     )
-    rows = run_grid(scenarios, search_mode=search_mode or _search_mode(preset))
+    rows = _figure_rows(
+        scenarios, preset=preset, search_mode=search_mode,
+        jobs=jobs, cache=cache, progress=progress, runner=runner,
+    )
     return FigureResult(
         figure="figure3",
         description="Impact of the checkpointing strategy (c = 0.1 w)",
@@ -163,29 +198,43 @@ def figure4(
     sizes: Sequence[int] | None = None,
     seed: int = 0,
     search_mode: str | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 4: CyberShake with constant (10 s, 5 s) and small (0.01 w) checkpoints."""
     sizes = _preset_sizes(preset, sizes)
     mode = search_mode or _search_mode(preset)
+    owned = _owned_runner(jobs, cache, progress) if runner is None else None
     rows: list[ResultRow] = []
     panels = []
-    for panel, (ckpt_mode, factor, value) in {
-        "cybershake-c10": ("constant", 0.0, 10.0),
-        "cybershake-c5": ("constant", 0.0, 5.0),
-        "cybershake-0.01w": ("proportional", 0.01, 0.0),
-    }.items():
-        panels.append(panel)
-        scenarios = scenario_grid(
-            ("cybershake",),
-            sizes,
-            checkpoint_mode=ckpt_mode,
-            checkpoint_factor=factor,
-            checkpoint_value=value,
-            heuristics=LINEARIZATION_FOCUS_HEURISTICS,
-            seed=seed,
-            label=panel,
-        )
-        rows.extend(run_grid(scenarios, search_mode=mode))
+    try:
+        for panel, (ckpt_mode, factor, value) in {
+            "cybershake-c10": ("constant", 0.0, 10.0),
+            "cybershake-c5": ("constant", 0.0, 5.0),
+            "cybershake-0.01w": ("proportional", 0.01, 0.0),
+        }.items():
+            panels.append(panel)
+            scenarios = scenario_grid(
+                ("cybershake",),
+                sizes,
+                checkpoint_mode=ckpt_mode,
+                checkpoint_factor=factor,
+                checkpoint_value=value,
+                heuristics=LINEARIZATION_FOCUS_HEURISTICS,
+                seed=seed,
+                label=panel,
+            )
+            rows.extend(
+                run_grid(
+                    scenarios, search_mode=mode, jobs=jobs, cache=cache,
+                    progress=progress, runner=runner or owned,
+                )
+            )
+    finally:
+        if owned is not None:
+            owned.close()
     return FigureResult(
         figure="figure4",
         description="Linearization impact for constant / small checkpoint costs (CyberShake)",
@@ -200,6 +249,10 @@ def figure5(
     sizes: Sequence[int] | None = None,
     seed: int = 0,
     search_mode: str | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 5: checkpointing strategies with c = 0.01 w."""
     sizes = _preset_sizes(preset, sizes)
@@ -212,7 +265,10 @@ def figure5(
         seed=seed,
         label="fig5",
     )
-    rows = run_grid(scenarios, search_mode=search_mode or _search_mode(preset))
+    rows = _figure_rows(
+        scenarios, preset=preset, search_mode=search_mode,
+        jobs=jobs, cache=cache, progress=progress, runner=runner,
+    )
     return FigureResult(
         figure="figure5",
         description="Impact of the checkpointing strategy (c = 0.01 w)",
@@ -227,6 +283,10 @@ def figure6(
     sizes: Sequence[int] | None = None,
     seed: int = 0,
     search_mode: str | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 6: checkpointing strategies with constant c = 5 s."""
     sizes = _preset_sizes(preset, sizes)
@@ -239,7 +299,10 @@ def figure6(
         seed=seed,
         label="fig6",
     )
-    rows = run_grid(scenarios, search_mode=search_mode or _search_mode(preset))
+    rows = _figure_rows(
+        scenarios, preset=preset, search_mode=search_mode,
+        jobs=jobs, cache=cache, progress=progress, runner=runner,
+    )
     return FigureResult(
         figure="figure6",
         description="Impact of the checkpointing strategy (c = 5 s)",
@@ -264,6 +327,10 @@ def figure7(
     seed: int = 0,
     search_mode: str | None = None,
     rates: dict[str, Sequence[float]] | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> FigureResult:
     """Figure 7: checkpointing strategies versus the failure rate (200 tasks)."""
     size = n_tasks if n_tasks is not None else (200 if preset == "paper" else 40)
@@ -287,7 +354,10 @@ def figure7(
                     label="fig7",
                 )
             )
-    rows = run_grid(scenarios, search_mode=mode)
+    rows = _figure_rows(
+        scenarios, preset=preset, search_mode=mode,
+        jobs=jobs, cache=cache, progress=progress, runner=runner,
+    )
     return FigureResult(
         figure="figure7",
         description="Impact of the checkpointing strategy versus the failure rate",
@@ -297,13 +367,43 @@ def figure7(
     )
 
 
-def all_figures(*, preset: str = "smoke", seed: int = 0) -> dict[str, FigureResult]:
-    """Run every figure reproduction and return them keyed by name."""
-    return {
-        "figure2": figure2(preset=preset, seed=seed),
-        "figure3": figure3(preset=preset, seed=seed),
-        "figure4": figure4(preset=preset, seed=seed),
-        "figure5": figure5(preset=preset, seed=seed),
-        "figure6": figure6(preset=preset, seed=seed),
-        "figure7": figure7(preset=preset, seed=seed),
-    }
+def _owned_runner(jobs: int | None, cache: Any, progress: Any) -> Any:
+    """A CampaignRunner for multi-sweep drivers, or ``None`` for the plain
+    serial path (so the figure functions keep their loop-free fast path)."""
+    if not wants_runtime(jobs, cache, progress):
+        return None
+    from ..runtime.runner import CampaignRunner
+
+    return CampaignRunner(jobs=jobs, cache=cache, progress=progress)
+
+
+def all_figures(
+    *,
+    preset: str = "smoke",
+    seed: int = 0,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+) -> dict[str, FigureResult]:
+    """Run every figure reproduction and return them keyed by name.
+
+    ``jobs``, ``cache`` and ``progress`` are forwarded to the campaign
+    runtime; with a persistent cache a re-run of the same preset performs
+    zero evaluator calls (see EXPERIMENTS.md).  One worker pool is shared
+    by all eight grid sweeps (six figures; figure 4 runs three panels), so
+    pool start-up is paid once.
+    """
+    shared = _owned_runner(jobs, cache, progress)
+    kwargs = dict(preset=preset, seed=seed, runner=shared)
+    try:
+        return {
+            "figure2": figure2(**kwargs),
+            "figure3": figure3(**kwargs),
+            "figure4": figure4(**kwargs),
+            "figure5": figure5(**kwargs),
+            "figure6": figure6(**kwargs),
+            "figure7": figure7(**kwargs),
+        }
+    finally:
+        if shared is not None:
+            shared.close()

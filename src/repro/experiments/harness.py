@@ -5,23 +5,47 @@ the paper's metric ``T / T_inf`` (expected makespan over the failure-free,
 checkpoint-free makespan).  Results are plain dataclass rows so they can be
 rendered to CSV / markdown by :mod:`repro.experiments.reporting` or
 post-processed with numpy.
+
+The unit of work is :func:`run_heuristic` — one (scenario instance,
+heuristic) pair.  Each unit draws from its own
+:func:`~repro.heuristics.registry.heuristic_rng` stream, so units are
+independent of each other and of execution order: the serial loops here and
+the parallel :class:`~repro.runtime.runner.CampaignRunner` produce exactly
+the same rows.  ``run_grid`` accepts ``jobs`` / ``cache`` and routes through
+the runtime whenever either is requested; see EXPERIMENTS.md for usage.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-import numpy as np
-
-from ..core.evaluator import evaluate_schedule
-from ..core.platform import Platform
-from ..heuristics.registry import parse_heuristic_name, solve_heuristic
-from ..heuristics.search import candidate_counts
+from ..core.dag import Workflow
+from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heuristic
+from ..heuristics.search import SEARCH_MODES, candidate_counts
 from .scenarios import Scenario, build_workflow
 
-__all__ = ["ResultRow", "run_scenario", "run_grid", "best_by_strategy", "series_by_heuristic"]
+__all__ = [
+    "ResultRow",
+    "run_heuristic",
+    "run_scenario",
+    "run_grid",
+    "best_by_strategy",
+    "series_by_heuristic",
+    "wants_runtime",
+]
+
+
+def wants_runtime(jobs: int | None, cache: Any, progress: Any) -> bool:
+    """Whether these options require the campaign runtime.
+
+    The single source of truth for the serial-fast-path predicate shared by
+    :func:`run_grid` and the figure drivers.  ``progress=False`` means
+    "silent" (mirroring :func:`repro.runtime.progress.coerce_progress`), so
+    it keeps the fast path just like ``None``.
+    """
+    return not (jobs == 1 and cache is None and progress in (None, False))
 
 
 @dataclass(frozen=True)
@@ -46,6 +70,70 @@ class ResultRow:
     seed: int
 
 
+def run_heuristic(
+    scenario: Scenario,
+    heuristic: str,
+    *,
+    search_mode: str = "exhaustive",
+    max_candidates: int = 30,
+    workflow: Workflow | None = None,
+) -> ResultRow:
+    """Evaluate one heuristic on one scenario instance; returns its row.
+
+    This is the campaign runtime's work unit.  ``workflow`` lets callers
+    reuse an already-generated instance (the runner memoizes one per
+    scenario instance and process); when omitted it is built from the
+    scenario.  The heuristic's random stream is derived from
+    ``(scenario.seed, heuristic)`` alone, so the result does not depend on
+    what else runs in the same process.
+    """
+    # Validate eagerly: CkptNvr/CkptAlws never consume the candidate counts,
+    # but a typoed search_mode must not pass silently (nor reach cache keys).
+    if search_mode not in SEARCH_MODES:
+        raise ValueError(
+            f"unknown search mode {search_mode!r}; expected one of {SEARCH_MODES}"
+        )
+    if workflow is None:
+        workflow = build_workflow(scenario)
+    platform = scenario.platform
+    linearization, strategy = parse_heuristic_name(heuristic)
+    counts = (
+        None
+        if strategy in ("CkptNvr", "CkptAlws")
+        else candidate_counts(
+            workflow.n_tasks, mode=search_mode, max_candidates=max_candidates
+        )
+    )
+    start = time.perf_counter()
+    result = solve_heuristic(
+        workflow,
+        platform,
+        heuristic,
+        rng=heuristic_rng(scenario.seed, heuristic),
+        counts=counts,
+    )
+    elapsed = time.perf_counter() - start
+    evaluation = result.evaluation
+    return ResultRow(
+        label=scenario.label,
+        family=scenario.family,
+        n_tasks=scenario.n_tasks,
+        actual_n_tasks=workflow.n_tasks,
+        failure_rate=scenario.failure_rate,
+        checkpoint_mode=scenario.checkpoint_mode,
+        checkpoint_parameter=scenario.checkpoint_parameter,
+        heuristic=heuristic,
+        linearization=linearization,
+        checkpoint_strategy=strategy,
+        n_checkpointed=result.checkpoint_count,
+        expected_makespan=evaluation.expected_makespan,
+        failure_free_work=evaluation.failure_free_work,
+        overhead_ratio=evaluation.overhead_ratio,
+        solve_seconds=elapsed,
+        seed=scenario.seed,
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     *,
@@ -67,63 +155,70 @@ def run_scenario(
         Budget for the ``"geometric"`` mode.
     """
     workflow = build_workflow(scenario)
-    platform = scenario.platform
-    counts = candidate_counts(workflow.n_tasks, mode=search_mode, max_candidates=max_candidates)
-    rng = np.random.default_rng(scenario.seed)
-
-    rows: list[ResultRow] = []
-    for heuristic in scenario.heuristics:
-        linearization, strategy = parse_heuristic_name(heuristic)
-        start = time.perf_counter()
-        result = solve_heuristic(
-            workflow,
-            platform,
+    return [
+        run_heuristic(
+            scenario,
             heuristic,
-            rng=rng,
-            counts=counts if strategy not in ("CkptNvr", "CkptAlws") else None,
+            search_mode=search_mode,
+            max_candidates=max_candidates,
+            workflow=workflow,
         )
-        elapsed = time.perf_counter() - start
-        evaluation = result.evaluation
-        rows.append(
-            ResultRow(
-                label=scenario.label,
-                family=scenario.family,
-                n_tasks=scenario.n_tasks,
-                actual_n_tasks=workflow.n_tasks,
-                failure_rate=scenario.failure_rate,
-                checkpoint_mode=scenario.checkpoint_mode,
-                checkpoint_parameter=(
-                    scenario.checkpoint_factor
-                    if scenario.checkpoint_mode == "proportional"
-                    else scenario.checkpoint_value
-                ),
-                heuristic=heuristic,
-                linearization=linearization,
-                checkpoint_strategy=strategy,
-                n_checkpointed=result.checkpoint_count,
-                expected_makespan=evaluation.expected_makespan,
-                failure_free_work=evaluation.failure_free_work,
-                overhead_ratio=evaluation.overhead_ratio,
-                solve_seconds=elapsed,
-                seed=scenario.seed,
-            )
-        )
-    return rows
+        for heuristic in scenario.heuristics
+    ]
 
 
 def run_grid(
     scenarios: Iterable[Scenario],
     *,
-    search_mode: str = "exhaustive",
-    max_candidates: int = 30,
+    search_mode: str | None = None,
+    max_candidates: int | None = None,
+    jobs: int | None = 1,
+    cache: Any = None,
+    progress: Any = None,
+    runner: Any = None,
 ) -> list[ResultRow]:
-    """Run several scenarios back to back and concatenate their rows."""
-    rows: list[ResultRow] = []
-    for scenario in scenarios:
-        rows.extend(
-            run_scenario(scenario, search_mode=search_mode, max_candidates=max_candidates)
+    """Run several scenarios back to back and concatenate their rows.
+
+    ``search_mode`` defaults to ``"exhaustive"`` and ``max_candidates`` to
+    30 — except when an existing
+    :class:`~repro.runtime.runner.CampaignRunner` is passed as ``runner``,
+    where an omitted value defers to the runner's own configuration
+    (``jobs`` / ``cache`` / ``progress`` are then taken from the runner
+    too, which also reuses its cache and worker pool across grids).
+
+    ``jobs`` and ``cache`` route the grid through the campaign runtime:
+    ``jobs > 1`` fans the (scenario × heuristic) units out over a process
+    pool, and a :class:`~repro.runtime.cache.ResultCache` answers repeated
+    units without any evaluator call.  The default (``jobs=1``, no cache)
+    is the plain serial loop; both paths produce identical rows.
+    """
+    if runner is not None:
+        return runner.run_rows(
+            scenarios, search_mode=search_mode, max_candidates=max_candidates
         )
-    return rows
+    search_mode = "exhaustive" if search_mode is None else search_mode
+    max_candidates = 30 if max_candidates is None else max_candidates
+
+    if not wants_runtime(jobs, cache, progress):
+        rows: list[ResultRow] = []
+        for scenario in scenarios:
+            rows.extend(
+                run_scenario(
+                    scenario, search_mode=search_mode, max_candidates=max_candidates
+                )
+            )
+        return rows
+
+    from ..runtime.runner import CampaignRunner
+
+    with CampaignRunner(
+        jobs=jobs,
+        cache=cache,
+        search_mode=search_mode,
+        max_candidates=max_candidates,
+        progress=progress,
+    ) as owned:
+        return owned.run_rows(scenarios)
 
 
 def best_by_strategy(rows: Sequence[ResultRow]) -> dict[tuple[str, int, str], ResultRow]:

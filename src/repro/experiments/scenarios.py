@@ -103,6 +103,13 @@ class Scenario:
         """Platform of the scenario (rate :math:`\\lambda`, zero downtime)."""
         return Platform.from_platform_rate(self.failure_rate, downtime=0.0)
 
+    @property
+    def checkpoint_parameter(self) -> float:
+        """The parameter reported for the active checkpoint mode."""
+        if self.checkpoint_mode == "proportional":
+            return self.checkpoint_factor
+        return self.checkpoint_value
+
     def describe(self) -> str:
         """One-line description used in reports."""
         if self.checkpoint_mode == "proportional":

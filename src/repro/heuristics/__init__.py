@@ -22,11 +22,17 @@ from .registry import (
     HEURISTIC_NAMES,
     HeuristicResult,
     best_heuristic,
+    heuristic_rng,
     parse_heuristic_name,
     solve_all_heuristics,
     solve_heuristic,
 )
-from .search import CheckpointCountSearch, candidate_counts, search_checkpoint_count
+from .search import (
+    SEARCH_MODES,
+    CheckpointCountSearch,
+    candidate_counts,
+    search_checkpoint_count,
+)
 
 __all__ = [
     "CHECKPOINT_STRATEGIES",
@@ -36,6 +42,7 @@ __all__ = [
     "LINEARIZATION_STRATEGIES",
     "PARAMETERISED_STRATEGIES",
     "RefinementResult",
+    "SEARCH_MODES",
     "best_heuristic",
     "candidate_counts",
     "checkpoint_always",
@@ -46,6 +53,7 @@ __all__ = [
     "checkpoint_periodic",
     "get_selector",
     "greedy_checkpoint_selection",
+    "heuristic_rng",
     "linearize",
     "linearize_all",
     "local_search_checkpoints",

@@ -26,12 +26,14 @@ from .checkpointing import (
     PARAMETERISED_STRATEGIES,
     get_selector,
 )
+from ..core.hashing import stable_seed_words
 from .linearization import LINEARIZATION_STRATEGIES, linearize
 from .search import search_checkpoint_count
 
 __all__ = [
     "HEURISTIC_NAMES",
     "HeuristicResult",
+    "heuristic_rng",
     "parse_heuristic_name",
     "solve_heuristic",
     "solve_all_heuristics",
@@ -94,6 +96,20 @@ def parse_heuristic_name(name: str) -> tuple[str, str]:
     return linearization, strategy
 
 
+def heuristic_rng(seed: int, heuristic: str) -> np.random.Generator:
+    """Independent random stream for one ``(seed, heuristic)`` pair.
+
+    Sharing one generator across heuristics makes an RF result depend on how
+    many random draws happened *before* it — i.e. on which other heuristics
+    ran, and in which order.  Deriving each stream from a stable hash of the
+    pair removes that coupling: any process (a serial loop, a pool worker, a
+    future session) reproduces the exact same stream, which is what lets a
+    parallel campaign match the serial one bit-for-bit.
+    """
+    words = stable_seed_words("heuristic-rng", int(seed), str(heuristic))
+    return np.random.default_rng(np.random.SeedSequence(words))
+
+
 def solve_heuristic(
     workflow: Workflow,
     platform: Platform,
@@ -115,7 +131,11 @@ def solve_heuristic(
         One of :data:`HEURISTIC_NAMES` (other valid combinations such as
         ``"BF-CkptNvr"`` are accepted too, for ablation purposes).
     rng:
-        Seed or generator used by the ``RF`` linearization.
+        Seed or generator used by the ``RF`` linearization.  An integer
+        seed derives the per-``(seed, heuristic)`` stream of
+        :func:`heuristic_rng`, so the result matches what a campaign run
+        with the same seed produces for this heuristic; pass an explicit
+        generator for a raw shared stream.
     counts:
         Candidate checkpoint counts for the parameterised strategies;
         defaults to the paper's exhaustive ``1 .. n-1`` search.
@@ -125,6 +145,8 @@ def solve_heuristic(
     HeuristicResult
     """
     linearization, strategy = parse_heuristic_name(heuristic)
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        rng = heuristic_rng(int(rng), heuristic)
     order = linearize(workflow, linearization, rng=rng)
 
     if strategy in ("CkptNvr", "CkptAlws"):
@@ -166,9 +188,23 @@ def solve_all_heuristics(
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
 ) -> dict[str, HeuristicResult]:
-    """Run several heuristics and return their results keyed by name."""
+    """Run several heuristics and return their results keyed by name.
+
+    When ``rng`` is an integer seed, every heuristic draws from its own
+    :func:`heuristic_rng` stream, so each result is independent of which
+    other heuristics run alongside it.  Any other value (``None``, a
+    :class:`numpy.random.Generator`, a ``SeedSequence``, ...) keeps the
+    historical behavior of one shared ``np.random.default_rng(rng)``
+    stream.
+    """
     if heuristics is None:
         heuristics = HEURISTIC_NAMES
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        seed = int(rng)  # solve_heuristic derives the per-heuristic stream
+        return {
+            name: solve_heuristic(workflow, platform, name, rng=seed, counts=counts)
+            for name in heuristics
+        }
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     return {

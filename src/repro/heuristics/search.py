@@ -25,7 +25,7 @@ from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .checkpointing import Selector
 
-__all__ = ["CheckpointCountSearch", "candidate_counts", "search_checkpoint_count"]
+__all__ = ["SEARCH_MODES", "CheckpointCountSearch", "candidate_counts", "search_checkpoint_count"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,10 @@ class CheckpointCountSearch:
     best_evaluation: MakespanEvaluation
     best_count: int
     evaluated: dict[int, float]
+
+
+#: Valid checkpoint-count search modes (see :func:`candidate_counts`).
+SEARCH_MODES: tuple[str, ...] = ("exhaustive", "geometric")
 
 
 def candidate_counts(
@@ -79,7 +83,13 @@ def candidate_counts(
     if mode == "exhaustive":
         return tuple(range(1, upper + 1))
     if mode != "geometric":
-        raise ValueError(f"unknown candidate mode {mode!r}")
+        raise ValueError(
+            f"unknown candidate mode {mode!r}; expected one of {SEARCH_MODES}"
+        )
+    if max_candidates < 2:
+        raise ValueError(
+            f"max_candidates must be >= 2 for geometric mode, got {max_candidates}"
+        )
     if upper <= max_candidates:
         return tuple(range(1, upper + 1))
     values: set[int] = {1, upper}

@@ -1,0 +1,78 @@
+"""Parallel campaign runtime with content-addressed result caching.
+
+This package is the execution layer every experiment entry point routes
+through:
+
+* :mod:`repro.runtime.keys` — stable content-addressed cache keys;
+* :mod:`repro.runtime.cache` — in-memory LRU + optional sqlite persistence;
+* :mod:`repro.runtime.parallel` — deterministic process-pool map with a
+  serial fallback;
+* :mod:`repro.runtime.runner` — the :class:`CampaignRunner` fanning
+  (scenario × seed × heuristic) units out across workers;
+* :mod:`repro.runtime.progress` — lightweight progress/throughput reporting.
+
+``runner`` is re-exported lazily: it depends on :mod:`repro.experiments`,
+which itself uses :mod:`repro.runtime.keys`, and the lazy hop keeps that
+dependency chain acyclic at import time.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats, DiskCache, LRUCache, ResultCache, read_disk_stats
+from .keys import (
+    ALGO_VERSION,
+    KEY_VERSION,
+    canonical_json,
+    digest,
+    evaluation_key,
+    platform_fingerprint,
+    scenario_unit_key,
+    schedule_fingerprint,
+    stable_seed_words,
+    workflow_fingerprint,
+)
+from .parallel import deterministic_chunksize, parallel_map, resolve_jobs
+from .progress import ConsoleProgress, NullProgress, coerce_progress
+
+__all__ = [
+    "ALGO_VERSION",
+    "CacheStats",
+    "CampaignRunner",
+    "ConsoleProgress",
+    "DiskCache",
+    "KEY_VERSION",
+    "LRUCache",
+    "NullProgress",
+    "ResultCache",
+    "WorkUnit",
+    "canonical_json",
+    "coerce_progress",
+    "deterministic_chunksize",
+    "digest",
+    "evaluation_key",
+    "evaluate_schedule_cached",
+    "expand_work_units",
+    "parallel_map",
+    "platform_fingerprint",
+    "read_disk_stats",
+    "resolve_jobs",
+    "scenario_unit_key",
+    "schedule_fingerprint",
+    "stable_seed_words",
+    "workflow_fingerprint",
+]
+
+_RUNNER_EXPORTS = {
+    "CampaignRunner",
+    "WorkUnit",
+    "expand_work_units",
+    "evaluate_schedule_cached",
+}
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,366 @@
+"""Result cache: in-memory LRU plus optional sqlite-backed persistence.
+
+The cache maps content-addressed keys (see :mod:`repro.runtime.keys`) to
+JSON-serializable payloads.  Two layers compose:
+
+* :class:`LRUCache` — a bounded in-memory store with least-recently-used
+  eviction; every campaign run gets one even without persistence, so a
+  repeated sweep inside one process never recomputes a row;
+* :class:`DiskCache` — an sqlite3 file that survives the process, making
+  warm re-runs of a whole figure sweep free across sessions.  Lifetime
+  hit/miss/put counters are persisted alongside the entries so that
+  ``repro cache stats`` can report them later.
+
+:class:`ResultCache` is the façade the runtime uses: reads check memory
+first, then disk (promoting disk hits to memory); writes go to both.  Only
+the parent process of a parallel campaign touches the cache — workers just
+compute — so no cross-process locking is needed beyond sqlite's own.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+from urllib.parse import quote
+
+import sqlite3
+
+from ..core.hashing import canonical_json
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "DiskCache",
+    "ResultCache",
+    "read_disk_stats",
+]
+
+
+def _empty_counters() -> dict[str, int]:
+    """The persisted counter set, in one place (see also ``repro cache stats``)."""
+    return {"hits": 0, "misses": 0, "puts": 0}
+
+
+def _merge_counter_rows(rows: Any) -> dict[str, int]:
+    """Fold ``meta``-table (key, value) rows onto the zero counters."""
+    counters = _empty_counters()
+    for key, value in rows:
+        counters[key] = int(value)
+    return counters
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put counters of one cache (or one session of it)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and the CLI."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the stalest entry once
+    ``maxsize`` is exceeded.  ``maxsize <= 0`` disables the bound.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any | None:
+        """Value stored under ``key``, or ``None``; refreshes recency."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value``, evicting the least recently used entry if full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.puts += 1
+        if self.maxsize > 0:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+class DiskCache:
+    """Persistent key/value store backed by a single sqlite3 file.
+
+    Values are stored as canonical JSON text.  Lifetime counters live in a
+    ``meta`` table and are updated synchronously — the cache is only ever
+    driven by the campaign parent process, so contention is not a concern.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._pending = _empty_counters()
+        self._conn = sqlite3.connect(str(self.path))
+        # Refuse to adopt a foreign database: switching its journal mode and
+        # injecting our tables would corrupt-by-surprise whatever application
+        # owns it.  An empty or repro-owned file proceeds.
+        try:
+            tables = {
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            foreign = False
+            if tables:
+                if "entries" not in tables:
+                    foreign = True
+                else:
+                    # A coincidentally named 'entries' table in someone
+                    # else's database must be refused too: check the schema.
+                    columns = {
+                        row[1]
+                        for row in self._conn.execute("PRAGMA table_info(entries)")
+                    }
+                    foreign = columns != {"key", "value", "created"}
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            self._conn = None
+            raise ValueError(
+                f"{self.path} is not a repro result cache ({exc})"
+            ) from exc
+        if foreign:
+            self._conn.close()
+            self._conn = None
+            raise ValueError(f"{self.path} exists and is not a repro result cache")
+        # Entries are committed one by one so an interrupted sweep keeps what
+        # it already computed; WAL + synchronous=NORMAL keeps those commits
+        # from paying a full fsync each (safe: worst case on power loss is a
+        # recomputable cache entry).
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "key TEXT PRIMARY KEY, value TEXT NOT NULL, created REAL NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+        return int(row[0])
+
+    def get(self, key: str) -> Any | None:
+        row = self._conn.execute(
+            "SELECT value FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self._pending["misses"] += 1
+            return None
+        self._pending["hits"] += 1
+        return json.loads(row[0])
+
+    def put(self, key: str, value: Any) -> None:
+        payload = canonical_json(value)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries (key, value, created) VALUES (?, ?, ?)",
+                (key, payload, time.time()),
+            )
+        self._pending["puts"] += 1
+
+    def count_hit(self) -> None:
+        """Record a lookup answered by a faster layer on top of this one.
+
+        :class:`ResultCache` serves repeat lookups from its memory layer
+        without touching the disk; calling this keeps the persisted lifetime
+        counters equal to what the whole cache actually answered.
+        """
+        self._pending["hits"] += 1
+
+    def _flush_counters(self) -> None:
+        # Counters are accumulated in memory so the warm hit path stays
+        # read-only on disk; one transaction per session persists them.
+        updates = [(k, v) for k, v in self._pending.items() if v]
+        if not updates:
+            return
+        with self._conn:
+            for counter, amount in updates:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value = CAST(value AS INTEGER) + ?",
+                    (counter, str(amount), amount),
+                )
+        self._pending = _empty_counters()
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime counters: the persisted totals plus this session's."""
+        rows = self._conn.execute("SELECT key, value FROM meta").fetchall()
+        counters = _merge_counter_rows(rows)
+        for key, value in self._pending.items():
+            counters[key] += value
+        return counters
+
+    def clear(self) -> int:
+        """Delete every entry and reset the lifetime counters.
+
+        Returns how many entries were removed.  Counters go too: clearing
+        is how a user starts measurements fresh, and stale hit/miss totals
+        over an empty store would be misleading.
+        """
+        count = len(self)
+        with self._conn:
+            self._conn.execute("DELETE FROM entries")
+            self._conn.execute("DELETE FROM meta")
+        self._pending = _empty_counters()
+        return count
+
+    def close(self) -> None:
+        """Flush counters and close the connection (idempotent)."""
+        if self._conn is None:
+            return
+        self._flush_counters()
+        self._conn.close()
+        self._conn = None
+
+
+class ResultCache:
+    """Two-level (memory + optional disk) cache used by the campaign runtime.
+
+    Parameters
+    ----------
+    maxsize:
+        Bound of the in-memory LRU layer (``<= 0`` for unbounded).
+    path:
+        Optional sqlite file for persistence; ``None`` keeps the cache purely
+        in-memory.
+
+    ``stats`` counts this session only; the disk layer additionally persists
+    lifetime counters for ``repro cache stats``.
+    """
+
+    def __init__(self, *, maxsize: int = 4096, path: str | Path | None = None) -> None:
+        self.memory = LRUCache(maxsize=maxsize)
+        self.disk: DiskCache | None = DiskCache(path) if path is not None else None
+        self.stats = CacheStats()
+
+    @classmethod
+    def open(cls, path: str | Path | None = None, *, maxsize: int = 4096) -> "ResultCache":
+        """Convenience constructor mirroring the CLI's ``--cache PATH`` flag."""
+        return cls(maxsize=maxsize, path=path)
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        if self.disk is not None:
+            return len(self.disk)
+        return len(self.memory)
+
+    def get(self, key: str) -> Any | None:
+        """Look up ``key`` in memory, then on disk (promoting disk hits)."""
+        value = self.memory.get(key)
+        if value is not None:
+            self.stats.hits += 1
+            if self.disk is not None:
+                self.disk.count_hit()
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.memory.put(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a JSON-serializable value in every layer."""
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+        self.stats.puts += 1
+
+    def close(self) -> None:
+        if self.disk is not None:
+            self.disk.close()
+
+
+def read_disk_stats(path: str | Path) -> dict[str, Any]:
+    """Summary of a persistent cache file (for ``repro cache stats``).
+
+    Opens the file strictly read-only: an inspection command must never
+    create tables in (or switch the journal mode of) a file that turns out
+    not to be a repro cache.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no cache file at {path}")
+    # Percent-encode the path: '#' / '?' / '%' are URI metacharacters and
+    # would make sqlite silently open a different file.
+    uri = f"file:{quote(str(path))}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True)
+    try:
+        try:
+            entries = int(conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+            rows = conn.execute("SELECT key, value FROM meta").fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise ValueError(f"{path} is not a repro result cache ({exc})") from exc
+    finally:
+        conn.close()
+    counters = _merge_counter_rows(rows)
+    lookups = counters["hits"] + counters["misses"]
+    return {
+        "path": str(path),
+        "entries": entries,
+        "size_bytes": path.stat().st_size,
+        "hits": counters["hits"],
+        "misses": counters["misses"],
+        "puts": counters["puts"],
+        "hit_rate": counters["hits"] / lookups if lookups else 0.0,
+    }

@@ -1,0 +1,166 @@
+"""Content-addressed cache keys for workflows, platforms, schedules, rows.
+
+The campaign runtime never recomputes an evaluation it has already paid for.
+To make that safe, cache keys must be *content-addressed*: two objects with
+the same semantic content must produce the same key, in the same process or
+in another one, today or in a later session.  The keys here are SHA-256
+digests of the canonical JSON serialization of :mod:`repro.core.hashing`,
+and every payload embeds a ``kind`` tag and :data:`KEY_VERSION` so that a
+change in the key schema can never alias an old entry.
+
+Only the quantities that affect an evaluation enter a fingerprint: task
+weights, checkpoint / recovery costs and edges for a workflow (names and
+categories are display-only), failure rate and downtime for a platform,
+order and checkpoint set for a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.hashing import canonical_json, digest, stable_seed_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.platform import Platform
+    from ..core.schedule import Schedule
+    from ..core.dag import Workflow
+
+__all__ = [
+    "ALGO_VERSION",
+    "KEY_VERSION",
+    "canonical_json",
+    "digest",
+    "stable_seed_words",
+    "workflow_fingerprint",
+    "platform_fingerprint",
+    "schedule_fingerprint",
+    "evaluation_key",
+    "scenario_unit_key",
+]
+
+#: Bumped whenever the canonical payload schema changes, so stale persistent
+#: cache entries can never be confused with fresh ones.
+KEY_VERSION = 1
+
+#: Version of the *algorithms* whose outputs the cache stores.  KEY_VERSION
+#: tracks the key schema; this tracks result-affecting behavior.  Bump it
+#: whenever a heuristic, linearization, count search, or the evaluator can
+#: produce different numbers than before — otherwise an old persistent cache
+#: would silently serve the previous implementation's results as current.
+ALGO_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprints of the core objects
+# ----------------------------------------------------------------------
+def workflow_fingerprint(workflow: "Workflow") -> str:
+    """Content digest of a workflow (weights, costs and edges only)."""
+    payload = {
+        "kind": "workflow",
+        "v": KEY_VERSION,
+        "tasks": [
+            [task.index, task.weight, task.checkpoint_cost, task.recovery_cost]
+            for task in workflow.tasks
+        ],
+        "edges": [[u, v] for u, v in workflow.edges],
+    }
+    return digest(payload)
+
+
+def platform_fingerprint(platform: "Platform") -> str:
+    """Content digest of a platform (failure rate and downtime)."""
+    return digest(_platform_payload(platform))
+
+
+def _platform_payload(platform: "Platform") -> dict[str, Any]:
+    return {
+        "kind": "platform",
+        "v": KEY_VERSION,
+        "failure_rate": platform.failure_rate,
+        "downtime": platform.downtime,
+    }
+
+
+def schedule_fingerprint(schedule: "Schedule") -> str:
+    """Content digest of a schedule (workflow content, order, checkpoint set)."""
+    payload = {
+        "kind": "schedule",
+        "v": KEY_VERSION,
+        "workflow": workflow_fingerprint(schedule.workflow),
+        "order": list(schedule.order),
+        "checkpointed": sorted(schedule.checkpointed),
+    }
+    return digest(payload)
+
+
+# ----------------------------------------------------------------------
+# Keys of cached computations
+# ----------------------------------------------------------------------
+def evaluation_key(
+    schedule: "Schedule",
+    platform: "Platform",
+    *,
+    kind: str = "expected-makespan",
+) -> str:
+    """Key of one analytical evaluation of a schedule on a platform.
+
+    ``kind`` distinguishes different evaluations of the same pair (for
+    example the plain expected makespan versus one that keeps the full
+    event-probability table).
+    """
+    payload = {
+        "kind": "evaluation",
+        "v": KEY_VERSION,
+        "algo": ALGO_VERSION,
+        "evaluation": str(kind),
+        "schedule": schedule_fingerprint(schedule),
+        "platform": _platform_payload(platform),
+    }
+    return digest(payload)
+
+
+#: Tag of the per-heuristic random-stream derivation used by the harness.
+#: Part of every unit key: changing how RF streams are derived changes the
+#: results, so it must invalidate previously cached rows.
+RNG_SCHEME = "per-heuristic-sha256-v1"
+
+
+def scenario_unit_key(
+    *,
+    platform: "Platform",
+    heuristic: str,
+    search_mode: str,
+    max_candidates: int,
+    seed: int,
+    workflow: "Workflow | None" = None,
+    workflow_digest: str | None = None,
+) -> str:
+    """Key of one (workflow instance, platform, heuristic) harness row.
+
+    The workflow enters by content, not by generator parameters, so the key
+    survives refactors of the generators only as long as they produce the
+    same instances — exactly the property a result cache must have.  The
+    seed still enters the key on its own because the RF linearization draws
+    from a ``(seed, heuristic)``-derived stream even on identical workflows.
+
+    Pass ``workflow_digest`` (a previously computed
+    :func:`workflow_fingerprint`) instead of ``workflow`` to skip re-hashing
+    an instance whose units are keyed repeatedly.
+    """
+    if workflow_digest is None:
+        if workflow is None:
+            raise ValueError("either workflow or workflow_digest is required")
+        workflow_digest = workflow_fingerprint(workflow)
+    payload = {
+        "kind": "scenario-row",
+        "v": KEY_VERSION,
+        "algo": ALGO_VERSION,
+        "workflow": workflow_digest,
+        "platform": _platform_payload(platform),
+        "heuristic": str(heuristic),
+        "search_mode": str(search_mode),
+        "max_candidates": int(max_candidates),
+        "seed": int(seed),
+        "rng": RNG_SCHEME,
+    }
+    return digest(payload)

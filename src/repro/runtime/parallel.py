@@ -1,0 +1,146 @@
+"""Deterministic parallel map over experiment work units.
+
+A thin layer over :class:`concurrent.futures.ProcessPoolExecutor` with the
+properties the campaign runtime needs:
+
+* **serial fallback** — ``jobs=1`` runs the plain in-process loop (this is
+  the path the tier-1 test-suite exercises, and the reference that parallel
+  runs must reproduce bit-for-bit);
+* **ordered gathering** — results always come back in input order, whatever
+  the completion order of the workers, so downstream aggregation is
+  independent of scheduling jitter;
+* **deterministic chunking** — the chunk size is a pure function of the
+  input length and worker count, never of timing.
+
+The mapped function must be picklable (a module-level function) when
+``jobs > 1``; work units likewise.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["resolve_jobs", "deterministic_chunksize", "parallel_map"]
+
+
+def _apply_chunk(payload: tuple[Callable[[Any], Any], list[Any]]) -> list[Any]:
+    """Worker entry point: run one chunk of units (module-level, picklable)."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def deterministic_chunksize(n_items: int, jobs: int) -> int:
+    """Chunk size for ``n_items`` spread over ``jobs`` workers.
+
+    Aims at roughly four chunks per worker (to absorb load imbalance between
+    heavy and light units) while never exceeding 32 units per chunk.  Purely
+    arithmetic on the inputs, so two runs of the same campaign always chunk
+    identically.
+    """
+    if n_items <= 0:
+        return 1
+    jobs = max(1, jobs)
+    target = -(-n_items // (4 * jobs))  # ceil division
+    return max(1, min(32, target))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int | None = 1,
+    chunksize: int | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+    executor: ProcessPoolExecutor | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        The function to apply.  Must be importable from a module (picklable)
+        when ``jobs > 1``.
+    items:
+        Work units; consumed eagerly so the total is known up front.
+    jobs:
+        Worker processes.  ``1`` (the default) runs serially in-process;
+        ``None`` or ``0`` uses every CPU.
+    chunksize:
+        Units per worker dispatch; defaults to
+        :func:`deterministic_chunksize`.
+    on_result:
+        Optional callback invoked as ``on_result(index, result)`` exactly
+        once per item, *as soon as its result reaches the parent* — in input
+        order when serial, in completion order when parallel.  This is the
+        hook for progress reporting and incremental persistence: even if a
+        later unit fails, every completed unit is reported first.
+    executor:
+        Optional existing :class:`ProcessPoolExecutor` to dispatch on.  The
+        caller keeps ownership (it is not shut down here), which lets a
+        multi-sweep driver pay worker start-up once instead of per call.
+
+    Returns
+    -------
+    list
+        Results in input order.
+
+    Raises
+    ------
+    The first unit exception — but only after every other chunk has been
+    gathered (and reported through ``on_result``), so partial work is never
+    silently discarded.
+    """
+    units: Sequence[Any] = list(items)
+    n_jobs = min(resolve_jobs(jobs), max(1, len(units)))
+
+    if n_jobs <= 1:
+        results = []
+        for index, unit in enumerate(units):
+            result = fn(unit)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+    if chunksize is None:
+        chunksize = deterministic_chunksize(len(units), n_jobs)
+
+    def gather(pool: ProcessPoolExecutor) -> list[Any]:
+        futures = {
+            pool.submit(_apply_chunk, (fn, list(units[start : start + chunksize]))): start
+            for start in range(0, len(units), chunksize)
+        }
+        results: list[Any] = [None] * len(units)
+        first_error: BaseException | None = None
+        for future in as_completed(futures):
+            start = futures[future]
+            try:
+                chunk_results = future.result()
+            except BaseException as exc:  # gather the rest before raising
+                if first_error is None:
+                    first_error = exc
+                continue
+            for offset, result in enumerate(chunk_results):
+                results[start + offset] = result
+                if on_result is not None:
+                    on_result(start + offset, result)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    if executor is not None:
+        return gather(executor)
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return gather(pool)

@@ -1,0 +1,104 @@
+"""Lightweight progress and throughput reporting for long sweeps.
+
+A progress reporter is any object with ``start(total)``, ``update(done, info)``
+and ``finish()``.  Two implementations are provided:
+
+* :class:`NullProgress` — the default, does nothing (tests and library use);
+* :class:`ConsoleProgress` — a single carriage-return-refreshed line with
+  unit counts, throughput and cache-hit information, rate-limited so that
+  even a 10k-unit sweep costs nothing noticeable.
+
+The runtime reports one ``update`` per completed work unit (cache hits
+included, so a fully warm sweep still shows its progress honestly).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["NullProgress", "ConsoleProgress", "coerce_progress"]
+
+
+class NullProgress:
+    """Progress sink that ignores every event."""
+
+    def start(self, total: int) -> None:  # noqa: D102 - protocol no-op
+        pass
+
+    def update(self, done: int, info: str = "") -> None:  # noqa: D102
+        pass
+
+    def finish(self) -> None:  # noqa: D102
+        pass
+
+
+class ConsoleProgress:
+    """One-line console progress with throughput (units/second).
+
+    Parameters
+    ----------
+    stream:
+        Target stream; defaults to stderr so that piped stdout reports stay
+        machine-readable.
+    min_interval:
+        Minimum seconds between refreshes (the final state is always shown).
+    """
+
+    def __init__(self, *, stream: TextIO | None = None, min_interval: float = 0.2) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._total = 0
+        self._done = 0
+        self._started = 0.0
+        self._last_render = 0.0
+        self._last_info = ""
+        self._max_width = 0
+
+    def start(self, total: int) -> None:
+        self._total = int(total)
+        self._done = 0
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._last_info = ""
+        self._max_width = 0
+        self._render(info="", force=True)
+
+    def update(self, done: int, info: str = "") -> None:
+        self._done = int(done)
+        if info:
+            self._last_info = info
+        self._render(info=info, force=self._done >= self._total)
+
+    def finish(self) -> None:
+        # Keep the most recent info (e.g. cache hit/miss counts) on the
+        # line that stays in the terminal.
+        self._render(info=self._last_info, force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def _render(self, *, info: str, force: bool) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        elapsed = max(now - self._started, 1e-9)
+        rate = self._done / elapsed
+        line = f"[{self._done}/{self._total}] {rate:.1f} units/s"
+        if info:
+            line += f" ({info})"
+        # Pad to the widest line rendered so far so a shorter refresh fully
+        # overwrites the previous one instead of leaving trailing garbage.
+        self._max_width = max(self._max_width, len(line))
+        self.stream.write("\r" + line.ljust(self._max_width))
+        self.stream.flush()
+
+
+def coerce_progress(progress: Any) -> Any:
+    """Accept ``None`` (silent), ``True`` (console) or a reporter object."""
+    if progress is None or progress is False:
+        return NullProgress()
+    if progress is True:
+        return ConsoleProgress()
+    return progress

@@ -1,0 +1,418 @@
+"""Campaign runner: fan work units out across workers, feed the cache.
+
+The runtime decomposes a campaign into *work units* — one
+``(scenario instance, heuristic)`` pair each, where the scenario instance
+already carries its seed.  Units are independent by construction (each
+heuristic draws from its own ``(seed, heuristic)``-derived random stream,
+see :func:`repro.heuristics.registry.heuristic_rng`), so the runner can:
+
+* answer units from the :class:`~repro.runtime.cache.ResultCache` without
+  any evaluator call (only the cheap workflow construction is repeated, to
+  fingerprint the instance content-addressably);
+* fan the remaining units out over a process pool via
+  :func:`~repro.runtime.parallel.parallel_map`, gathering results in input
+  order — aggregates of a ``jobs=4`` run are bit-for-bit those of the
+  serial run;
+* reuse per-instance DAG construction: both the parent and every worker
+  memoize the generated workflow per scenario instance, so the 14
+  heuristics of one scenario share one generator call per process.
+
+Result rows come back as :class:`~repro.experiments.harness.ResultRow`.
+Only the *outcome* fields of a row are cached; identity fields (label,
+family, seed, ...) are re-stamped from the requesting unit, so one cached
+evaluation can serve several sweeps (e.g. figure 2 and figure 3 share
+every ``DF-*`` unit on CyberShake) without leaking the original sweep's
+labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..experiments.harness import ResultRow, run_heuristic
+from ..experiments.scenarios import Scenario, build_workflow
+from ..heuristics.registry import parse_heuristic_name
+from ..heuristics.search import SEARCH_MODES
+from .cache import LRUCache, ResultCache
+from .keys import evaluation_key, scenario_unit_key
+from .parallel import parallel_map, resolve_jobs
+from .progress import coerce_progress
+
+__all__ = [
+    "WorkUnit",
+    "CampaignRunner",
+    "expand_work_units",
+    "evaluate_schedule_cached",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent (scenario instance, heuristic) computation."""
+
+    scenario: Scenario
+    heuristic: str
+    search_mode: str = "exhaustive"
+    max_candidates: int = 30
+
+
+#: Fields of a ResultRow that are computed (and therefore cached); the
+#: remaining fields are re-stamped from the requesting work unit, including
+#: ``linearization``/``checkpoint_strategy`` (pure functions of the
+#: heuristic name).  ``solve_seconds`` is deliberately absent: it is a
+#: wall-clock measurement of the machine that computed the row, so a cache
+#: hit reports 0.0 rather than presenting someone else's timing as its own.
+_OUTCOME_FIELDS = (
+    "actual_n_tasks",
+    "n_checkpointed",
+    "expected_makespan",
+    "failure_free_work",
+    "overhead_ratio",
+)
+
+# Per-process memo of generated workflow instances (and their content
+# digests), so that the heuristics of one scenario share a single generator
+# call — and a single fingerprint hash — in the parent and in each worker.
+# An LRU bound keeps long multi-family sweeps at constant memory.
+_WORKFLOW_MEMO = LRUCache(maxsize=16)
+
+
+def _instance_signature(scenario: Scenario) -> tuple:
+    return (
+        scenario.family,
+        scenario.n_tasks,
+        scenario.seed,
+        scenario.checkpoint_mode,
+        scenario.checkpoint_factor,
+        scenario.checkpoint_value,
+    )
+
+
+def _memoized_instance(scenario: Scenario, *, digest: bool = False) -> tuple[Any, str | None]:
+    """The scenario's workflow and (when ``digest``) its content fingerprint."""
+    signature = _instance_signature(scenario)
+    workflow, fingerprint = _WORKFLOW_MEMO.get(signature) or (None, None)
+    if workflow is None:
+        workflow = build_workflow(scenario)
+    if digest and fingerprint is None:
+        from .keys import workflow_fingerprint
+
+        fingerprint = workflow_fingerprint(workflow)
+    _WORKFLOW_MEMO.put(signature, (workflow, fingerprint))
+    return workflow, fingerprint
+
+
+def _memoized_workflow(scenario: Scenario):
+    return _memoized_instance(scenario)[0]
+
+
+def _solve_unit(unit: WorkUnit) -> ResultRow:
+    """Worker entry point: solve one unit (module-level, hence picklable)."""
+    workflow = _memoized_workflow(unit.scenario)
+    return run_heuristic(
+        unit.scenario,
+        unit.heuristic,
+        search_mode=unit.search_mode,
+        max_candidates=unit.max_candidates,
+        workflow=workflow,
+    )
+
+
+def _row_outcome(row: ResultRow) -> dict[str, Any]:
+    return {name: getattr(row, name) for name in _OUTCOME_FIELDS}
+
+
+def _row_from_outcome(unit: WorkUnit, outcome: dict[str, Any]) -> ResultRow:
+    scenario = unit.scenario
+    linearization, strategy = parse_heuristic_name(unit.heuristic)
+    return ResultRow(
+        label=scenario.label,
+        family=scenario.family,
+        n_tasks=scenario.n_tasks,
+        actual_n_tasks=int(outcome["actual_n_tasks"]),
+        failure_rate=scenario.failure_rate,
+        checkpoint_mode=scenario.checkpoint_mode,
+        checkpoint_parameter=scenario.checkpoint_parameter,
+        heuristic=unit.heuristic,
+        linearization=linearization,
+        checkpoint_strategy=strategy,
+        n_checkpointed=int(outcome["n_checkpointed"]),
+        expected_makespan=float(outcome["expected_makespan"]),
+        failure_free_work=float(outcome["failure_free_work"]),
+        overhead_ratio=float(outcome["overhead_ratio"]),
+        solve_seconds=0.0,
+        seed=scenario.seed,
+    )
+
+
+def expand_work_units(
+    scenarios: Iterable[Scenario],
+    *,
+    seeds: Sequence[int] | None = None,
+    search_mode: str = "exhaustive",
+    max_candidates: int = 30,
+) -> list[WorkUnit]:
+    """Expand scenarios into the (scenario × seed × heuristic) unit list.
+
+    ``seeds=None`` keeps each scenario's own seed (grid semantics); an
+    explicit sequence repeats every scenario once per seed (campaign
+    semantics).  The expansion order is the deterministic iteration order
+    used by the serial reference path.
+    """
+    # Validate here so that a typoed mode fails before any cache lookup —
+    # a warm cache must reject exactly what a cold one rejects.
+    if search_mode not in SEARCH_MODES:
+        raise ValueError(
+            f"unknown search mode {search_mode!r}; expected one of {SEARCH_MODES}"
+        )
+    units: list[WorkUnit] = []
+    for scenario in scenarios:
+        instances = (
+            [scenario]
+            if seeds is None
+            else [scenario.with_updates(seed=int(seed)) for seed in seeds]
+        )
+        for instance in instances:
+            for heuristic in instance.heuristics:
+                units.append(
+                    WorkUnit(
+                        scenario=instance,
+                        heuristic=heuristic,
+                        search_mode=search_mode,
+                        max_candidates=max_candidates,
+                    )
+                )
+    return units
+
+
+class CampaignRunner:
+    """Execute campaign work units with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs serially in-process (the reference
+        path), ``None``/``0`` uses every CPU.
+    cache:
+        Optional :class:`ResultCache`; hits skip the evaluator entirely.
+    search_mode, max_candidates:
+        Checkpoint-count search configuration forwarded to every unit.
+    progress:
+        ``None`` (silent), ``True`` (console reporter) or any object with
+        ``start/update/finish``.
+
+    The worker pool is created lazily on the first parallel batch and reused
+    for the runner's lifetime, so a driver that issues several sweeps (e.g.
+    ``all_figures``) pays worker start-up once.  Call :meth:`close` (or use
+    the runner as a context manager) to release the pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        search_mode: str = "exhaustive",
+        max_candidates: int = 30,
+        progress: Any = None,
+    ) -> None:
+        # Resolve (and thereby validate) the worker count eagerly so that a
+        # bad --jobs value fails identically on warm and cold caches.
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.search_mode = search_mode
+        self.max_candidates = max_candidates
+        self.progress = coerce_progress(progress)
+        self._pool: Any = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _executor(self):
+        if self.jobs <= 1:
+            return None
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_rows(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        seeds: Sequence[int] | None = None,
+        search_mode: str | None = None,
+        max_candidates: int | None = None,
+    ) -> list[ResultRow]:
+        """Run every unit of the scenarios; rows come back in unit order.
+
+        ``search_mode`` / ``max_candidates`` override the runner's defaults
+        for this call, so one runner (and its worker pool) can serve sweeps
+        with different search configurations.
+        """
+        units = expand_work_units(
+            scenarios,
+            seeds=seeds,
+            search_mode=search_mode if search_mode is not None else self.search_mode,
+            max_candidates=(
+                max_candidates if max_candidates is not None else self.max_candidates
+            ),
+        )
+        return self.run_units(units)
+
+    def run_units(self, units: Sequence[WorkUnit]) -> list[ResultRow]:
+        """Resolve units from the cache, compute the misses, keep the order."""
+        rows: list[ResultRow | None] = [None] * len(units)
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+
+        self.progress.start(len(units))
+        try:
+            done = 0
+            if self.cache is not None:
+                for index, unit in enumerate(units):
+                    key = self._unit_key(unit)
+                    keys[index] = key
+                    outcome = self.cache.get(key)
+                    if outcome is not None:
+                        rows[index] = _row_from_outcome(unit, outcome)
+                        done += 1
+                    else:
+                        pending.append(index)
+                self.progress.update(done, self._progress_info())
+            else:
+                pending = list(range(len(units)))
+
+            if pending:
+                done_base = done
+                completed = 0
+
+                def on_result(position: int, row: ResultRow) -> None:
+                    # Persist every result the moment the parent receives it
+                    # (completion order under jobs>1), so an interrupted or
+                    # partially failed sweep keeps everything it already
+                    # paid for.
+                    nonlocal completed
+                    index = pending[position]
+                    rows[index] = row
+                    if self.cache is not None:
+                        self.cache.put(keys[index], _row_outcome(row))
+                    completed += 1
+                    self.progress.update(done_base + completed, self._progress_info())
+
+                try:
+                    parallel_map(
+                        _solve_unit,
+                        [units[index] for index in pending],
+                        jobs=self.jobs,
+                        on_result=on_result,
+                        # A single pending unit runs serially in-parent
+                        # anyway; don't spawn a worker pool for it.
+                        executor=self._executor() if len(pending) > 1 else None,
+                    )
+                except BaseException:
+                    # A worker crash (e.g. BrokenProcessPool) can leave the
+                    # pool unusable; drop it so the next batch on this
+                    # runner starts fresh instead of failing forever.
+                    self._reset_pool()
+                    raise
+        finally:
+            # Always terminate the progress line, so an error message that
+            # follows starts on a clean line.
+            self.progress.finish()
+        assert all(row is not None for row in rows)
+        return list(rows)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _unit_key(self, unit: WorkUnit) -> str:
+        workflow, fingerprint = _memoized_instance(unit.scenario, digest=True)
+        # CkptNvr/CkptAlws never consume the candidate counts, so their
+        # results are identical under every search configuration; normalize
+        # those key components to let e.g. a geometric sweep warm the
+        # baselines of a later exhaustive one.
+        _, strategy = parse_heuristic_name(unit.heuristic)
+        if strategy in ("CkptNvr", "CkptAlws"):
+            search_mode, max_candidates = "none", 0
+        else:
+            search_mode, max_candidates = unit.search_mode, unit.max_candidates
+            if search_mode == "geometric" and workflow.n_tasks <= max_candidates:
+                # The budget covers every count, so the geometric candidate
+                # set degenerates to the exhaustive one.
+                search_mode = "exhaustive"
+            if search_mode == "exhaustive":
+                # candidate_counts ignores the budget in exhaustive mode, so
+                # keying on it would only create spurious misses.
+                max_candidates = 0
+        return scenario_unit_key(
+            workflow_digest=fingerprint,
+            platform=unit.scenario.platform,
+            heuristic=unit.heuristic,
+            search_mode=search_mode,
+            max_candidates=max_candidates,
+            seed=unit.scenario.seed,
+        )
+
+    def _progress_info(self) -> str:
+        if self.cache is None:
+            return ""
+        stats = self.cache.stats
+        return f"cache {stats.hits} hits / {stats.misses} misses"
+
+
+def evaluate_schedule_cached(
+    schedule: Schedule,
+    platform: Platform,
+    cache: ResultCache,
+) -> MakespanEvaluation:
+    """Content-addressed wrapper around the Theorem-3 evaluator.
+
+    Useful when pricing the same schedule on many platforms (or repeatedly
+    inside a refinement loop) with persistence across runs.  The full
+    per-position expectation vector is cached, so reconstruction is exact.
+    (Only the plain evaluation is supported; the event-probability table of
+    ``keep_probabilities`` is quadratic and deliberately not cached.)
+    """
+    key = evaluation_key(schedule, platform, kind="expected-makespan")
+    payload = cache.get(key)
+    if payload is not None:
+        return MakespanEvaluation(
+            expected_makespan=float(payload["expected_makespan"]),
+            expected_task_times=tuple(payload["expected_task_times"]),
+            failure_free_makespan=float(payload["failure_free_makespan"]),
+            failure_free_work=float(payload["failure_free_work"]),
+        )
+    evaluation = evaluate_schedule(schedule, platform)
+    cache.put(
+        key,
+        {
+            "expected_makespan": evaluation.expected_makespan,
+            "expected_task_times": list(evaluation.expected_task_times),
+            "failure_free_makespan": evaluation.failure_free_makespan,
+            "failure_free_work": evaluation.failure_free_work,
+        },
+    )
+    return evaluation

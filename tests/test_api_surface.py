@@ -28,6 +28,7 @@ PUBLIC_MODULES = [
     "repro.workflows.pegasus",
     "repro.experiments",
     "repro.analysis",
+    "repro.runtime",
     "repro.cli",
 ]
 

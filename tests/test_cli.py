@@ -125,19 +125,211 @@ class TestSolveAndEvaluate:
         assert "95% CI" in out
 
 
+def _tiny_all_figures(*, preset, seed, jobs=1, cache=None, progress=None):
+    """Drop-in for repro.cli.all_figures with a fast single-figure config."""
+    from repro.experiments import figure2
+
+    return {
+        "figure2": figure2(
+            sizes=(20,), seed=seed, search_mode="geometric",
+            jobs=jobs, cache=cache, progress=progress,
+        )
+    }
+
+
 class TestFigures:
     def test_figures_smoke_writes_csv(self, tmp_path, capsys, monkeypatch):
         # Patch the figure runner to a tiny configuration to keep the test fast.
         import repro.cli as cli
 
-        def tiny_all_figures(*, preset, seed):
-            from repro.experiments import figure2
-
-            return {"figure2": figure2(sizes=(20,), seed=seed, search_mode="geometric")}
-
-        monkeypatch.setattr(cli, "all_figures", tiny_all_figures)
+        monkeypatch.setattr(cli, "all_figures", _tiny_all_figures)
         outdir = tmp_path / "figs"
         code = main(["figures", "--preset", "smoke", "--outdir", str(outdir)])
         assert code == 0
         assert (outdir / "figure2.csv").exists()
         assert "figure2" in capsys.readouterr().out
+
+    def test_figures_fails_fast_on_unwritable_outdir(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def sweep_must_not_run(**kwargs):
+            raise AssertionError("sweep ran despite unwritable outdir")
+
+        monkeypatch.setattr(cli, "all_figures", sweep_must_not_run)
+        monkeypatch.setattr(cli.os, "access", lambda *a, **k: False)
+        assert main(["figures", "--outdir", str(tmp_path / "figs")]) == 2
+        assert "not writable" in capsys.readouterr().err
+        assert not (tmp_path / "figs").exists()
+
+    def test_figures_with_cache_reports_stats(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "all_figures", _tiny_all_figures)
+        cache_path = tmp_path / "cache.sqlite"
+        args = [
+            "figures", "--outdir", str(tmp_path / "figs"),
+            "--jobs", "1", "--cache", str(cache_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first and cache_path.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert ", 0 misses" in second  # fully warm re-run
+
+
+class TestCampaignCommand:
+    CAMPAIGN_ARGS = [
+        "campaign",
+        "--families", "montage",
+        "--sizes", "15",
+        "--seeds", "0,1",
+        "--heuristics", "DF-CkptW,DF-CkptNvr",
+        "--max-candidates", "5",
+    ]
+
+    def test_campaign_prints_aggregation_and_writes_csv(self, tmp_path, capsys):
+        out_csv = tmp_path / "rows.csv"
+        code = main(self.CAMPAIGN_ARGS + ["--output", str(out_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DF-CkptW" in out and "montage" in out
+        assert out_csv.exists()
+        assert "heuristic" in out_csv.read_text()
+
+    def test_campaign_fails_fast_on_missing_output_dir(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def sweep_must_not_run(*args, **kwargs):
+            raise AssertionError("sweep ran despite bad --output")
+
+        monkeypatch.setattr(cli, "run_campaign", sweep_must_not_run)
+        out = tmp_path / "missing" / "rows.csv"
+        assert main(self.CAMPAIGN_ARGS + ["--output", str(out)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_campaign_with_jobs_and_cache(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.sqlite"
+        args = self.CAMPAIGN_ARGS + ["--jobs", "2", "--cache", str(cache_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "misses" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 misses" in warm
+        # Aggregation tables of the cold and warm runs are identical.
+        table = lambda text: [l for l in text.splitlines() if "montage" in l]
+        assert table(warm) == table(cold)
+
+
+class TestCacheCommand:
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.sqlite"
+        assert main([
+            "campaign", "--families", "montage", "--sizes", "15",
+            "--seeds", "0", "--heuristics", "DF-CkptNvr",
+            "--cache", str(cache_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", str(cache_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["puts"] == 1
+
+    def test_stats_missing_file_fails(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "absent.sqlite")]) == 1
+
+    def test_stats_on_corrupt_file_reports_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "not-a-db.sqlite"
+        path.write_text("this is not sqlite")
+        assert main(["cache", "stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    """Routine bad input exits with a one-line message, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--families", "bogus", "--sizes", "10", "--seeds", "0"],
+            ["campaign", "--families", "montage", "--sizes", "10", "--seeds", ""],
+            ["campaign", "--families", "", "--sizes", "10", "--seeds", "0"],
+            ["campaign", "--families", "montage", "--sizes", "", "--seeds", "0"],
+            ["campaign", "--families", "montage", "--sizes", "10", "--seeds", "0",
+             "--heuristics", "DF-CkptWrong"],
+            ["campaign", "--families", "montage", "--sizes", "10", "--seeds", "0",
+             "--heuristics", "DF-CkptNvr", "--jobs", "-3"],
+            ["campaign", "--families", "montage", "--sizes", "10", "--seeds", "0",
+             "--heuristics", "DF-CkptW", "--search-mode", "geometric",
+             "--max-candidates", "1"],
+        ],
+    )
+    def test_bad_input_exits_2_with_message(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_rejected_invocation_creates_no_cache_file(self, tmp_path, capsys):
+        cache_path = tmp_path / "new" / "cache.sqlite"
+        assert main(["campaign", "--families", "montage", "--sizes", "10",
+                     "--seeds", "", "--cache", str(cache_path)]) == 2
+        assert not cache_path.exists()
+        assert not cache_path.parent.exists()
+        assert main(["campaign", "--families", "montage", "--sizes", "10",
+                     "--seeds", "0", "--jobs", "-3",
+                     "--cache", str(cache_path)]) == 2
+        assert not cache_path.exists()
+        assert main(["campaign", "--families", "montage", "--sizes", "10",
+                     "--seeds", "0", "--heuristics", "DF-CkptWrong",
+                     "--cache", str(cache_path)]) == 2
+        assert not cache_path.exists()
+        # Failure past the cheap checks (generator rejects the size) is also
+        # cleaned up, including the parent directory the cache created.
+        assert main(["campaign", "--families", "montage", "--sizes", "-5",
+                     "--seeds", "0", "--heuristics", "DF-CkptNvr",
+                     "--cache", str(cache_path)]) == 2
+        assert not cache_path.exists()
+        assert not cache_path.parent.exists()
+
+    def test_foreign_sqlite_file_refused_and_untouched(self, tmp_path, capsys):
+        import sqlite3
+
+        foreign = tmp_path / "someapp.db"
+        conn = sqlite3.connect(foreign)
+        conn.execute("CREATE TABLE app_data (id INTEGER PRIMARY KEY)")
+        conn.commit()
+        conn.close()
+        before = foreign.read_bytes()
+        assert main(["campaign", "--families", "montage", "--sizes", "15",
+                     "--seeds", "0", "--heuristics", "DF-CkptNvr",
+                     "--cache", str(foreign)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+        assert foreign.read_bytes() == before
+
+    def test_repro_debug_zero_means_off(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "0")
+        assert main(["campaign", "--families", "bogus", "--sizes", "10",
+                     "--seeds", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_repro_debug_one_reraises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(ValueError):
+            main(["campaign", "--families", "bogus", "--sizes", "10",
+                  "--seeds", "0"])
+
+    def test_clear_empties_the_store(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.sqlite"
+        assert main([
+            "campaign", "--families", "montage", "--sizes", "15",
+            "--seeds", "0", "--heuristics", "DF-CkptNvr",
+            "--cache", str(cache_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", str(cache_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache_path)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0

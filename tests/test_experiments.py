@@ -90,6 +90,16 @@ class TestRunScenario:
             assert row.overhead_ratio >= 1.0
             assert row.solve_seconds >= 0.0
 
+    def test_invalid_search_mode_rejected_even_for_baselines(self):
+        # CkptNvr never consumes the candidate counts, but a typoed mode
+        # must still fail loudly instead of polluting results/cache keys.
+        scenario = Scenario(
+            family="montage", n_tasks=15, failure_rate=1e-3,
+            heuristics=("DF-CkptNvr",),
+        )
+        with pytest.raises(ValueError, match="search mode"):
+            run_scenario(scenario, search_mode="bogus")
+
     def test_searchful_heuristics_beat_baselines(self, rows):
         by_name = {r.heuristic: r for r in rows}
         assert by_name["DF-CkptW"].overhead_ratio <= by_name["DF-CkptNvr"].overhead_ratio + 1e-9

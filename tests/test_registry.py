@@ -94,6 +94,15 @@ class TestSolveAll:
         )
         assert set(results) == set(subset)
 
+    def test_int_seed_reproducible_across_entry_points(self, workflow, platform):
+        """solve_heuristic(rng=seed) must match the campaign/solve_all path."""
+        single = solve_heuristic(workflow, platform, "RF-CkptW", rng=7, counts=[2, 8])
+        grouped = solve_all_heuristics(
+            workflow, platform, heuristics=("RF-CkptW",), rng=7, counts=[2, 8]
+        )
+        assert single.expected_makespan == grouped["RF-CkptW"].expected_makespan
+        assert single.schedule.order == grouped["RF-CkptW"].schedule.order
+
     def test_best_heuristic_is_the_minimum(self, workflow, platform):
         subset = ("DF-CkptW", "DF-CkptC", "DF-CkptPer", "DF-CkptNvr")
         results = solve_all_heuristics(

@@ -1,0 +1,187 @@
+"""Tests for the result cache layers (repro.runtime.cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import DiskCache, LRUCache, ResultCache, read_disk_stats
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the stalest entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_unbounded_when_maxsize_nonpositive(self):
+        cache = LRUCache(maxsize=0)
+        for i in range(100):
+            cache.put(str(i), i)
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_put_refreshes_existing_key_without_growth(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+
+class TestDiskCache:
+    def test_persists_across_connections(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        disk = DiskCache(path)
+        disk.put("key", {"ratio": 1.25, "list": [1, 2]})
+        disk.close()
+
+        reopened = DiskCache(path)
+        assert reopened.get("key") == {"ratio": 1.25, "list": [1, 2]}
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_lifetime_counters_accumulate(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        disk = DiskCache(path)
+        disk.get("missing")
+        disk.put("key", 1)
+        disk.get("key")
+        disk.close()
+        disk = DiskCache(path)
+        disk.get("key")
+        counters = disk.counters()
+        disk.close()
+        assert counters == {"hits": 2, "misses": 1, "puts": 1}
+
+    def test_refuses_foreign_sqlite_database(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "someapp.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE app_data (id INTEGER PRIMARY KEY)")
+        conn.commit()
+        conn.close()
+        before = path.read_bytes()
+        with pytest.raises(ValueError, match="not a repro result cache"):
+            DiskCache(path)
+        assert path.read_bytes() == before  # untouched
+
+    def test_refuses_foreign_db_with_coincidental_entries_table(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "someapp.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE entries (id INTEGER PRIMARY KEY, payload BLOB)")
+        conn.commit()
+        conn.close()
+        before = path.read_bytes()
+        with pytest.raises(ValueError, match="not a repro result cache"):
+            DiskCache(path)
+        assert path.read_bytes() == before  # no WAL switch, no meta table
+
+    def test_close_is_idempotent(self, tmp_path):
+        disk = DiskCache(tmp_path / "cache.sqlite")
+        disk.put("a", 1)
+        disk.close()
+        disk.close()
+
+    def test_clear(self, tmp_path):
+        disk = DiskCache(tmp_path / "cache.sqlite")
+        disk.put("a", 1)
+        disk.put("b", 2)
+        disk.get("a")
+        assert disk.clear() == 2
+        assert len(disk) == 0
+        # Lifetime counters reset along with the entries.
+        assert disk.counters() == {"hits": 0, "misses": 0, "puts": 0}
+        assert disk.get("a") is None
+        disk.close()
+
+
+class TestResultCache:
+    def test_memory_only_by_default(self):
+        cache = ResultCache()
+        assert cache.disk is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_disk_hits_promote_to_memory(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        with ResultCache.open(path) as first:
+            first.put("k", {"v": 1})
+
+        with ResultCache.open(path) as second:
+            assert second.get("k") == {"v": 1}  # served from disk
+            assert "k" in second.memory  # and promoted
+            assert second.stats.hits == 1
+
+    def test_session_stats_track_misses(self, tmp_path):
+        with ResultCache.open(tmp_path / "cache.sqlite") as cache:
+            assert cache.get("nope") is None
+            assert cache.stats.misses == 1
+            assert cache.stats.hit_rate == 0.0
+
+    def test_len_prefers_disk_layer(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        with ResultCache.open(path) as cache:
+            cache.put("a", 1)
+        with ResultCache.open(path, maxsize=4) as cache:
+            cache.put("b", 2)
+            assert len(cache) == 2  # disk knows both; memory only "b"
+
+
+class TestLifetimeCounterConsistency:
+    def test_memory_layer_hits_reach_disk_counters(self, tmp_path):
+        """Hits served by the LRU on top of a disk cache still count."""
+        path = tmp_path / "cache.sqlite"
+        with ResultCache.open(path) as cache:
+            cache.put("k", {"v": 1})
+            assert cache.get("k") == {"v": 1}  # memory hit
+            assert cache.get("k") == {"v": 1}  # memory hit
+        stats = read_disk_stats(path)
+        assert stats["puts"] == 1
+        assert stats["hits"] == 2
+        assert stats["misses"] == 0
+
+
+class TestReadDiskStats:
+    def test_summary_fields(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        with ResultCache.open(path) as cache:
+            cache.get("missing")
+            cache.put("k", {"v": 1})
+            cache.get("k")
+        stats = read_disk_stats(path)
+        assert stats["entries"] == 1
+        assert stats["size_bytes"] > 0
+        assert stats["puts"] == 1
+        assert stats["misses"] >= 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_disk_stats(tmp_path / "absent.sqlite")
+
+    def test_path_with_uri_metacharacters(self, tmp_path):
+        """'#', '?' and '%' in the path must not derail the read-only open."""
+        path = tmp_path / "weird#name?100%.sqlite"
+        with ResultCache.open(path) as cache:
+            cache.put("k", {"v": 1})
+        stats = read_disk_stats(path)
+        assert stats["entries"] == 1
+        assert stats["puts"] == 1

@@ -1,0 +1,80 @@
+"""Tests for the deterministic parallel map (repro.runtime.parallel)."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.runtime import deterministic_chunksize, parallel_map, resolve_jobs
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_none_and_zero_mean_all_cpus(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs(0) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestDeterministicChunksize:
+    def test_pure_function_of_inputs(self):
+        assert deterministic_chunksize(100, 4) == deterministic_chunksize(100, 4)
+
+    def test_bounds(self):
+        assert deterministic_chunksize(0, 4) == 1
+        assert deterministic_chunksize(1, 8) == 1
+        assert deterministic_chunksize(10_000, 1) == 32  # capped
+
+    def test_roughly_four_chunks_per_worker(self):
+        assert deterministic_chunksize(64, 4) == 4
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        result = parallel_map(str.upper, ["a", "b", "c"], jobs=1)
+        assert result == ["A", "B", "C"]
+
+    def test_serial_on_result_callback_in_order(self):
+        seen = []
+        parallel_map(str.upper, ["a", "b"], jobs=1,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, "A"), (1, "B")]
+
+    def test_parallel_matches_serial(self):
+        values = list(range(40))
+        serial = parallel_map(math.sqrt, values, jobs=1)
+        parallel = parallel_map(math.sqrt, values, jobs=2)
+        assert parallel == serial
+
+    def test_parallel_on_result_delivers_every_item(self):
+        # Completion order is not guaranteed under jobs>1, but every item
+        # must be reported exactly once with its input index.
+        seen = []
+        parallel_map(math.sqrt, [4.0, 9.0, 16.0], jobs=2,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert sorted(seen) == [(0, 2.0), (1, 3.0), (2, 4.0)]
+
+    def test_parallel_failure_still_delivers_completed_results(self):
+        # A failing unit must not discard sibling results: every non-failing
+        # chunk is gathered (and reported) before the error propagates.
+        seen = []
+        with pytest.raises(TypeError):
+            parallel_map(math.sqrt, [4.0, "x", 16.0, 25.0], jobs=2,
+                         chunksize=1, on_result=lambda i, r: seen.append(i))
+        assert sorted(seen) == [0, 2, 3]
+
+    def test_empty_input(self):
+        assert parallel_map(str.upper, [], jobs=4) == []
+
+    def test_worker_count_never_exceeds_items(self):
+        # jobs=8 with 2 items must still work (pool sized down to 2).
+        assert parallel_map(str.upper, ["x", "y"], jobs=8) == ["X", "Y"]

@@ -1,0 +1,330 @@
+"""Tests for the campaign runner: cache integration, parallel == serial.
+
+These are the acceptance tests of the runtime subsystem:
+
+* a warm cache answers a repeated sweep with *zero* evaluator calls;
+* ``jobs>1`` reproduces the ``jobs=1`` aggregates bit-for-bit;
+* cached rows are re-stamped with the requesting sweep's identity fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+
+from repro.core.evaluator import evaluate_schedule
+from repro.core.platform import Platform
+from repro.core.schedule import Schedule
+from repro.experiments import Scenario, run_campaign, run_grid
+from repro.heuristics import linearize
+from repro.runtime import NullProgress, ResultCache
+from repro.runtime.runner import (
+    CampaignRunner,
+    evaluate_schedule_cached,
+    expand_work_units,
+)
+from repro.workflows import pegasus
+
+
+HEURISTICS = ("DF-CkptW", "RF-CkptC")  # one deterministic, one randomized
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        family="montage",
+        n_tasks=15,
+        failure_rate=1e-3,
+        heuristics=HEURISTICS,
+        label="runner-test",
+    )
+
+
+def _rows_equal_except_timing(a, b):
+    names = [f.name for f in fields(type(a))]
+    return all(
+        getattr(a, name) == getattr(b, name)
+        for name in names
+        if name != "solve_seconds"
+    )
+
+
+class TestExpandWorkUnits:
+    def test_grid_semantics_keep_scenario_seed(self, scenario):
+        units = expand_work_units([scenario.with_updates(seed=9)])
+        assert [u.scenario.seed for u in units] == [9, 9]
+        assert [u.heuristic for u in units] == list(HEURISTICS)
+
+    def test_campaign_semantics_repeat_per_seed(self, scenario):
+        units = expand_work_units([scenario], seeds=(0, 1, 2))
+        assert len(units) == 3 * len(HEURISTICS)
+        assert sorted({u.scenario.seed for u in units}) == [0, 1, 2]
+
+
+class TestRunnerValidation:
+    def test_invalid_jobs_rejected_at_construction(self):
+        """A bad --jobs value must fail eagerly, warm cache or not."""
+        with pytest.raises(ValueError):
+            CampaignRunner(jobs=-3)
+
+    def test_runner_recovers_after_failed_parallel_batch(self, scenario, monkeypatch):
+        """A failed batch must not poison the runner's worker pool."""
+        import repro.runtime.runner as runner_module
+
+        real = runner_module.run_heuristic
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated worker failure")
+
+        with CampaignRunner(jobs=2, search_mode="geometric", max_candidates=5) as runner:
+            monkeypatch.setattr(runner_module, "run_heuristic", boom)
+            with pytest.raises(RuntimeError):
+                runner.run_rows([scenario])
+            monkeypatch.setattr(runner_module, "run_heuristic", real)
+            rows = runner.run_rows([scenario])
+        assert len(rows) == len(HEURISTICS)
+
+
+class TestParallelMatchesSerial:
+    def test_campaign_aggregates_identical(self, scenario):
+        serial = run_campaign(
+            [scenario], seeds=(0, 1), search_mode="geometric", max_candidates=5
+        )
+        parallel = run_campaign(
+            [scenario], seeds=(0, 1), search_mode="geometric", max_candidates=5,
+            jobs=2,
+        )
+        # Bit-for-bit: AggregatedResult is a frozen dataclass of floats.
+        assert parallel.aggregated == serial.aggregated
+        assert len(parallel.rows) == len(serial.rows)
+        assert all(
+            _rows_equal_except_timing(a, b)
+            for a, b in zip(serial.rows, parallel.rows)
+        )
+
+    def test_grid_rows_identical(self, scenario):
+        serial = run_grid([scenario], search_mode="geometric", max_candidates=5)
+        parallel = run_grid(
+            [scenario], search_mode="geometric", max_candidates=5, jobs=2
+        )
+        assert all(
+            _rows_equal_except_timing(a, b) for a, b in zip(serial, parallel)
+        )
+
+    def test_jobs_none_means_all_cpus_not_serial_shortcut(self, scenario):
+        """``jobs=None`` must follow the runtime contract (all CPUs)."""
+        from unittest import mock
+
+        with mock.patch(
+            "repro.runtime.runner.CampaignRunner.run_units", autospec=True
+        ) as spy:
+            spy.return_value = []
+            run_grid([scenario], search_mode="geometric", jobs=None)
+        assert spy.called
+        rows = run_grid(
+            [scenario], search_mode="geometric", max_candidates=5, jobs=None
+        )
+        serial = run_grid(
+            [scenario], search_mode="geometric", max_candidates=5, jobs=1
+        )
+        assert all(
+            _rows_equal_except_timing(a, b) for a, b in zip(serial, rows)
+        )
+
+    def test_runtime_serial_path_matches_plain_loop(self, scenario):
+        plain = run_grid([scenario], search_mode="geometric", max_candidates=5)
+        routed = run_grid(
+            [scenario], search_mode="geometric", max_candidates=5,
+            cache=ResultCache(),  # forces the CampaignRunner path at jobs=1
+        )
+        assert all(
+            _rows_equal_except_timing(a, b) for a, b in zip(plain, routed)
+        )
+
+
+class TestCaching:
+    def test_warm_cache_performs_zero_evaluator_calls(self, scenario, monkeypatch):
+        cache = ResultCache()
+        cold = run_campaign(
+            [scenario], seeds=(0, 1), search_mode="geometric", max_candidates=5,
+            cache=cache,
+        )
+        assert cache.stats.misses == len(cold.rows)
+        assert cache.stats.hits == 0
+
+        # Any attempt to solve a unit on the warm pass is a hard failure.
+        import repro.runtime.runner as runner_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("evaluator was called despite a warm cache")
+
+        monkeypatch.setattr(runner_module, "run_heuristic", forbidden)
+        warm = run_campaign(
+            [scenario], seeds=(0, 1), search_mode="geometric", max_candidates=5,
+            cache=cache,
+        )
+        assert cache.stats.hits == len(warm.rows)
+        assert warm.aggregated == cold.aggregated
+        assert all(
+            _rows_equal_except_timing(a, b)
+            for a, b in zip(cold.rows, warm.rows)
+        )
+        # A hit spent no solve time, and must say so rather than replaying
+        # the wall-clock of whoever computed the entry.
+        assert all(row.solve_seconds == 0.0 for row in warm.rows)
+
+    def test_interrupted_run_keeps_completed_results(self, scenario, monkeypatch):
+        """Each result is persisted on arrival, not after the whole sweep."""
+        import repro.runtime.runner as runner_module
+
+        cache = ResultCache()
+        real = runner_module.run_heuristic
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("simulated mid-sweep failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_heuristic", flaky)
+        with pytest.raises(RuntimeError):
+            run_campaign(
+                [scenario], seeds=(0, 1), search_mode="geometric",
+                max_candidates=5, cache=cache,
+            )
+        assert cache.stats.puts == 2  # everything computed before the failure
+
+    def test_cache_persists_across_runner_instances(self, scenario, tmp_path):
+        path = tmp_path / "rows.sqlite"
+        with ResultCache.open(path) as cache:
+            run_campaign(
+                [scenario], seeds=(0,), search_mode="geometric", max_candidates=5,
+                cache=cache,
+            )
+        with ResultCache.open(path) as cache:
+            run_campaign(
+                [scenario], seeds=(0,), search_mode="geometric", max_candidates=5,
+                cache=cache,
+            )
+            assert cache.stats.misses == 0
+            assert cache.stats.hits == len(HEURISTICS)
+
+    def test_cached_rows_are_restamped_with_requesting_label(self, scenario):
+        cache = ResultCache()
+        first = run_grid(
+            [scenario], search_mode="geometric", max_candidates=5, cache=cache
+        )
+        relabeled = scenario.with_updates(label="other-sweep")
+        second = run_grid(
+            [relabeled], search_mode="geometric", max_candidates=5, cache=cache
+        )
+        assert cache.stats.hits == len(second)
+        assert all(row.label == "other-sweep" for row in second)
+        assert [r.overhead_ratio for r in second] == [r.overhead_ratio for r in first]
+
+    def test_distinct_configurations_do_not_collide(self, scenario):
+        cache = ResultCache()
+        run_grid([scenario], search_mode="geometric", max_candidates=5, cache=cache)
+        # Different search budget -> different key -> fresh computation.
+        run_grid([scenario], search_mode="geometric", max_candidates=7, cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2 * len(HEURISTICS)
+
+    def test_invalid_search_mode_fails_warm_and_cold(self, scenario):
+        """A warm cache must not smuggle a typoed mode past validation."""
+        baselines = scenario.with_updates(heuristics=("DF-CkptNvr",))
+        cache = ResultCache()
+        run_grid([baselines], search_mode="geometric", max_candidates=5, cache=cache)
+        with pytest.raises(ValueError, match="search mode"):
+            run_grid([baselines], search_mode="bogus", cache=cache)
+
+    def test_run_grid_defers_to_runner_configuration(self, scenario):
+        """An omitted search_mode must not clobber the runner's own."""
+        from unittest import mock
+
+        import repro.runtime.runner as runner_module
+
+        with CampaignRunner(search_mode="geometric", max_candidates=5) as runner:
+            with mock.patch.object(
+                runner_module, "expand_work_units",
+                wraps=runner_module.expand_work_units,
+            ) as spy:
+                run_grid([scenario], runner=runner)
+        assert spy.call_args.kwargs["search_mode"] == "geometric"
+        assert spy.call_args.kwargs["max_candidates"] == 5
+
+    def test_exhaustive_units_hit_across_budgets(self, scenario):
+        """max_candidates is ignored in exhaustive mode, so it must not key."""
+        cache = ResultCache()
+        run_grid([scenario], search_mode="exhaustive", max_candidates=5, cache=cache)
+        run_grid([scenario], search_mode="exhaustive", max_candidates=50, cache=cache)
+        assert cache.stats.misses == len(HEURISTICS)
+        assert cache.stats.hits == len(HEURISTICS)
+
+    def test_small_geometric_sweep_hits_exhaustive_entries(self, scenario):
+        """With budget >= n, geometric counts equal exhaustive counts, so
+        the two configurations must share cache entries."""
+        cache = ResultCache()
+        run_grid([scenario], search_mode="exhaustive", cache=cache)
+        run_grid([scenario], search_mode="geometric", max_candidates=100, cache=cache)
+        assert cache.stats.misses == len(HEURISTICS)
+        assert cache.stats.hits == len(HEURISTICS)
+
+    def test_baseline_units_hit_across_search_modes(self, scenario):
+        """CkptNvr/CkptAlws results do not depend on the count search, so a
+        sweep in one mode warms the baselines of a sweep in another."""
+        baselines = scenario.with_updates(
+            heuristics=("DF-CkptNvr", "DF-CkptAlws")
+        )
+        cache = ResultCache()
+        run_grid([baselines], search_mode="geometric", max_candidates=5, cache=cache)
+        run_grid([baselines], search_mode="exhaustive", cache=cache)
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 2
+
+
+class TestProgressReporting:
+    def test_progress_protocol_receives_every_unit(self, scenario):
+        class Recorder(NullProgress):
+            def __init__(self):
+                self.events = []
+
+            def start(self, total):
+                self.events.append(("start", total))
+
+            def update(self, done, info=""):
+                self.events.append(("update", done))
+
+            def finish(self):
+                self.events.append(("finish",))
+
+        recorder = Recorder()
+        runner = CampaignRunner(
+            jobs=1, search_mode="geometric", max_candidates=5, progress=recorder
+        )
+        rows = runner.run_rows([scenario])
+        assert recorder.events[0] == ("start", len(rows))
+        assert recorder.events[-1] == ("finish",)
+        dones = [d for kind, *rest in recorder.events if kind == "update" for d in rest]
+        assert dones[-1] == len(rows)
+
+
+class TestEvaluateScheduleCached:
+    def test_hit_reproduces_evaluation_exactly(self):
+        workflow = pegasus.ligo(18, seed=2).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        order = linearize(workflow, "DF")
+        schedule = Schedule(workflow, order, set(order[::3]))
+        platform = Platform.from_platform_rate(1e-3)
+        cache = ResultCache()
+
+        direct = evaluate_schedule(schedule, platform)
+        first = evaluate_schedule_cached(schedule, platform, cache)
+        second = evaluate_schedule_cached(schedule, platform, cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert first.expected_makespan == direct.expected_makespan
+        assert second.expected_task_times == direct.expected_task_times
+        assert second.overhead_ratio == direct.overhead_ratio
