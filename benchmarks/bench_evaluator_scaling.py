@@ -5,9 +5,31 @@ here is O(n·|E| + n^2) for sparse DAGs.  This benchmark times a single
 evaluation on increasingly large CyberShake instances (the widest family) and
 on long chains (the deepest recovery structures), which is the cost that
 drives the checkpoint-count search of every heuristic.
+
+It also compares the two evaluation backends (pure-Python reference vs the
+NumPy fast path of ``repro.core.evaluator_np``) and records the result as a
+JSON file, so later PRs have a perf trajectory to regress against:
+
+* ``pytest benchmarks/bench_evaluator_scaling.py`` runs the comparison at
+  n ∈ {50, 100, 250, 500} and writes ``benchmark_results/evaluator_backends.json``
+  (override the path with ``REPRO_BENCH_JSON``);
+* ``python benchmarks/bench_evaluator_scaling.py --sizes 50 --output out.json``
+  runs the same comparison standalone (used by the CI smoke step), checking
+  backend agreement along the way.
+
+Speedups are family-dependent: the Theorem-3 recursion itself vectorizes
+~10x (long chains are almost pure recursion), while wide Pegasus DAGs spend
+most of their time in the Algorithm-1 graph traversal, which caps them at
+~4x end to end.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -58,6 +80,118 @@ def test_evaluator_scaling_chain(benchmark, n_tasks, preset):
     )
 
 
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize("n_tasks", [100, 400])
+def test_evaluator_backend_cybershake(benchmark, backend, n_tasks, preset):
+    if preset == "smoke" and n_tasks > 200:
+        pytest.skip("large sizes only at REPRO_BENCH_PRESET=paper")
+    schedule = _cybershake_schedule(n_tasks)
+    evaluation = benchmark(lambda: evaluate_schedule(schedule, PLATFORM, backend=backend))
+    assert evaluation.expected_makespan > 0
+
+
+# ----------------------------------------------------------------------
+# Backend comparison (python vs numpy) with a JSON artefact
+# ----------------------------------------------------------------------
+COMPARISON_SIZES = (50, 100, 250, 500)
+
+_FAMILIES = {
+    "cybershake": _cybershake_schedule,
+    "chain": _chain_schedule,
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def backend_comparison(
+    sizes=COMPARISON_SIZES, *, repeats: int = 3, check_agreement: bool = True
+) -> dict:
+    """Time one evaluation per (family, size, backend); return the report."""
+    report: dict = {"platform_rate": PLATFORM.failure_rate, "sizes": list(sizes), "families": {}}
+    for family, build in _FAMILIES.items():
+        series = {}
+        for n_tasks in sizes:
+            schedule = build(n_tasks)
+            results = {
+                backend: evaluate_schedule(schedule, PLATFORM, backend=backend)
+                for backend in ("python", "numpy")
+            }
+            if check_agreement:
+                py = results["python"].expected_makespan
+                np_ = results["numpy"].expected_makespan
+                assert abs(py - np_) <= 1e-9 * max(1.0, abs(py)), (family, n_tasks)
+            timings = {
+                backend: _best_of(
+                    lambda b=backend: evaluate_schedule(schedule, PLATFORM, backend=b),
+                    repeats,
+                )
+                for backend in ("python", "numpy")
+            }
+            series[str(n_tasks)] = {
+                "python_seconds": timings["python"],
+                "numpy_seconds": timings["numpy"],
+                "speedup": timings["python"] / timings["numpy"],
+            }
+        report["families"][family] = series
+    return report
+
+
+def _json_path() -> Path:
+    return Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON", "benchmark_results/evaluator_backends.json"
+        )
+    )
+
+
+def write_backend_comparison(report: dict, path: Path | None = None) -> Path:
+    path = path if path is not None else _json_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def test_backend_comparison_json():
+    """Both backends agree; the numpy one is faster, >= 5x on chains at n=500."""
+    report = backend_comparison()
+    path = write_backend_comparison(report)
+    print(f"\nwrote {path}")
+    for family, series in report["families"].items():
+        for size, entry in series.items():
+            print(
+                f"{family:<11} n={size:<4} python {entry['python_seconds'] * 1e3:7.1f}ms  "
+                f"numpy {entry['numpy_seconds'] * 1e3:7.1f}ms  ({entry['speedup']:.1f}x)"
+            )
+    # The recursion-bound chain instance must hit the >= 5x target at n=500;
+    # the traversal-bound cybershake instance must still win clearly.
+    assert report["families"]["chain"]["500"]["speedup"] >= 5.0
+    assert report["families"]["cybershake"]["500"]["speedup"] >= 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare the python and numpy evaluation backends."
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(COMPARISON_SIZES))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", "-o", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+    report = backend_comparison(tuple(args.sizes), repeats=args.repeats)
+    path = write_backend_comparison(
+        report, Path(args.output) if args.output else None
+    )
+    print(json.dumps(report, indent=2))
+    print(f"wrote {path}")
+    return 0
+
+
 def test_lost_work_dominates_cost(benchmark):
     """The lost-work arrays can be reused across platforms: measure the split."""
     from repro import compute_lost_work
@@ -70,3 +204,7 @@ def test_lost_work_dominates_cost(benchmark):
 
     evaluation = benchmark(evaluate_with_precomputed)
     assert evaluation.expected_makespan > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ True
 """
 
 from .core import (
+    EVAL_BACKENDS,
     CycleError,
     LostWork,
     MakespanEvaluation,
@@ -41,11 +42,13 @@ from .core import (
     Task,
     Workflow,
     WorkflowStructure,
+    batch_evaluate,
     compute_lost_work,
     evaluate_schedule,
     expected_execution_time,
     expected_makespan,
     expected_time_lost,
+    resolve_backend,
     success_probability,
 )
 from .heuristics import (
@@ -61,6 +64,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CycleError",
+    "EVAL_BACKENDS",
     "HEURISTIC_NAMES",
     "HeuristicResult",
     "LostWork",
@@ -73,12 +77,14 @@ __all__ = [
     "Workflow",
     "WorkflowStructure",
     "__version__",
+    "batch_evaluate",
     "compute_lost_work",
     "evaluate_schedule",
     "expected_execution_time",
     "expected_makespan",
     "expected_time_lost",
     "linearize",
+    "resolve_backend",
     "run_monte_carlo",
     "simulate_schedule",
     "solve_all_heuristics",

@@ -120,14 +120,16 @@ class ScheduleBreakdown:
         return "\n".join(lines)
 
 
-def analyse_schedule(schedule: Schedule, platform: Platform) -> ScheduleBreakdown:
+def analyse_schedule(
+    schedule: Schedule, platform: Platform, *, backend: str | None = None
+) -> ScheduleBreakdown:
     """Decompose the expected makespan of a schedule.
 
     The per-task expected times are the :math:`E[X_i]` of the evaluator; the
     "waste" aggregate is the expected makespan minus the failure-free work and
     the checkpoints actually taken.
     """
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=backend)
     workflow = schedule.workflow
     per_task = []
     for position, task_index in enumerate(schedule.order):
@@ -156,7 +158,9 @@ def analyse_schedule(schedule: Schedule, platform: Platform) -> ScheduleBreakdow
     )
 
 
-def checkpoint_utilities(schedule: Schedule, platform: Platform) -> tuple[CheckpointUtility, ...]:
+def checkpoint_utilities(
+    schedule: Schedule, platform: Platform, *, backend: str | None = None
+) -> tuple[CheckpointUtility, ...]:
     """Exact marginal value of every checkpoint in the schedule.
 
     For each checkpointed task, the schedule is re-evaluated with that single
@@ -165,11 +169,23 @@ def checkpoint_utilities(schedule: Schedule, platform: Platform) -> tuple[Checkp
     candidates for removal (see
     :func:`repro.heuristics.refinement.local_search_checkpoints`).
     """
-    base = evaluate_schedule(schedule, platform).expected_makespan
+    base = evaluate_schedule(schedule, platform, backend=backend).expected_makespan
+    # One batch over the shared linearization: each candidate set is the
+    # current one minus a single checkpoint.
+    from ..core.evaluator_np import batch_evaluate
+
+    dropped = sorted(schedule.checkpointed)
+    evaluations = batch_evaluate(
+        schedule.workflow,
+        schedule.order,
+        [schedule.checkpointed - {task_index} for task_index in dropped],
+        platform,
+        backend=backend,
+        keep_task_times=False,
+    )
     utilities = []
-    for task_index in sorted(schedule.checkpointed):
-        without = schedule.with_checkpoints(schedule.checkpointed - {task_index})
-        value = evaluate_schedule(without, platform).expected_makespan
+    for task_index, evaluation in zip(dropped, evaluations):
+        value = evaluation.expected_makespan
         utilities.append(
             CheckpointUtility(
                 task_index=task_index,

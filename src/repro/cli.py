@@ -14,6 +14,11 @@ can be scripted without writing Python:
 * ``repro campaign`` — multi-seed sweep with aggregation and error bars;
 * ``repro cache`` — inspect / clear the persistent result cache.
 
+The evaluation-heavy sub-commands accept ``--backend auto|python|numpy`` to
+pick the Theorem-3 evaluation backend (default ``auto``: NumPy when it is
+importable and the instance is large enough, Python otherwise; the
+``REPRO_EVAL_BACKEND`` environment variable overrides the default).
+
 ``figures`` and ``campaign`` accept ``--jobs N`` (worker processes) and
 ``--cache PATH`` (persistent result cache); both route through the campaign
 runtime of :mod:`repro.runtime`.  Every sub-command prints a short
@@ -33,6 +38,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .analysis import analyse_schedule, checkpoint_utilities
+from .core.backend import EVAL_BACKENDS
 from .core.evaluator import evaluate_schedule
 from .core.platform import Platform
 from .experiments import all_figures, run_campaign, save_rows_csv, scenario_grid
@@ -90,12 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--refine", action="store_true",
                        help="apply local-search refinement to the checkpoint set")
     solve.add_argument("--output", "-o", help="write the schedule to this JSON path")
+    _add_backend_argument(solve)
 
     # evaluate ----------------------------------------------------------
     evaluate = subparsers.add_parser("evaluate", help="expected makespan of a schedule")
     evaluate.add_argument("--schedule", required=True, help="schedule JSON produced by 'solve'")
     evaluate.add_argument("--failure-rate", type=float, default=1e-3)
     evaluate.add_argument("--downtime", type=float, default=0.0)
+    _add_backend_argument(evaluate)
 
     # analyse -----------------------------------------------------------
     analyse = subparsers.add_parser("analyse", help="expected-time breakdown of a schedule")
@@ -105,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyse.add_argument("--top", type=int, default=5, help="number of worst tasks to list")
     analyse.add_argument("--utilities", action="store_true",
                          help="also report the exact utility of every checkpoint")
+    _add_backend_argument(analyse)
 
     # simulate ----------------------------------------------------------
     simulate = subparsers.add_parser("simulate", help="Monte-Carlo estimate of a schedule")
@@ -164,6 +173,15 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
                         help="persistent result cache (sqlite file, created on demand)")
     parser.add_argument("--progress", action="store_true",
                         help="report sweep progress and throughput on stderr")
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """``--backend`` shared by every evaluation-heavy sub-command."""
+    parser.add_argument("--backend", choices=EVAL_BACKENDS, default=None,
+                        help="Theorem-3 evaluation backend (default: auto, "
+                             "or the REPRO_EVAL_BACKEND environment variable)")
+
 
 
 # ----------------------------------------------------------------------
@@ -211,13 +229,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     workflow = load_workflow(args.workflow)
     platform = _platform(args)
-    result = solve_heuristic(workflow, platform, args.heuristic, rng=args.seed)
+    result = solve_heuristic(
+        workflow, platform, args.heuristic, rng=args.seed, backend=args.backend
+    )
     schedule = result.schedule
     line = (f"{args.heuristic}: E[makespan] = {result.expected_makespan:.2f}s, "
             f"T/T_inf = {result.overhead_ratio:.3f}, "
             f"{result.checkpoint_count}/{workflow.n_tasks} checkpoints")
     if args.refine:
-        refined = local_search_checkpoints(schedule, platform)
+        refined = local_search_checkpoints(schedule, platform, backend=args.backend)
         schedule = refined.schedule
         line += (f"; after refinement: {refined.expected_makespan:.2f}s "
                  f"(-{100 * refined.relative_improvement:.2f}%)")
@@ -231,7 +251,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     schedule = load_schedule(args.schedule)
     platform = _platform(args)
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=args.backend)
     print(json.dumps(
         {
             "expected_makespan": evaluation.expected_makespan,
@@ -248,11 +268,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_analyse(args: argparse.Namespace) -> int:
     schedule = load_schedule(args.schedule)
     platform = _platform(args)
-    breakdown = analyse_schedule(schedule, platform)
+    breakdown = analyse_schedule(schedule, platform, backend=args.backend)
     print(breakdown.render(top=args.top))
     if args.utilities:
         print("\ncheckpoint utilities (expected seconds saved by each checkpoint):")
-        for utility in sorted(checkpoint_utilities(schedule, platform),
+        for utility in sorted(checkpoint_utilities(schedule, platform, backend=args.backend),
                               key=lambda u: -u.utility):
             task = schedule.workflow.task(utility.task_index)
             print(f"  {task.name:<16} {utility.utility:+10.2f}s")
@@ -343,6 +363,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             progress=args.progress or None,
+            backend=args.backend,
         )
     # Create the output tree only once the sweep has succeeded, so a
     # rejected invocation leaves no trace.
@@ -401,6 +422,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             progress=args.progress or None,
+            backend=args.backend,
         )
     print(result.render())
     _print_cache_summary(cache)

@@ -6,8 +6,10 @@ expectation of Equation (1), the lost-work arrays of Algorithm 1, and the
 polynomial-time expected-makespan evaluator of Theorem 3.
 """
 
+from .backend import EVAL_BACKENDS, numpy_available, resolve_backend
 from .dag import CycleError, Workflow, WorkflowStructure
 from .evaluator import MakespanEvaluation, evaluate_schedule, expected_makespan
+from .evaluator_np import batch_evaluate
 from .expectation import (
     expected_execution_time,
     expected_number_of_failures,
@@ -21,6 +23,7 @@ from .task import Task
 
 __all__ = [
     "CycleError",
+    "EVAL_BACKENDS",
     "LostWork",
     "MakespanEvaluation",
     "Platform",
@@ -28,6 +31,7 @@ __all__ = [
     "Task",
     "Workflow",
     "WorkflowStructure",
+    "batch_evaluate",
     "compute_lost_work",
     "evaluate_schedule",
     "expected_execution_time",
@@ -35,5 +39,7 @@ __all__ = [
     "expected_number_of_failures",
     "expected_time_lost",
     "lost_and_needed_tasks",
+    "numpy_available",
+    "resolve_backend",
     "success_probability",
 ]

@@ -1,0 +1,109 @@
+"""Evaluation-backend selection: pure-Python reference vs NumPy fast path.
+
+The Theorem-3 evaluator exists in two implementations that compute the same
+quantity:
+
+* ``"python"`` — the always-available reference loop of
+  :mod:`repro.core.evaluator`, kept deliberately close to the paper's
+  notation;
+* ``"numpy"`` — the vectorized kernel of :mod:`repro.core.evaluator_np`,
+  which replaces the interpreted inner loops by array operations and is the
+  production path for large instances.
+
+Both saturate overflows at the same :data:`repro.core.expectation.OVERFLOW_EXPONENT`
+and agree within floating-point noise (the property tests pin a 1e-9 relative
+bound), so callers may treat the backend as a pure performance knob: cache
+keys deliberately exclude it, and a cache warmed by one backend serves the
+other.
+
+Selection rules, in decreasing precedence:
+
+1. an explicit ``backend="python"`` / ``backend="numpy"`` argument;
+2. the ``REPRO_EVAL_BACKEND`` environment variable (consulted when the
+   argument is omitted or ``"auto"``);
+3. ``"auto"`` — NumPy when it is importable and the instance is large enough
+   for vectorization to pay off (:data:`AUTO_NUMPY_MIN_TASKS` tasks), the
+   Python reference otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "AUTO_NUMPY_MIN_TASKS",
+    "BACKEND_ENV_VAR",
+    "EVAL_BACKENDS",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Accepted values of every ``backend=`` parameter (and of the CLI flag).
+EVAL_BACKENDS: tuple[str, ...] = ("auto", "python", "numpy")
+
+#: Environment variable overriding the default backend choice.  It applies
+#: wherever the backend is left unspecified (or explicitly ``"auto"``), which
+#: makes it the one-line switch for whole campaigns — worker processes
+#: inherit it, so a parallel sweep follows it too.
+BACKEND_ENV_VAR = "REPRO_EVAL_BACKEND"
+
+#: Below this many scheduled tasks, ``"auto"`` keeps the Python reference:
+#: the per-call overhead of assembling NumPy arrays exceeds what
+#: vectorization saves on tiny instances.
+AUTO_NUMPY_MIN_TASKS = 32
+
+_NUMPY_AVAILABLE: bool | None = None
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy fast path can be used in this process."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+        except Exception:  # pragma: no cover - exercised only without numpy
+            _NUMPY_AVAILABLE = False
+        else:
+            _NUMPY_AVAILABLE = True
+    return _NUMPY_AVAILABLE
+
+
+def resolve_backend(backend: str | None = None, *, n_tasks: int | None = None) -> str:
+    """Resolve a backend request to a concrete ``"python"`` / ``"numpy"``.
+
+    Parameters
+    ----------
+    backend:
+        ``"python"``, ``"numpy"``, ``"auto"`` or ``None``.  ``None`` and
+        ``"auto"`` defer to :data:`BACKEND_ENV_VAR`, then to the automatic
+        choice.
+    n_tasks:
+        Size of the instance about to be evaluated, if known; lets ``"auto"``
+        keep tiny instances on the reference path.  ``None`` means "assume
+        large" (used when validating a backend name before any instance
+        exists).
+
+    Raises
+    ------
+    ValueError
+        For an unknown backend name, or when ``"numpy"`` is requested
+        explicitly but NumPy is not importable.
+    """
+    if backend is None or backend == "auto":
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+        backend = env if env and env != "auto" else "auto"
+    if backend == "auto":
+        if not numpy_available():
+            return "python"
+        if n_tasks is not None and n_tasks < AUTO_NUMPY_MIN_TASKS:
+            return "python"
+        return "numpy"
+    if backend not in ("python", "numpy"):
+        raise ValueError(
+            f"unknown evaluation backend {backend!r}; expected one of {EVAL_BACKENDS}"
+        )
+    if backend == "numpy" and not numpy_available():
+        raise ValueError(
+            "the numpy evaluation backend was requested but numpy is not importable"
+        )
+    return backend

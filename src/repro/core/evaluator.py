@@ -39,7 +39,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .expectation import expected_execution_time
+from .backend import resolve_backend
+from .expectation import OVERFLOW_EXPONENT, expected_execution_time
 from .lost_work import LostWork, compute_lost_work
 from .platform import Platform
 from .schedule import Schedule
@@ -101,6 +102,7 @@ def evaluate_schedule(
     *,
     lost_work: LostWork | None = None,
     keep_probabilities: bool = False,
+    backend: str | None = None,
 ) -> MakespanEvaluation:
     """Compute the expected makespan of ``schedule`` on ``platform``.
 
@@ -116,6 +118,10 @@ def evaluate_schedule(
     keep_probabilities:
         When true, the full :math:`P(Z^i_k)` table is attached to the result
         (quadratic memory).
+    backend:
+        ``"auto"`` (default), ``"python"`` or ``"numpy"`` — see
+        :func:`repro.core.backend.resolve_backend`.  Both backends compute
+        the same quantity; the choice is a pure performance knob.
 
     Returns
     -------
@@ -126,6 +132,19 @@ def evaluate_schedule(
     n = len(order)
     lam = platform.failure_rate
     downtime = platform.downtime
+
+    # The trivial cases below are shared bookkeeping, so both backends are
+    # bit-for-bit identical there; the recursion is where they diverge
+    # (within floating-point noise — the property tests pin the bound).
+    if n > 0 and lam != 0.0 and resolve_backend(backend, n_tasks=n) == "numpy":
+        from .evaluator_np import evaluate_schedule_numpy
+
+        return evaluate_schedule_numpy(
+            schedule,
+            platform,
+            lost_work=lost_work,
+            keep_probabilities=keep_probabilities,
+        )
 
     weights = [workflow.task(t).weight for t in order]
     ckpt_costs = [
@@ -189,7 +208,11 @@ def evaluate_schedule(
                 probs.append(0.0)
                 continue
             exponent = lam * running_sum[k]
-            probs.append(math.exp(-exponent) * base if exponent < 745.0 else 0.0)
+            # Saturate at the shared guard so both backends zero out the same
+            # (astronomically unlikely) events.
+            probs.append(
+                math.exp(-exponent) * base if exponent <= OVERFLOW_EXPONENT else 0.0
+            )
         # Property [B]: the last event takes the remaining probability mass.
         remaining = 1.0 - sum(probs)
         if remaining < 0.0:

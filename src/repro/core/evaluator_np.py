@@ -1,0 +1,445 @@
+"""NumPy fast path for the Theorem-3 evaluator and batched schedule scoring.
+
+This module vectorizes the interpreted hot loops of
+:mod:`repro.core.evaluator`:
+
+* the conditional expectations ``E[X_i | Z^i_k]`` of property [C] are
+  computed for *every* pair ``(k, i)`` in one shot — a vectorized Equation
+  (1) over the whole ``W + R`` matrix (``expm1`` / ``exp`` with the same
+  overflow saturation (:data:`~repro.core.expectation.OVERFLOW_EXPONENT`)
+  and small-exposure guard as
+  :func:`repro.core.expectation.expected_execution_time`);
+* the probability row ``P(Z^i_k), k = 0..i-2`` (property [A]) becomes one
+  ``np.exp`` over the running-sum vector;
+* the prefix-sum advance of the running sums is a single vector add.
+
+The recursion over positions ``i`` is inherently sequential (property [B]
+feeds ``P(Z^{k+1}_k)`` forward), so the kernel keeps ``O(n)`` Python
+iterations — but each one is a handful of ``O(n)`` vector operations instead
+of thousands of interpreted float operations.
+
+The lost-work fill (Algorithm 1) is also specialized here: only positions
+``i`` with a direct predecessor placed before ``k`` can charge anything for a
+failure during :math:`X_k`, so the fill enumerates exactly those ``(k, i)``
+pairs instead of scanning the full triangle.  On the Pegasus families this
+skips 60-99% of the pairs.  :func:`repro.core.lost_work.compute_lost_work`
+stays the readable reference transcription; the property tests pin both to
+the same values.
+
+:func:`batch_evaluate` is the entry point the checkpoint-count search and the
+refinement sweeps use: it scores many checkpoint sets over one fixed
+linearization while deriving the position / predecessor tables (and the
+linearization check) only once.
+
+Import of :mod:`numpy` is deferred to call time so that ``repro.core`` stays
+importable without it; :func:`repro.core.backend.resolve_backend` never
+routes here when NumPy is missing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from .backend import resolve_backend
+from .evaluator import MakespanEvaluation
+from .expectation import OVERFLOW_EXPONENT
+from .lost_work import LostWork, _position_tables
+from .platform import Platform
+from .schedule import Schedule
+
+__all__ = ["batch_evaluate", "evaluate_schedule_numpy"]
+
+#: Exposure threshold below which Equation (1) returns the failure-free
+#: duration — mirrors the guard in ``expected_execution_time`` exactly.
+_SMALL_EXPOSURE = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Lost-work fill (Algorithm 1, candidate-pruned, summed W + R)
+# ----------------------------------------------------------------------
+def _candidate_lists(n: int, predecessors: Sequence[tuple[int, ...]]) -> list[list[int]]:
+    """For every ``k``, the positions ``i >= k`` that can charge anything.
+
+    A failure during :math:`X_k` costs something at position ``i`` only if the
+    traversal from ``T_i`` reaches below ``k`` — which requires a *direct*
+    predecessor at a position ``< k``.  Position ``i`` therefore matters
+    exactly for ``k`` in ``(min_pred[i], i]``; everything else is a
+    structural zero.
+    """
+    cands: list[list[int]] = [[] for _ in range(n + 2)]
+    for i in range(1, n + 1):
+        preds = predecessors[i]
+        if not preds:
+            continue
+        for k in range(preds[0] + 1, i + 1):
+            cands[k].append(i)
+    return cands
+
+
+def _fill_loss_matrix(
+    n: int,
+    weight: Sequence[float],
+    recovery_cost: Sequence[float],
+    checkpointed: Sequence[bool],
+    predecessors: Sequence[tuple[int, ...]],
+    candidates: Sequence[list[int]],
+    loss,
+) -> None:
+    """Fill ``loss[k, i] = W^i_k + R^i_k`` (Algorithm 1, pruned).
+
+    ``loss`` is a pre-zeroed ``(n+1, n+1)`` matrix; only non-zero entries are
+    written.  Semantics are identical to
+    :func:`repro.core.lost_work.compute_lost_work` — the per-``k``
+    ``regenerated`` marks replace Algorithm 1's ``tab_k`` bookkeeping, and
+    the candidate lists merely skip ``(k, i)`` pairs whose traversal would
+    visit nothing.  ``predecessors`` must hold *ascending* position tuples:
+    the direct scan stops at the first predecessor placed at or after ``k``.
+    """
+    stack: list[int] = []  # always drained; shared across iterations
+    for k in range(1, n + 1):
+        regenerated = bytearray(n + 1)
+        for i in candidates[k]:
+            lost = 0.0
+            # Mark on push rather than on pop: every stacked position is
+            # already known to be a fresh member (predecessor positions are
+            # always smaller, so transitive pushes sit below k by
+            # construction), which keeps duplicates off the stack entirely.
+            for j in predecessors[i]:
+                if j >= k:
+                    break
+                if not regenerated[j]:
+                    regenerated[j] = 1
+                    stack.append(j)
+            while stack:
+                j = stack.pop()
+                if checkpointed[j]:
+                    lost += recovery_cost[j]
+                else:
+                    lost += weight[j]
+                    for p in predecessors[j]:
+                        if not regenerated[p]:
+                            regenerated[p] = 1
+                            stack.append(p)
+            if lost:
+                loss[k, i] = lost
+
+
+# ----------------------------------------------------------------------
+# Theorem-3 kernel
+# ----------------------------------------------------------------------
+def _theorem3_kernel(
+    np,
+    weights,
+    ckpt_costs,
+    loss,
+    lam: float,
+    downtime: float,
+    keep_probabilities: bool,
+):
+    """Vectorized Theorem-3 recursion.
+
+    Parameters
+    ----------
+    np:
+        The numpy module (threaded through to keep the import lazy).
+    weights, ckpt_costs:
+        ``(n,)`` float64 vectors in position order (0-based); ``ckpt_costs``
+        is already masked to zero for non-checkpointed positions.
+    loss:
+        ``(n+1, n+1)`` float64 matrix, ``loss[k, i] = W^i_k + R^i_k``.
+    lam, downtime:
+        Platform failure rate (must be > 0 here) and constant downtime.
+
+    Returns
+    -------
+    (expected_times, probabilities)
+        Per-position expectations as a float list, and the per-position
+        ``P(Z^i_k)`` tuples when requested (else ``None``).
+    """
+    n = weights.shape[0]
+
+    # ------------------------------------------------------------------
+    # Property [C] via Equation (1), for all pairs at once.  Column i-1
+    # holds E[X_i | Z^i_k] for every k (rows k > i-1 are unused garbage —
+    # they stay finite, so they cannot poison the reductions below).
+    #   redo = W^i_k + R^i_k,   w = redo + w_i,   c = c_i,
+    #   rec  = (W^i_i + R^i_i) - redo.
+    # ------------------------------------------------------------------
+    sub = loss[:, 1:]                           # (n+1, n): loss[k][i], i = 1..n
+    diagonal = loss.diagonal()[1:]              # loss[i][i]
+    with np.errstate(over="ignore"):            # saturation to inf is intended
+        exposure = lam * (sub + (weights + ckpt_costs))
+        grown = np.expm1(np.minimum(exposure, OVERFLOW_EXPONENT))
+        rec_exposure = lam * np.maximum(diagonal - sub, 0.0)
+        values = np.exp(np.minimum(rec_exposure, OVERFLOW_EXPONENT)) * (
+            grown / lam + downtime * grown
+        )
+    overflow = (exposure > OVERFLOW_EXPONENT) | (rec_exposure > OVERFLOW_EXPONENT)
+    if overflow.any():
+        values[overflow] = np.inf
+    tiny = exposure < _SMALL_EXPOSURE
+    if tiny.any():
+        # Negligible failure probability: Equation (1) degenerates to the
+        # failure-free duration w + c, exactly as in the scalar reference.
+        failure_free = sub + (weights + ckpt_costs)
+        values[tiny] = failure_free[tiny]
+    # Saturation must be detected on the *computed* values, not just the
+    # exponent guards: the product can overflow to inf on its own (e.g.
+    # exp(695) / lam for a tiny lam) and an unmasked dot product would then
+    # turn P = 0 events into 0 * inf = NaN where the reference returns inf.
+    saturated = bool(np.isinf(values).any())
+
+    # ------------------------------------------------------------------
+    # Properties [A] and [B]: the sequential probability recursion.
+    # ------------------------------------------------------------------
+    # The sequential loop reads one *column* of ``values`` / ``loss`` per
+    # position; transpose both once so those reads are contiguous.
+    values_t = np.ascontiguousarray(values.T)   # values_t[i-1, k] = E[X_i|Z^i_k]
+    loss_t = np.ascontiguousarray(loss.T)       # loss_t[i, k] = loss[k][i]
+
+    # base[k] = P(Z^{k+1}_k), the fault probability of interval X_k (k >= 1);
+    # base[0] = 1 is the "no failure yet" convention of property [A].
+    base = np.zeros(n)
+    base[0] = 1.0
+    # running[k] = sum_{j=k+1}^{i-1} (W^j_k + R^j_k + w_j + delta_j c_j),
+    # advanced by one vector add per position (property [A]'s exponent).
+    running = np.zeros(n + 1)
+    scratch = np.empty(n)
+    # The running sums are bounded by the total of the per-position terms
+    # (T↓k_i ⊆ T↓i_i), so when even that bound stays under the guard, the
+    # per-iteration saturation checks can be skipped wholesale.  The 1.0
+    # margin dwarfs any accumulated rounding in the bound itself.
+    with np.errstate(over="ignore"):
+        exponent_bound = lam * float((diagonal + weights + ckpt_costs).sum())
+    may_clip = not exponent_bound <= OVERFLOW_EXPONENT - 1.0
+    expected_times: list[float] = []
+    probabilities: list[tuple[float, ...]] | None = [] if keep_probabilities else None
+
+    probs_buf = np.empty(n)
+    for i in range(1, n + 1):
+        m = i - 1
+        probs = probs_buf[:i]
+        if m:
+            exponents = np.multiply(running[:m], lam, out=scratch[:m])
+            head = probs[:m]
+            np.exp(np.negative(exponents, out=head), out=head)
+            head *= base[:m]
+            if may_clip:
+                # Saturate at the shared guard so both backends zero out the
+                # same (astronomically unlikely) events.
+                clipped = exponents > OVERFLOW_EXPONENT
+                if clipped.any():
+                    head[clipped] = 0.0
+            remaining = 1.0 - float(head.sum())
+            # Property [B]: the last event takes the remaining mass.
+            if remaining < 0.0:
+                remaining = 0.0
+            elif remaining > 1.0:
+                remaining = 1.0
+        else:
+            remaining = 1.0
+        probs[m] = remaining
+        if i >= 2:
+            base[m] = remaining
+
+        column = values_t[m, :i]
+        if saturated:
+            # P = 0 events must not contribute even when their conditional
+            # expectation saturated to inf (0 * inf would be NaN).
+            mask = probs > 0.0
+            expected_xi = float(probs[mask] @ column[mask])
+        else:
+            expected_xi = float(probs @ column)
+        expected_times.append(expected_xi)
+        if probabilities is not None:
+            probabilities.append(tuple(float(p) for p in probs))
+
+        # Advance the running prefix sums so that, at the next iteration,
+        # running[k] covers j = k+1 .. i.
+        running[:i] += loss_t[i, :i]
+        running[:i] += weights[m] + ckpt_costs[m]
+
+    return expected_times, probabilities
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def evaluate_schedule_numpy(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    lost_work: LostWork | None = None,
+    keep_probabilities: bool = False,
+) -> MakespanEvaluation:
+    """NumPy implementation of :func:`repro.core.evaluator.evaluate_schedule`.
+
+    Callers normally go through ``evaluate_schedule(..., backend=...)``; this
+    entry point exists for direct kernel testing.  The ``n = 0`` and
+    ``lambda = 0`` edge cases are delegated to the reference implementation
+    (they are pure bookkeeping, and sharing the code keeps the two backends
+    bit-for-bit identical there).
+    """
+    from .evaluator import evaluate_schedule
+
+    n = schedule.n_tasks
+    lam = platform.failure_rate
+    if n == 0 or lam == 0.0:
+        return evaluate_schedule(
+            schedule, platform, lost_work=lost_work,
+            keep_probabilities=keep_probabilities, backend="python",
+        )
+
+    import numpy as np
+
+    workflow = schedule.workflow
+    order = schedule.order
+    tasks = workflow.tasks
+    selected = schedule.checkpointed
+    weights = np.fromiter(
+        (tasks[t].weight for t in order), dtype=np.float64, count=n
+    )
+    ckpt_costs = np.fromiter(
+        (tasks[t].checkpoint_cost if t in selected else 0.0 for t in order),
+        dtype=np.float64,
+        count=n,
+    )
+
+    if lost_work is not None:
+        loss = lost_work.work_array + lost_work.recovery_array
+    else:
+        _, weight, recovery_cost, predecessors = _position_tables(workflow, order)
+        predecessors = [tuple(sorted(p)) for p in predecessors]
+        checkpointed = [False] * (n + 1)
+        for pos_zero, task_index in enumerate(order):
+            checkpointed[pos_zero + 1] = task_index in selected
+        loss = np.zeros((n + 1, n + 1))
+        _fill_loss_matrix(
+            n, weight, recovery_cost, checkpointed, predecessors,
+            _candidate_lists(n, predecessors), loss,
+        )
+
+    expected_times, probabilities = _theorem3_kernel(
+        np, weights, ckpt_costs, loss, lam, platform.downtime, keep_probabilities
+    )
+    return MakespanEvaluation(
+        expected_makespan=math.fsum(expected_times),
+        expected_task_times=tuple(expected_times),
+        failure_free_makespan=schedule.failure_free_makespan,
+        failure_free_work=workflow.total_weight,
+        event_probabilities=tuple(probabilities) if probabilities is not None else None,
+    )
+
+
+def batch_evaluate(
+    workflow,
+    order: Sequence[int],
+    checkpoint_sets: Iterable[Iterable[int]],
+    platform: Platform,
+    *,
+    backend: str | None = None,
+    keep_task_times: bool = True,
+) -> list[MakespanEvaluation]:
+    """Score many checkpoint sets over one fixed linearization.
+
+    This is the sweep primitive behind the checkpoint-count search and the
+    refinement local moves: every candidate shares the same workflow and
+    ``order``, so the position / predecessor / candidate tables (and the
+    order's linearization check) are derived once instead of per candidate.
+
+    Parameters
+    ----------
+    workflow, order, platform:
+        The instance; ``order`` must be a valid linearization of ``workflow``.
+    checkpoint_sets:
+        Iterable of checkpoint sets (task indices).  One
+        :class:`~repro.core.evaluator.MakespanEvaluation` is returned per
+        set, in input order.
+    backend:
+        ``"auto"`` / ``"python"`` / ``"numpy"``; see
+        :func:`repro.core.backend.resolve_backend`.  The Python path simply
+        evaluates one :class:`~repro.core.schedule.Schedule` per set and is
+        the reference the NumPy path is tested against.
+    keep_task_times:
+        When ``False``, the returned evaluations carry an empty
+        ``expected_task_times`` tuple.  Sweeps that only rank candidates by
+        ``expected_makespan`` (the count search, refinement toggles) pass
+        ``False`` so a batch of ``n`` candidates costs O(n) rather than
+        O(n^2) retained floats; re-evaluate the winner for the full vector.
+    """
+    from .evaluator import evaluate_schedule
+
+    order = tuple(int(i) for i in order)
+    n = len(order)
+    sets = [frozenset(int(i) for i in selected) for selected in checkpoint_sets]
+    lam = platform.failure_rate
+    resolved = resolve_backend(backend, n_tasks=n)
+    if resolved == "python" or n == 0 or lam == 0.0:
+        # Reference path (also the trivial edge cases, which the kernel
+        # delegates anyway): one Schedule per set, evaluated serially.
+        results = [
+            evaluate_schedule(Schedule(workflow, order, selected), platform, backend="python")
+            for selected in sets
+        ]
+        if not keep_task_times:
+            results = [
+                replace(evaluation, expected_task_times=())
+                for evaluation in results
+            ]
+        return results
+
+    # Validate once what Schedule would have validated per candidate.
+    if sorted(order) != list(range(workflow.n_tasks)):
+        raise ValueError(
+            f"order must be a permutation of all task indices 0..{workflow.n_tasks - 1}"
+        )
+    if not workflow.is_linearization(order):
+        raise ValueError("order violates a dependency edge of the workflow")
+    for selected in sets:
+        invalid = [i for i in selected if not 0 <= i < workflow.n_tasks]
+        if invalid:
+            raise ValueError(
+                f"checkpointed contains invalid task indices: {sorted(invalid)}"
+            )
+
+    import numpy as np
+
+    position, weight, recovery_cost, predecessors = _position_tables(workflow, order)
+    predecessors = [tuple(sorted(p)) for p in predecessors]
+    candidates = _candidate_lists(n, predecessors)
+    tasks = workflow.tasks
+    weights = np.asarray(weight[1:], dtype=np.float64)
+    raw_ckpt_costs = np.fromiter(
+        (tasks[t].checkpoint_cost for t in order), dtype=np.float64, count=n
+    )
+    failure_free_work = workflow.total_weight
+    downtime = platform.downtime
+
+    results: list[MakespanEvaluation] = []
+    loss = np.zeros((n + 1, n + 1))
+    for selected in sets:
+        checkpointed = [False] * (n + 1)
+        ckpt_mask = np.zeros(n, dtype=bool)
+        for task_index in selected:
+            pos = position[task_index]
+            checkpointed[pos] = True
+            ckpt_mask[pos - 1] = True
+        ckpt_costs = np.where(ckpt_mask, raw_ckpt_costs, 0.0)
+        loss.fill(0.0)
+        _fill_loss_matrix(
+            n, weight, recovery_cost, checkpointed, predecessors, candidates, loss
+        )
+        expected_times, _ = _theorem3_kernel(
+            np, weights, ckpt_costs, loss, lam, downtime, False
+        )
+        results.append(
+            MakespanEvaluation(
+                expected_makespan=math.fsum(expected_times),
+                expected_task_times=tuple(expected_times) if keep_task_times else (),
+                failure_free_makespan=failure_free_work + float(ckpt_costs.sum()),
+                failure_free_work=failure_free_work,
+            )
+        )
+    return results

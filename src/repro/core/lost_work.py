@@ -36,11 +36,19 @@ Two implementations are provided:
 * the reference transcription of Algorithm 1 used by the tests lives in
   ``tests/test_lost_work_reference.py`` and is checked to produce identical
   arrays on randomized workloads.
+
+The membership sets :math:`T^{\\downarrow k}_i` are quadratic memory that only
+tests and trace tooling read, so they are **opt-in**: pass
+``keep_members=True`` to :func:`compute_lost_work` to populate
+:attr:`LostWork.members`.  The NumPy evaluation backend reads the same data as
+contiguous float64 matrices via :attr:`LostWork.work_array` /
+:attr:`LostWork.recovery_array` (converted lazily and cached).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from .schedule import Schedule
 
@@ -60,11 +68,14 @@ class LostWork:
     members:
         ``members[k][i]`` is the frozenset of *positions* ``j`` in
         :math:`T^{\\downarrow k}_i` (useful for tests, traces and debugging).
+        ``None`` unless the arrays were computed with ``keep_members=True`` —
+        the sets cost quadratic memory and nothing on the production paths
+        reads them.
     """
 
     work: tuple[tuple[float, ...], ...]
     recovery: tuple[tuple[float, ...], ...]
-    members: tuple[tuple[frozenset[int], ...], ...]
+    members: tuple[tuple[frozenset[int], ...], ...] | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -81,47 +92,78 @@ class LostWork:
 
     def lost_set(self, k: int, i: int) -> frozenset[int]:
         """Positions of the members of :math:`T^{\\downarrow k}_i`."""
+        if self.members is None:
+            raise ValueError(
+                "membership sets were not kept; use "
+                "compute_lost_work(schedule, keep_members=True)"
+            )
         return self.members[k][i]
 
+    # ------------------------------------------------------------------
+    # NumPy views (lazy, cached on the instance)
+    # ------------------------------------------------------------------
+    @property
+    def work_array(self):
+        """``work`` as a contiguous ``(n+1, n+1)`` float64 NumPy matrix."""
+        return self._arrays()[0]
 
-def compute_lost_work(schedule: Schedule) -> LostWork:
-    """Compute all :math:`W^i_k`, :math:`R^i_k` values for a schedule.
+    @property
+    def recovery_array(self):
+        """``recovery`` as a contiguous ``(n+1, n+1)`` float64 NumPy matrix."""
+        return self._arrays()[1]
 
-    Parameters
-    ----------
-    schedule:
-        The schedule (linearization + checkpoint set) to analyse.
+    def _arrays(self):
+        cache = self.__dict__.get("_array_cache")
+        if cache is None:
+            import numpy as np
 
-    Returns
-    -------
-    LostWork
-        Arrays indexed by 1-based positions, ``work[k][i]`` / ``recovery[k][i]``
-        defined for ``1 <= k <= i <= n`` (and zero elsewhere).
+            cache = (
+                np.asarray(self.work, dtype=np.float64),
+                np.asarray(self.recovery, dtype=np.float64),
+            )
+            object.__setattr__(self, "_array_cache", cache)
+        return cache
+
+
+def _position_tables(
+    workflow, order: Sequence[int]
+) -> tuple[dict[int, int], list[float], list[float], list[tuple[int, ...]]]:
+    """Per-position weight / recovery-cost / predecessor tables (1-based).
+
+    These depend only on the workflow and linearization — not on the
+    checkpoint set — so batch callers (``repro.core.evaluator_np``) compute
+    them once and reuse them across many checkpoint sets.
     """
-    workflow = schedule.workflow
-    order = schedule.order
     n = len(order)
-
-    # Map from task index to 1-based position and per-position shortcuts.
     position = {task: pos + 1 for pos, task in enumerate(order)}
     weight = [0.0] * (n + 1)
     recovery_cost = [0.0] * (n + 1)
-    checkpointed = [False] * (n + 1)
     predecessors: list[tuple[int, ...]] = [()] * (n + 1)
     for pos_zero, task_index in enumerate(order):
         pos = pos_zero + 1
         task = workflow.task(task_index)
         weight[pos] = task.weight
         recovery_cost[pos] = task.recovery_cost
-        checkpointed[pos] = schedule.is_checkpointed(task_index)
         predecessors[pos] = tuple(position[p] for p in workflow.predecessors(task_index))
+    return position, weight, recovery_cost, predecessors
 
-    work_rows: list[list[float]] = [[0.0] * (n + 1) for _ in range(n + 1)]
-    recovery_rows: list[list[float]] = [[0.0] * (n + 1) for _ in range(n + 1)]
-    member_rows: list[list[frozenset[int]]] = [
-        [frozenset()] * (n + 1) for _ in range(n + 1)
-    ]
 
+def _fill_rows(
+    n: int,
+    weight: Sequence[float],
+    recovery_cost: Sequence[float],
+    checkpointed: Sequence[bool],
+    predecessors: Sequence[tuple[int, ...]],
+    work_rows,
+    recovery_rows,
+    member_rows=None,
+) -> None:
+    """Algorithm-1 fill of ``work_rows[k][i]`` / ``recovery_rows[k][i]``.
+
+    All inputs are 1-based position tables; the row containers only need to
+    support ``rows[k][i] = value`` (lists of lists and NumPy matrices both
+    do).  ``member_rows`` is filled with frozensets when provided.
+    """
     for k in range(1, n + 1):
         # ``regenerated[j]`` is True once position j (< k) has been placed in
         # some T↓k_l with l < current i: its output is back in memory and it
@@ -130,7 +172,7 @@ def compute_lost_work(schedule: Schedule) -> LostWork:
         for i in range(k, n + 1):
             lost_w = 0.0
             lost_r = 0.0
-            members: list[int] = []
+            members: list[int] | None = [] if member_rows is not None else None
             # Depth-first traversal from T_i through predecessors, stopping at
             # positions >= k (output recomputed after the failure, still in
             # memory), at already-regenerated positions, and below checkpointed
@@ -144,7 +186,8 @@ def compute_lost_work(schedule: Schedule) -> LostWork:
                 if regenerated[j]:
                     continue  # already recovered / re-executed for an earlier task
                 regenerated[j] = True
-                members.append(j)
+                if members is not None:
+                    members.append(j)
                 if checkpointed[j]:
                     lost_r += recovery_cost[j]
                 else:
@@ -152,12 +195,53 @@ def compute_lost_work(schedule: Schedule) -> LostWork:
                     stack.extend(predecessors[j])
             work_rows[k][i] = lost_w
             recovery_rows[k][i] = lost_r
-            member_rows[k][i] = frozenset(members)
+            if member_rows is not None:
+                member_rows[k][i] = frozenset(members)
+
+
+def compute_lost_work(schedule: Schedule, *, keep_members: bool = False) -> LostWork:
+    """Compute all :math:`W^i_k`, :math:`R^i_k` values for a schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule (linearization + checkpoint set) to analyse.
+    keep_members:
+        Also record the membership sets :math:`T^{\\downarrow k}_i`
+        (quadratic memory; read only by tests and trace tooling).
+
+    Returns
+    -------
+    LostWork
+        Arrays indexed by 1-based positions, ``work[k][i]`` / ``recovery[k][i]``
+        defined for ``1 <= k <= i <= n`` (and zero elsewhere).
+    """
+    workflow = schedule.workflow
+    order = schedule.order
+    n = len(order)
+
+    _, weight, recovery_cost, predecessors = _position_tables(workflow, order)
+    checkpointed = [False] * (n + 1)
+    for pos_zero, task_index in enumerate(order):
+        checkpointed[pos_zero + 1] = schedule.is_checkpointed(task_index)
+
+    work_rows: list[list[float]] = [[0.0] * (n + 1) for _ in range(n + 1)]
+    recovery_rows: list[list[float]] = [[0.0] * (n + 1) for _ in range(n + 1)]
+    member_rows: list[list[frozenset[int]]] | None = None
+    if keep_members:
+        member_rows = [[frozenset()] * (n + 1) for _ in range(n + 1)]
+
+    _fill_rows(
+        n, weight, recovery_cost, checkpointed, predecessors,
+        work_rows, recovery_rows, member_rows,
+    )
 
     return LostWork(
         work=tuple(tuple(row) for row in work_rows),
         recovery=tuple(tuple(row) for row in recovery_rows),
-        members=tuple(tuple(row) for row in member_rows),
+        members=(
+            tuple(tuple(row) for row in member_rows) if member_rows is not None else None
+        ),
     )
 
 

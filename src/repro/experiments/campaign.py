@@ -125,6 +125,7 @@ def run_campaign(
     jobs: int | None = 1,
     cache: Any = None,
     progress: Any = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Run every scenario once per seed and aggregate the results.
 
@@ -132,7 +133,7 @@ def run_campaign(
     linearization, so the aggregation captures the full instance-to-instance
     variability of the reported ratios.
 
-    ``jobs``, ``cache`` and ``progress`` are forwarded to the campaign
+    ``jobs``, ``cache``, ``progress`` and ``backend`` are forwarded to the campaign
     runtime (:mod:`repro.runtime`): ``jobs=4`` fans the
     (scenario × seed × heuristic) work units over four worker processes,
     and a :class:`~repro.runtime.cache.ResultCache` makes repeated points
@@ -152,6 +153,7 @@ def run_campaign(
         search_mode=search_mode,
         max_candidates=max_candidates,
         progress=progress,
+        backend=backend,
     ) as runner:
         rows = runner.run_rows(scenarios, seeds=seeds)
     return CampaignResult(rows=tuple(rows), aggregated=aggregate_rows(rows))

@@ -112,6 +112,7 @@ def _figure_rows(
     cache: Any,
     progress: Any,
     runner: Any,
+    backend: str | None = None,
 ) -> list[ResultRow]:
     """One figure sweep through the grid runner: shared option plumbing."""
     return run_grid(
@@ -121,6 +122,7 @@ def _figure_rows(
         cache=cache,
         progress=progress,
         runner=runner,
+        backend=backend,
     )
 
 
@@ -134,6 +136,7 @@ def figure2(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 2: impact of the linearization strategy (CkptW and CkptC)."""
     sizes = _preset_sizes(preset, sizes)
@@ -149,6 +152,7 @@ def figure2(
     rows = _figure_rows(
         scenarios, preset=preset, search_mode=search_mode,
         jobs=jobs, cache=cache, progress=progress, runner=runner,
+        backend=backend,
     )
     return FigureResult(
         figure="figure2",
@@ -168,6 +172,7 @@ def figure3(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 3: impact of the checkpointing strategy (c = 0.1 w)."""
     sizes = _preset_sizes(preset, sizes)
@@ -183,6 +188,7 @@ def figure3(
     rows = _figure_rows(
         scenarios, preset=preset, search_mode=search_mode,
         jobs=jobs, cache=cache, progress=progress, runner=runner,
+        backend=backend,
     )
     return FigureResult(
         figure="figure3",
@@ -202,6 +208,7 @@ def figure4(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 4: CyberShake with constant (10 s, 5 s) and small (0.01 w) checkpoints."""
     sizes = _preset_sizes(preset, sizes)
@@ -229,7 +236,7 @@ def figure4(
             rows.extend(
                 run_grid(
                     scenarios, search_mode=mode, jobs=jobs, cache=cache,
-                    progress=progress, runner=runner or owned,
+                    progress=progress, runner=runner or owned, backend=backend,
                 )
             )
     finally:
@@ -253,6 +260,7 @@ def figure5(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 5: checkpointing strategies with c = 0.01 w."""
     sizes = _preset_sizes(preset, sizes)
@@ -268,6 +276,7 @@ def figure5(
     rows = _figure_rows(
         scenarios, preset=preset, search_mode=search_mode,
         jobs=jobs, cache=cache, progress=progress, runner=runner,
+        backend=backend,
     )
     return FigureResult(
         figure="figure5",
@@ -287,6 +296,7 @@ def figure6(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 6: checkpointing strategies with constant c = 5 s."""
     sizes = _preset_sizes(preset, sizes)
@@ -302,6 +312,7 @@ def figure6(
     rows = _figure_rows(
         scenarios, preset=preset, search_mode=search_mode,
         jobs=jobs, cache=cache, progress=progress, runner=runner,
+        backend=backend,
     )
     return FigureResult(
         figure="figure6",
@@ -331,6 +342,7 @@ def figure7(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> FigureResult:
     """Figure 7: checkpointing strategies versus the failure rate (200 tasks)."""
     size = n_tasks if n_tasks is not None else (200 if preset == "paper" else 40)
@@ -357,6 +369,7 @@ def figure7(
     rows = _figure_rows(
         scenarios, preset=preset, search_mode=mode,
         jobs=jobs, cache=cache, progress=progress, runner=runner,
+        backend=backend,
     )
     return FigureResult(
         figure="figure7",
@@ -384,6 +397,7 @@ def all_figures(
     jobs: int | None = 1,
     cache: Any = None,
     progress: Any = None,
+    backend: str | None = None,
 ) -> dict[str, FigureResult]:
     """Run every figure reproduction and return them keyed by name.
 
@@ -394,7 +408,7 @@ def all_figures(
     pool start-up is paid once.
     """
     shared = _owned_runner(jobs, cache, progress)
-    kwargs = dict(preset=preset, seed=seed, runner=shared)
+    kwargs = dict(preset=preset, seed=seed, runner=shared, backend=backend)
     try:
         return {
             "figure2": figure2(**kwargs),

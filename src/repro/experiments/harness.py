@@ -77,6 +77,7 @@ def run_heuristic(
     search_mode: str = "exhaustive",
     max_candidates: int = 30,
     workflow: Workflow | None = None,
+    backend: str | None = None,
 ) -> ResultRow:
     """Evaluate one heuristic on one scenario instance; returns its row.
 
@@ -85,7 +86,9 @@ def run_heuristic(
     scenario instance and process); when omitted it is built from the
     scenario.  The heuristic's random stream is derived from
     ``(scenario.seed, heuristic)`` alone, so the result does not depend on
-    what else runs in the same process.
+    what else runs in the same process.  ``backend`` selects the evaluation
+    backend (``"auto"`` / ``"python"`` / ``"numpy"``); both backends produce
+    rows that agree within floating-point noise, so cache keys ignore it.
     """
     # Validate eagerly: CkptNvr/CkptAlws never consume the candidate counts,
     # but a typoed search_mode must not pass silently (nor reach cache keys).
@@ -111,6 +114,7 @@ def run_heuristic(
         heuristic,
         rng=heuristic_rng(scenario.seed, heuristic),
         counts=counts,
+        backend=backend,
     )
     elapsed = time.perf_counter() - start
     evaluation = result.evaluation
@@ -139,6 +143,7 @@ def run_scenario(
     *,
     search_mode: str = "exhaustive",
     max_candidates: int = 30,
+    backend: str | None = None,
 ) -> list[ResultRow]:
     """Evaluate every heuristic of a scenario; returns one row per heuristic.
 
@@ -162,6 +167,7 @@ def run_scenario(
             search_mode=search_mode,
             max_candidates=max_candidates,
             workflow=workflow,
+            backend=backend,
         )
         for heuristic in scenario.heuristics
     ]
@@ -176,6 +182,7 @@ def run_grid(
     cache: Any = None,
     progress: Any = None,
     runner: Any = None,
+    backend: str | None = None,
 ) -> list[ResultRow]:
     """Run several scenarios back to back and concatenate their rows.
 
@@ -194,7 +201,10 @@ def run_grid(
     """
     if runner is not None:
         return runner.run_rows(
-            scenarios, search_mode=search_mode, max_candidates=max_candidates
+            scenarios,
+            search_mode=search_mode,
+            max_candidates=max_candidates,
+            backend=backend,
         )
     search_mode = "exhaustive" if search_mode is None else search_mode
     max_candidates = 30 if max_candidates is None else max_candidates
@@ -204,7 +214,10 @@ def run_grid(
         for scenario in scenarios:
             rows.extend(
                 run_scenario(
-                    scenario, search_mode=search_mode, max_candidates=max_candidates
+                    scenario,
+                    search_mode=search_mode,
+                    max_candidates=max_candidates,
+                    backend=backend,
                 )
             )
         return rows
@@ -217,6 +230,7 @@ def run_grid(
         search_mode=search_mode,
         max_candidates=max_candidates,
         progress=progress,
+        backend=backend,
     ) as owned:
         return owned.run_rows(scenarios)
 

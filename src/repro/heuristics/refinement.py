@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.evaluator_np import batch_evaluate
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 
@@ -94,31 +95,35 @@ def _best_single_change(
     allow_add: bool,
     allow_remove: bool,
     candidates: Sequence[int] | None,
+    backend: str | None,
 ) -> tuple[frozenset[int] | None, float, int]:
     """Evaluate all single-checkpoint toggles; return the best improving one."""
     pool = range(workflow.n_tasks) if candidates is None else candidates
-    best_set: frozenset[int] | None = None
-    best_value = current_value
-    n_evaluations = 0
+    toggled: list[frozenset[int]] = []
     for task in pool:
         if task in current:
             if not allow_remove:
                 continue
-            candidate = current - {task}
+            toggled.append(current - {task})
         else:
             if not allow_add:
                 continue
-            if workflow.task(task).checkpoint_cost == 0.0 and workflow.task(task).recovery_cost == 0.0:
-                # A free checkpoint can never hurt, but evaluating it is still
-                # needed to know whether it helps; fall through.
-                pass
-            candidate = current | {task}
-        value = evaluate_schedule(Schedule(workflow, order, candidate), platform).expected_makespan
-        n_evaluations += 1
+            # Even a free checkpoint must be evaluated to know whether it
+            # helps, so every allowed toggle enters the batch.
+            toggled.append(current | {task})
+    if not toggled:
+        return None, current_value, 0
+    evaluations = batch_evaluate(
+        workflow, order, toggled, platform, backend=backend, keep_task_times=False
+    )
+    best_set: frozenset[int] | None = None
+    best_value = current_value
+    for candidate, evaluation in zip(toggled, evaluations):
+        value = evaluation.expected_makespan
         if value < best_value - 1e-12:
             best_value = value
             best_set = candidate
-    return best_set, best_value, n_evaluations
+    return best_set, best_value, len(toggled)
 
 
 def greedy_checkpoint_selection(
@@ -128,6 +133,7 @@ def greedy_checkpoint_selection(
     *,
     max_checkpoints: int | None = None,
     candidates: Sequence[int] | None = None,
+    backend: str | None = None,
 ) -> RefinementResult:
     """Greedy marginal-gain construction of a checkpoint set.
 
@@ -143,6 +149,9 @@ def greedy_checkpoint_selection(
         Optional budget on the number of checkpoints (``None`` = unbounded).
     candidates:
         Optional subset of tasks allowed to be checkpointed.
+    backend:
+        Evaluation backend for the toggle sweeps (see
+        :func:`repro.core.backend.resolve_backend`).
 
     Returns
     -------
@@ -151,7 +160,7 @@ def greedy_checkpoint_selection(
     order = tuple(order)
     current: frozenset[int] = frozenset()
     schedule = Schedule(workflow, order, current)
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=backend)
     initial_value = evaluation.expected_makespan
     current_value = initial_value
     steps = 0
@@ -168,6 +177,7 @@ def greedy_checkpoint_selection(
             allow_add=True,
             allow_remove=False,
             candidates=candidates,
+            backend=backend,
         )
         total_evaluations += n_evals
         if best_set is None:
@@ -177,7 +187,7 @@ def greedy_checkpoint_selection(
         steps += 1
 
     schedule = Schedule(workflow, order, current)
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=backend)
     return RefinementResult(
         schedule=schedule,
         evaluation=evaluation,
@@ -193,6 +203,7 @@ def local_search_checkpoints(
     *,
     max_steps: int | None = None,
     candidates: Sequence[int] | None = None,
+    backend: str | None = None,
 ) -> RefinementResult:
     """Hill-climb on the checkpoint set by single add/remove moves.
 
@@ -209,7 +220,7 @@ def local_search_checkpoints(
     workflow = schedule.workflow
     order = schedule.order
     current = schedule.checkpointed
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=backend)
     initial_value = evaluation.expected_makespan
     current_value = initial_value
     steps = 0
@@ -226,6 +237,7 @@ def local_search_checkpoints(
             allow_add=True,
             allow_remove=True,
             candidates=candidates,
+            backend=backend,
         )
         total_evaluations += n_evals
         if best_set is None:
@@ -235,7 +247,7 @@ def local_search_checkpoints(
         steps += 1
 
     final = Schedule(workflow, order, current)
-    final_eval = evaluate_schedule(final, platform)
+    final_eval = evaluate_schedule(final, platform, backend=backend)
     return RefinementResult(
         schedule=final,
         evaluation=final_eval,
@@ -250,6 +262,9 @@ def refine_schedule(
     platform: Platform,
     *,
     max_steps: int | None = None,
+    backend: str | None = None,
 ) -> Schedule:
     """Convenience wrapper returning only the locally improved schedule."""
-    return local_search_checkpoints(schedule, platform, max_steps=max_steps).schedule
+    return local_search_checkpoints(
+        schedule, platform, max_steps=max_steps, backend=backend
+    ).schedule

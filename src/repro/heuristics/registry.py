@@ -117,6 +117,7 @@ def solve_heuristic(
     *,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
+    backend: str | None = None,
 ) -> HeuristicResult:
     """Run one named heuristic end to end.
 
@@ -139,6 +140,10 @@ def solve_heuristic(
     counts:
         Candidate checkpoint counts for the parameterised strategies;
         defaults to the paper's exhaustive ``1 .. n-1`` search.
+    backend:
+        Evaluation backend (``"auto"`` / ``"python"`` / ``"numpy"``) for
+        every schedule scoring; see
+        :func:`repro.core.backend.resolve_backend`.
 
     Returns
     -------
@@ -156,7 +161,7 @@ def solve_heuristic(
             else frozenset(range(workflow.n_tasks))
         )
         schedule = Schedule(workflow, order, selected)
-        evaluation = evaluate_schedule(schedule, platform)
+        evaluation = evaluate_schedule(schedule, platform, backend=backend)
         return HeuristicResult(
             heuristic=heuristic,
             linearization=linearization,
@@ -168,7 +173,7 @@ def solve_heuristic(
 
     selector = get_selector(strategy)
     search = search_checkpoint_count(
-        workflow, order, platform, selector, counts=counts
+        workflow, order, platform, selector, counts=counts, backend=backend
     )
     return HeuristicResult(
         heuristic=heuristic,
@@ -187,6 +192,7 @@ def solve_all_heuristics(
     heuristics: "tuple[str, ...] | list[str] | None" = None,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
+    backend: str | None = None,
 ) -> dict[str, HeuristicResult]:
     """Run several heuristics and return their results keyed by name.
 
@@ -202,13 +208,17 @@ def solve_all_heuristics(
     if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
         seed = int(rng)  # solve_heuristic derives the per-heuristic stream
         return {
-            name: solve_heuristic(workflow, platform, name, rng=seed, counts=counts)
+            name: solve_heuristic(
+                workflow, platform, name, rng=seed, counts=counts, backend=backend
+            )
             for name in heuristics
         }
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     return {
-        name: solve_heuristic(workflow, platform, name, rng=rng, counts=counts)
+        name: solve_heuristic(
+            workflow, platform, name, rng=rng, counts=counts, backend=backend
+        )
         for name in heuristics
     }
 
@@ -220,10 +230,12 @@ def best_heuristic(
     heuristics: "tuple[str, ...] | list[str] | None" = None,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
+    backend: str | None = None,
 ) -> HeuristicResult:
     """Run several heuristics and return the one with the lowest expected makespan."""
     results = solve_all_heuristics(
-        workflow, platform, heuristics=heuristics, rng=rng, counts=counts
+        workflow, platform, heuristics=heuristics, rng=rng, counts=counts,
+        backend=backend,
     )
     best: HeuristicResult | None = None
     best_value = math.inf

@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.evaluator_np import batch_evaluate
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .checkpointing import Selector
@@ -111,6 +112,7 @@ def search_checkpoint_count(
     *,
     counts: Iterable[int] | None = None,
     include_zero: bool = True,
+    backend: str | None = None,
 ) -> CheckpointCountSearch:
     """Find the checkpoint count minimising the expected makespan.
 
@@ -127,6 +129,10 @@ def search_checkpoint_count(
         runs over ``1 .. n-1`` only, but including 0 makes the heuristics
         degrade gracefully on failure-free platforms; it adds a single extra
         evaluation.
+    backend:
+        Evaluation backend forwarded to
+        :func:`~repro.core.evaluator_np.batch_evaluate`, which scores all
+        distinct candidate sets over the shared linearization in one sweep.
 
     Returns
     -------
@@ -139,33 +145,50 @@ def search_checkpoint_count(
     if include_zero and 0 not in counts:
         counts = [0] + counts
 
-    best_schedule: Schedule | None = None
-    best_eval: MakespanEvaluation | None = None
-    best_count = -1
-    best_value = math.inf
-    evaluated: dict[int, float] = {}
-    seen_sets: dict[frozenset[int], float] = {}
-
+    # Materialize the candidate sets first (deduplicated — e.g. CkptPer often
+    # returns the same set for several N), then price every distinct set in
+    # one batch over the shared linearization.
+    selected_sets: list[frozenset[int]] = []
+    distinct: dict[frozenset[int], int] = {}
     for count in counts:
         if count < 0 or count > workflow.n_tasks:
             raise ValueError(f"invalid checkpoint count {count}")
-        selected = frozenset() if count == 0 else selector(workflow, order, count)
-        if selected in seen_sets:
-            evaluated[count] = seen_sets[selected]
-            continue
-        schedule = Schedule(workflow, order, selected)
-        evaluation = evaluate_schedule(schedule, platform)
-        value = evaluation.expected_makespan
+        selected = frozenset() if count == 0 else frozenset(selector(workflow, order, count))
+        selected_sets.append(selected)
+        if selected not in distinct:
+            distinct[selected] = len(distinct)
+    # Only the makespans are needed to rank candidates; dropping the
+    # per-position vectors keeps the sweep at O(n) retained floats.
+    evaluations = batch_evaluate(
+        workflow, order, list(distinct), platform, backend=backend,
+        keep_task_times=False,
+    )
+
+    best_selected: frozenset[int] | None = None
+    best_count = -1
+    best_value = math.inf
+    evaluated: dict[int, float] = {}
+    first_for_set: set[frozenset[int]] = set()
+
+    for count, selected in zip(counts, selected_sets):
+        value = evaluations[distinct[selected]].expected_makespan
         evaluated[count] = value
-        seen_sets[selected] = value
+        if selected in first_for_set:
+            continue  # duplicate set: keep the first count as the winner's N
+        first_for_set.add(selected)
         if value < best_value:
             best_value = value
-            best_schedule = schedule
-            best_eval = evaluation
+            best_selected = selected
             best_count = count
 
-    if best_schedule is None or best_eval is None:
+    if best_selected is None:
         raise ValueError("no candidate checkpoint count was evaluated")
+    best_schedule = Schedule(workflow, order, best_selected)
+    # One extra evaluation restores the winner's full per-position vector
+    # (deterministic: it reproduces the batch value exactly).
+    best_eval: MakespanEvaluation = evaluate_schedule(
+        best_schedule, platform, backend=backend
+    )
     return CheckpointCountSearch(
         best_schedule=best_schedule,
         best_evaluation=best_eval,

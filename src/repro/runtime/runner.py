@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from ..core.backend import resolve_backend
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -52,12 +53,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """One independent (scenario instance, heuristic) computation."""
+    """One independent (scenario instance, heuristic) computation.
+
+    ``backend`` selects the evaluation backend used to *compute* the unit;
+    it deliberately stays out of the cache key (see :meth:`CampaignRunner._unit_key`)
+    because both backends produce equivalent rows.
+    """
 
     scenario: Scenario
     heuristic: str
     search_mode: str = "exhaustive"
     max_candidates: int = 30
+    backend: str | None = None
 
 
 #: Fields of a ResultRow that are computed (and therefore cached); the
@@ -119,6 +126,7 @@ def _solve_unit(unit: WorkUnit) -> ResultRow:
         search_mode=unit.search_mode,
         max_candidates=unit.max_candidates,
         workflow=workflow,
+        backend=unit.backend,
     )
 
 
@@ -155,6 +163,7 @@ def expand_work_units(
     seeds: Sequence[int] | None = None,
     search_mode: str = "exhaustive",
     max_candidates: int = 30,
+    backend: str | None = None,
 ) -> list[WorkUnit]:
     """Expand scenarios into the (scenario × seed × heuristic) unit list.
 
@@ -169,6 +178,10 @@ def expand_work_units(
         raise ValueError(
             f"unknown search mode {search_mode!r}; expected one of {SEARCH_MODES}"
         )
+    # Same early-failure rule for the backend name: a typo must not survive
+    # until (or vary with) cache warmth.  The resolved value is discarded —
+    # "auto" stays "auto" so each instance picks its own fast path.
+    resolve_backend(backend)
     units: list[WorkUnit] = []
     for scenario in scenarios:
         instances = (
@@ -184,6 +197,7 @@ def expand_work_units(
                         heuristic=heuristic,
                         search_mode=search_mode,
                         max_candidates=max_candidates,
+                        backend=backend,
                     )
                 )
     return units
@@ -201,6 +215,9 @@ class CampaignRunner:
         Optional :class:`ResultCache`; hits skip the evaluator entirely.
     search_mode, max_candidates:
         Checkpoint-count search configuration forwarded to every unit.
+    backend:
+        Evaluation backend forwarded to every unit (``"auto"`` default);
+        results are backend-agnostic, so this never enters cache keys.
     progress:
         ``None`` (silent), ``True`` (console reporter) or any object with
         ``start/update/finish``.
@@ -219,13 +236,17 @@ class CampaignRunner:
         search_mode: str = "exhaustive",
         max_candidates: int = 30,
         progress: Any = None,
+        backend: str | None = None,
     ) -> None:
-        # Resolve (and thereby validate) the worker count eagerly so that a
-        # bad --jobs value fails identically on warm and cold caches.
+        # Resolve (and thereby validate) the worker count and backend name
+        # eagerly so that a bad --jobs / --backend value fails identically
+        # on warm and cold caches.
         self.jobs = resolve_jobs(jobs)
+        resolve_backend(backend)
         self.cache = cache
         self.search_mode = search_mode
         self.max_candidates = max_candidates
+        self.backend = backend
         self.progress = coerce_progress(progress)
         self._pool: Any = None
 
@@ -265,12 +286,13 @@ class CampaignRunner:
         seeds: Sequence[int] | None = None,
         search_mode: str | None = None,
         max_candidates: int | None = None,
+        backend: str | None = None,
     ) -> list[ResultRow]:
         """Run every unit of the scenarios; rows come back in unit order.
 
-        ``search_mode`` / ``max_candidates`` override the runner's defaults
-        for this call, so one runner (and its worker pool) can serve sweeps
-        with different search configurations.
+        ``search_mode`` / ``max_candidates`` / ``backend`` override the
+        runner's defaults for this call, so one runner (and its worker
+        pool) can serve sweeps with different configurations.
         """
         units = expand_work_units(
             scenarios,
@@ -279,6 +301,7 @@ class CampaignRunner:
             max_candidates=(
                 max_candidates if max_candidates is not None else self.max_candidates
             ),
+            backend=backend if backend is not None else self.backend,
         )
         return self.run_units(units)
 
@@ -349,6 +372,9 @@ class CampaignRunner:
     # Internals
     # ------------------------------------------------------------------
     def _unit_key(self, unit: WorkUnit) -> str:
+        # The unit's evaluation backend deliberately does not enter the key:
+        # both backends compute the same quantity (the equivalence property
+        # tests pin the bound), so a cache warmed by either serves both.
         workflow, fingerprint = _memoized_instance(unit.scenario, digest=True)
         # CkptNvr/CkptAlws never consume the candidate counts, so their
         # results are identical under every search configuration; normalize
@@ -387,6 +413,8 @@ def evaluate_schedule_cached(
     schedule: Schedule,
     platform: Platform,
     cache: ResultCache,
+    *,
+    backend: str | None = None,
 ) -> MakespanEvaluation:
     """Content-addressed wrapper around the Theorem-3 evaluator.
 
@@ -395,6 +423,9 @@ def evaluate_schedule_cached(
     per-position expectation vector is cached, so reconstruction is exact.
     (Only the plain evaluation is supported; the event-probability table of
     ``keep_probabilities`` is quadratic and deliberately not cached.)
+
+    ``backend`` only selects how a miss is computed — the key is
+    backend-agnostic, so entries warmed by one backend serve the other.
     """
     key = evaluation_key(schedule, platform, kind="expected-makespan")
     payload = cache.get(key)
@@ -405,7 +436,7 @@ def evaluate_schedule_cached(
             failure_free_makespan=float(payload["failure_free_makespan"]),
             failure_free_work=float(payload["failure_free_work"]),
         )
-    evaluation = evaluate_schedule(schedule, platform)
+    evaluation = evaluate_schedule(schedule, platform, backend=backend)
     cache.put(
         key,
         {

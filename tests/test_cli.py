@@ -125,7 +125,7 @@ class TestSolveAndEvaluate:
         assert "95% CI" in out
 
 
-def _tiny_all_figures(*, preset, seed, jobs=1, cache=None, progress=None):
+def _tiny_all_figures(*, preset, seed, jobs=1, cache=None, progress=None, backend=None):
     """Drop-in for repro.cli.all_figures with a fast single-figure config."""
     from repro.experiments import figure2
 

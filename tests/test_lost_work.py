@@ -46,7 +46,7 @@ class TestChainLostWork:
         assert lw.w(2, 4) == 0.0 and lw.r(2, 4) == 0.0
 
     def test_members_sets(self, schedule):
-        lw = compute_lost_work(schedule)
+        lw = compute_lost_work(schedule, keep_members=True)
         assert lw.lost_set(2, 2) == frozenset({1})
         assert lw.lost_set(4, 4) == frozenset({2, 3})
         assert lw.lost_set(2, 3) == frozenset()
@@ -54,13 +54,21 @@ class TestChainLostWork:
     def test_n_tasks(self, schedule):
         assert compute_lost_work(schedule).n_tasks == 4
 
+    def test_members_are_opt_in(self, schedule):
+        # Production call sites never read the quadratic membership sets, so
+        # the default computation does not build them.
+        lw = compute_lost_work(schedule)
+        assert lw.members is None
+        with pytest.raises(ValueError, match="keep_members"):
+            lw.lost_set(2, 2)
+
 
 class TestPaperExample:
     """The Figure-1 narrative: failure during T5 with checkpoints on T3 and T4."""
 
     def test_narrative_sets(self, paper_example_schedule):
         schedule = paper_example_schedule
-        lw = compute_lost_work(schedule)
+        lw = compute_lost_work(schedule, keep_members=True)
         pos = {t: schedule.position_of(t) + 1 for t in range(8)}
 
         # A fault while executing T5 (position 6): T5 needs T3's checkpoint only.
@@ -82,7 +90,7 @@ class TestPaperExample:
 
     def test_no_checkpoint_means_reexecute_from_entry(self, paper_example):
         schedule = Schedule(paper_example, (0, 3, 1, 2, 4, 5, 6, 7), ())
-        lw = compute_lost_work(schedule)
+        lw = compute_lost_work(schedule, keep_members=True)
         # Without any checkpoint, a fault during T5 (position 6) forces the
         # re-execution of T3 and of the entry task T0 for T5.
         assert lw.lost_set(6, 6) == frozenset({1, 2})  # positions of T0 and T3
@@ -97,7 +105,7 @@ class TestStructuralProperties:
             mode="constant", value=0.5
         )
         schedule = Schedule(wf, range(5), {2})
-        lw = compute_lost_work(schedule)
+        lw = compute_lost_work(schedule, keep_members=True)
         # Fault during X_5: tasks 4 (position 5) needs 3 (re-exec) and 2 (recover),
         # but never 0 or 1 (hidden behind the checkpoint of task 2).
         assert lw.lost_set(5, 5) == frozenset({3, 4})
