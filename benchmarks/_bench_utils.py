@@ -1,8 +1,108 @@
-"""Helpers shared by the benchmark modules (printing and aggregation)."""
+"""Helpers shared by the benchmark modules (printing, aggregation, JSON).
+
+Every ``bench_*.py`` that can run standalone follows one output convention:
+
+* ``--output PATH`` (or the ``REPRO_BENCH_JSON`` environment variable for
+  the pytest-driven path) writes a machine-readable JSON report through
+  :func:`write_json_report`;
+* the report is a plain dict whose timing leaves are named ``*_seconds``
+  and whose backend-comparison leaves carry a ``speedup`` entry — the shape
+  ``benchmarks/check_regression.py`` consumes to gate CI on numpy-path
+  regressions.
+
+Use :func:`report_scaffold` for the envelope so every report self-describes
+(benchmark name + parameters), and :func:`add_output_argument` for the
+shared CLI flag.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+
+def report_scaffold(name: str, **params: Any) -> dict:
+    """Standard envelope of a benchmark JSON report."""
+    return {"benchmark": name, "params": dict(params)}
+
+
+def write_json_report(report: dict, path: str | Path) -> Path:
+    """Write a benchmark report as indented JSON, creating parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def add_output_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--output`` flag of every standalone benchmark CLI."""
+    parser.add_argument(
+        "--output", "-o", default=None,
+        help="write the machine-readable JSON report to this path",
+    )
+
+
+def emit_report(report: dict, output: str | Path | None) -> None:
+    """Print the report; also write it when an output path was requested."""
+    print(json.dumps(report, indent=2))
+    if output:
+        path = write_json_report(report, output)
+        print(f"wrote {path}")
+
+
+# ----------------------------------------------------------------------
+# JSON capture for the pytest-driven benchmarks
+# ----------------------------------------------------------------------
+# The figure benchmarks run under pytest (they need the `benchmark`
+# fixture), so they cannot take ``--output``.  Setting the environment
+# variable ``REPRO_BENCH_JSON_DIR`` makes them write the same JSON shape
+# instead: one ``<figure>.json`` per series sweep plus one
+# ``bench_metrics.json`` with the scalar metrics recorded by the other
+# benchmarks (flushed by the conftest at session end).
+
+_METRICS: dict[str, dict] = {}
+
+
+def json_output_dir() -> Path | None:
+    """Directory requested via ``REPRO_BENCH_JSON_DIR``, or ``None``."""
+    import os
+
+    value = os.environ.get("REPRO_BENCH_JSON_DIR", "").strip()
+    return Path(value) if value else None
+
+
+def maybe_write_series_json(name: str, result) -> None:
+    """Write a FigureResult's series as ``<name>.json`` (when capture is on)."""
+    directory = json_output_dir()
+    if directory is None:
+        return
+    report = report_scaffold(name, x_axis=result.x_axis)
+    report["description"] = result.description
+    report["series"] = {
+        family: {
+            heuristic: [[x, y] for x, y in points]
+            for heuristic, points in result.series(family).items()
+        }
+        for family in result.panels
+    }
+    write_json_report(report, directory / f"{name}.json")
+
+
+def record_metric(benchmark: str, **values: Any) -> None:
+    """Record scalar metrics of one benchmark for the session JSON report."""
+    _METRICS.setdefault(benchmark, {}).update(values)
+
+
+def flush_metrics() -> Path | None:
+    """Write the recorded metrics (if any, and if capture is on)."""
+    directory = json_output_dir()
+    if directory is None or not _METRICS:
+        return None
+    report = report_scaffold("bench_metrics")
+    report["metrics"] = {name: dict(values) for name, values in sorted(_METRICS.items())}
+    return write_json_report(report, directory / "bench_metrics.json")
 
 
 def print_series(title: str, result, *, x_label: str = "n") -> None:

@@ -15,6 +15,8 @@ from repro import Platform, solve_heuristic
 from repro.theory import solve_chain
 from repro.workflows import generators
 
+from _bench_utils import record_metric
+
 HEURISTICS = ("DF-CkptW", "DF-CkptC", "DF-CkptPer", "DF-CkptNvr", "DF-CkptAlws")
 
 
@@ -46,6 +48,10 @@ def test_heuristics_against_chain_optimum(benchmark, chain_instance, heuristic):
         rounds=1,
     )
     gap = 100.0 * (result.expected_makespan / optimum - 1.0)
+    record_metric(
+        "chain_baseline",
+        **{f"{heuristic}_gap_percent": gap},
+    )
     print(
         f"\n{heuristic}: E[makespan]={result.expected_makespan:.1f}s "
         f"(+{gap:.2f}% vs optimal DP, {result.checkpoint_count} checkpoints)"

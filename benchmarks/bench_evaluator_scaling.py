@@ -37,6 +37,8 @@ from repro import Platform, Schedule, evaluate_schedule
 from repro.heuristics import linearize
 from repro.workflows import generators, pegasus
 
+from _bench_utils import add_output_argument, report_scaffold, write_json_report
+
 
 def _cybershake_schedule(n_tasks: int):
     workflow = pegasus.cybershake(n_tasks, seed=1).with_checkpoint_costs(
@@ -114,7 +116,10 @@ def backend_comparison(
     sizes=COMPARISON_SIZES, *, repeats: int = 3, check_agreement: bool = True
 ) -> dict:
     """Time one evaluation per (family, size, backend); return the report."""
-    report: dict = {"platform_rate": PLATFORM.failure_rate, "sizes": list(sizes), "families": {}}
+    report = report_scaffold(
+        "evaluator_backends", platform_rate=PLATFORM.failure_rate, sizes=list(sizes)
+    )
+    report["families"] = {}
     for family, build in _FAMILIES.items():
         series = {}
         for n_tasks in sizes:
@@ -152,10 +157,7 @@ def _json_path() -> Path:
 
 
 def write_backend_comparison(report: dict, path: Path | None = None) -> Path:
-    path = path if path is not None else _json_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    return path
+    return write_json_report(report, path if path is not None else _json_path())
 
 
 def test_backend_comparison_json():
@@ -181,7 +183,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--sizes", type=int, nargs="+", default=list(COMPARISON_SIZES))
     parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--output", "-o", default=None, help="JSON output path")
+    add_output_argument(parser)
     args = parser.parse_args(argv)
     report = backend_comparison(tuple(args.sizes), repeats=args.repeats)
     path = write_backend_comparison(

@@ -15,6 +15,8 @@ from repro import Platform, Schedule, evaluate_schedule, run_monte_carlo, simula
 from repro.simulation import ScriptedFailures
 from repro.workflows import generators
 
+from _bench_utils import record_metric
+
 
 @pytest.fixture(scope="module")
 def example_schedule():
@@ -32,6 +34,11 @@ def test_figure1_analytical_evaluation(benchmark, example_schedule):
         f"\nFigure 1 example: E[makespan] = {evaluation.expected_makespan:.2f}s, "
         f"failure-free = {evaluation.failure_free_makespan:.2f}s, "
         f"T/T_inf = {evaluation.overhead_ratio:.3f}"
+    )
+    record_metric(
+        "figure1",
+        expected_makespan=evaluation.expected_makespan,
+        overhead_ratio=evaluation.overhead_ratio,
     )
 
 
@@ -70,4 +77,9 @@ def test_figure1_monte_carlo_estimate(benchmark, example_schedule, preset):
         f"\nMonte-Carlo ({summary.n_runs} runs): mean {summary.mean_makespan:.2f}s, "
         f"95% CI {summary.ci95[0]:.2f}-{summary.ci95[1]:.2f}s, "
         f"analytical {analytical:.2f}s"
+    )
+    record_metric(
+        "figure1",
+        mc_mean_makespan=summary.mean_makespan,
+        mc_analytical_makespan=analytical,
     )

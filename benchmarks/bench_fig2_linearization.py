@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments import figure2
 
-from _bench_utils import mean_ratio, print_series
+from _bench_utils import maybe_write_series_json, mean_ratio, print_series
 
 
 @pytest.mark.figure("figure2")
@@ -25,6 +25,7 @@ def test_figure2_linearization_impact(benchmark, figure_sizes, search_mode):
     )
     print_series("Figure 2: T/T_inf, linearization impact (c = 0.1 w)", result)
 
+    maybe_write_series_json("figure2", result)
     # Shape check recorded in EXPERIMENTS.md: averaged over the size sweep, the
     # DF linearization is not beaten by BF by more than noise for either of the
     # two best checkpointing strategies.

@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments import best_by_strategy, figure3
 
-from _bench_utils import print_series
+from _bench_utils import maybe_write_series_json, print_series
 
 
 @pytest.mark.figure("figure3")
@@ -25,6 +25,7 @@ def test_figure3_checkpoint_strategy_impact(benchmark, figure_sizes, search_mode
     )
     print_series("Figure 3: T/T_inf, checkpointing strategies (c = 0.1 w)", result)
 
+    maybe_write_series_json("figure3", result)
     # Textual analogue of the paper's plotting rule: per strategy, keep the best
     # linearization, then compare strategies.
     best = best_by_strategy(result.rows)

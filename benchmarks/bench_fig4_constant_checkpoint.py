@@ -15,7 +15,7 @@ import pytest
 from repro.experiments import figure4
 from repro.experiments.harness import series_by_heuristic
 
-from _bench_utils import mean_ratio, print_series
+from _bench_utils import maybe_write_series_json, mean_ratio, print_series
 
 
 @pytest.mark.figure("figure4")
@@ -27,6 +27,7 @@ def test_figure4_constant_checkpoint_costs(benchmark, figure_sizes, search_mode)
     )
     print_series("Figure 4: CyberShake, constant / small checkpoint costs", result)
 
+    maybe_write_series_json("figure4", result)
     by_panel = {
         panel: series_by_heuristic([r for r in result.rows if r.label == panel])
         for panel in result.panels

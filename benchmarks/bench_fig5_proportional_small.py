@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments import figure5
 
-from _bench_utils import mean_ratio, print_series
+from _bench_utils import maybe_write_series_json, mean_ratio, print_series
 
 
 @pytest.mark.figure("figure5")
@@ -24,6 +24,7 @@ def test_figure5_small_proportional_costs(benchmark, figure_sizes, search_mode):
     )
     print_series("Figure 5: T/T_inf, checkpointing strategies (c = 0.01 w)", result)
 
+    maybe_write_series_json("figure5", result)
     for family in result.panels:
         series = result.series(family)
         best_searchful = min(

@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments import figure6
 
-from _bench_utils import mean_ratio, print_series
+from _bench_utils import maybe_write_series_json, mean_ratio, print_series
 
 
 @pytest.mark.figure("figure6")
@@ -24,6 +24,7 @@ def test_figure6_constant_costs(benchmark, figure_sizes, search_mode):
     )
     print_series("Figure 6: T/T_inf, checkpointing strategies (c = 5 s)", result)
 
+    maybe_write_series_json("figure6", result)
     for family in result.panels:
         series = result.series(family)
         ckptw = mean_ratio(series, "DF-CkptW")

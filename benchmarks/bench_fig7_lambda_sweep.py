@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments import figure7
 
-from _bench_utils import print_series
+from _bench_utils import maybe_write_series_json, print_series
 
 
 @pytest.mark.figure("figure7")
@@ -27,6 +27,7 @@ def test_figure7_failure_rate_sweep(benchmark, preset, search_mode):
     print_series(
         "Figure 7: T/T_inf versus failure rate (c = 0.1 w)", result, x_label="lambda"
     )
+    maybe_write_series_json("figure7", result)
 
     for family in result.panels:
         series = result.series(family)

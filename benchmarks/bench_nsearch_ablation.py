@@ -15,6 +15,8 @@ from repro import Platform
 from repro.heuristics import checkpoint_by_weight, candidate_counts, linearize, search_checkpoint_count
 from repro.workflows import pegasus
 
+from _bench_utils import record_metric
+
 FAMILIES = ("montage", "cybershake")
 
 
@@ -61,6 +63,10 @@ def test_geometric_search_accuracy(benchmark, family, budget, preset):
         subsampled.best_evaluation.expected_makespan
         / exhaustive.best_evaluation.expected_makespan
         - 1.0
+    )
+    record_metric(
+        "nsearch_ablation",
+        **{f"{family}_geometric_{budget}_gap": gap},
     )
     print(
         f"\n{family} geometric({budget}): best N={subsampled.best_count}, "

@@ -15,6 +15,8 @@ from repro import Platform, solve_heuristic
 from repro.heuristics import local_search_checkpoints
 from repro.workflows import pegasus
 
+from _bench_utils import record_metric
+
 CASES = {
     "montage": 1e-3,
     "cybershake": 1e-3,
@@ -37,6 +39,10 @@ def test_local_search_on_top_of_ckptw(benchmark, family, preset):
         lambda: local_search_checkpoints(start.schedule, platform, max_steps=10),
         iterations=1,
         rounds=1,
+    )
+    record_metric(
+        "refinement_ablation",
+        **{f"{family}_improvement": refined.relative_improvement},
     )
     print(
         f"\n{family}: DF-CkptW {start.expected_makespan:.1f}s -> refined "

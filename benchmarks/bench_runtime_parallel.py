@@ -22,6 +22,8 @@ import pytest
 from repro.experiments import figure3
 from repro.runtime import ResultCache
 
+from _bench_utils import record_metric
+
 _ROW_KEY_FIELDS = (
     "label", "family", "n_tasks", "actual_n_tasks", "heuristic",
     "n_checkpointed", "expected_makespan", "overhead_ratio", "seed",
@@ -54,6 +56,12 @@ def test_runtime_warm_cache_repeated_sweep(benchmark, figure_sizes, search_mode)
     assert _comparable(warm.rows) == _comparable(cold.rows)
     assert warm_seconds < cold_seconds
 
+    record_metric(
+        "runtime_parallel",
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        warm_speedup=cold_seconds / max(warm_seconds, 1e-9),
+    )
     print(
         f"\n--- runtime: warm-cache repeated sweep ({len(cold.rows)} rows) ---\n"
         f"  cold: {cold_seconds:.2f}s   warm: {warm_seconds:.2f}s "

@@ -14,6 +14,8 @@ from repro.theory import optimal_schedule, solve_fork, solve_join_equal_costs
 from repro.theory.npcomplete import solve_subset_sum_by_reduction
 from repro.workflows import generators
 
+from _bench_utils import record_metric
+
 
 def test_fork_theorem_vs_bruteforce(benchmark):
     workflow = generators.fork_workflow(6, seed=4, mean_weight=40.0).with_checkpoint_costs(
@@ -22,6 +24,7 @@ def test_fork_theorem_vs_bruteforce(benchmark):
     platform = Platform.from_platform_rate(8e-3, downtime=1.0)
     solution = benchmark(lambda: solve_fork(workflow, platform))
     brute = optimal_schedule(workflow, platform, checkpoint_candidates=[workflow.sources[0]])
+    record_metric("theory", fork_expected_makespan=solution.expected_makespan)
     print(
         f"\nfork-7: Theorem-1 optimum {solution.expected_makespan:.2f}s "
         f"(checkpoint source: {solution.checkpoint_source}); brute force {brute.expected_makespan:.2f}s"

@@ -1,0 +1,135 @@
+"""CI benchmark-regression gate for the NumPy fast paths.
+
+Compares a freshly produced benchmark JSON against the committed baseline in
+``benchmark_results/`` and fails (exit code 1) when a numpy path regressed by
+more than the threshold.
+
+What is compared: every numeric ``speedup`` leaf (python-seconds over
+numpy-seconds at the same point), matched by its JSON path.  Speedups are
+*relative* measurements — the python reference runs on the same machine in
+the same session — so the gate is robust to CI runners being faster or
+slower than the machine that produced the baseline, which absolute
+``*_seconds`` values are not.  A current speedup below
+``baseline * (1 - threshold)`` is a regression.
+
+Usage (one or more pairs):
+
+    python benchmarks/check_regression.py \
+        --compare /tmp/evaluator_backends.json benchmark_results/evaluator_backends.json \
+        --compare /tmp/montecarlo_backends.json benchmark_results/montecarlo_backends.json \
+        --threshold 0.25
+
+Points present only in the baseline (e.g. a smoke run covering fewer sizes)
+are reported and skipped; ``--strict`` turns them into failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default tolerated relative slowdown of a numpy path before CI fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+def speedup_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten a report to ``{json.path: value}`` for every ``speedup`` leaf."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key == "speedup" and isinstance(value, (int, float)):
+                leaves[path] = float(value)
+            else:
+                leaves.update(speedup_leaves(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(speedup_leaves(value, f"{prefix}[{index}]"))
+    return leaves
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing speedup leaves of two reports."""
+    current_leaves = speedup_leaves(current)
+    baseline_leaves = speedup_leaves(baseline)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path, baseline_value in sorted(baseline_leaves.items()):
+        current_value = current_leaves.get(path)
+        if current_value is None:
+            notes.append(f"missing in current run: {path} (baseline {baseline_value:.2f}x)")
+            continue
+        floor = baseline_value * (1.0 - threshold)
+        verdict = "ok" if current_value >= floor else "REGRESSION"
+        line = (
+            f"{path}: baseline {baseline_value:6.2f}x  current {current_value:6.2f}x  "
+            f"floor {floor:6.2f}x  {verdict}"
+        )
+        notes.append(line)
+        if current_value < floor:
+            regressions.append(line)
+    for path in sorted(set(current_leaves) - set(baseline_leaves)):
+        notes.append(f"new point (no baseline): {path} ({current_leaves[path]:.2f}x)")
+    if not baseline_leaves:
+        regressions.append("baseline report contains no speedup leaves")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a numpy-path speedup regressed vs its committed baseline."
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("CURRENT", "BASELINE"),
+        action="append",
+        required=True,
+        help="pair of JSON reports to compare (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"tolerated relative slowdown (default {DEFAULT_THRESHOLD:.0%})",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a baseline point is missing from the current run",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must lie in [0, 1)")
+
+    failures: list[str] = []
+    for current_path, baseline_path in args.compare:
+        current = json.loads(Path(current_path).read_text())
+        baseline = json.loads(Path(baseline_path).read_text())
+        print(f"== {current_path} vs {baseline_path} (threshold {args.threshold:.0%})")
+        regressions, notes = compare_reports(
+            current, baseline, threshold=args.threshold
+        )
+        for note in notes:
+            print(f"   {note}")
+        failures.extend(regressions)
+        if args.strict:
+            failures.extend(n for n in notes if n.startswith("missing in current run"))
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall numpy-path speedups within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

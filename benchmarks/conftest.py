@@ -23,6 +23,14 @@ def pytest_configure(config):
     config.addinivalue_line("markers", "figure(name): benchmark reproducing a paper figure")
 
 
+def pytest_sessionfinish(session, exitstatus):
+    # Flush the scalar metrics recorded by the benchmarks into
+    # $REPRO_BENCH_JSON_DIR/bench_metrics.json (no-op when capture is off).
+    from _bench_utils import flush_metrics
+
+    flush_metrics()
+
+
 @pytest.fixture(scope="session")
 def preset() -> str:
     """Benchmark scale: ``smoke`` (default) or ``paper`` (env override)."""

@@ -10,6 +10,9 @@ can be scripted without writing Python:
 * ``repro evaluate`` — expected makespan of a schedule (Theorem 3);
 * ``repro analyse`` — expected-time breakdown and checkpoint utilities;
 * ``repro simulate`` — Monte-Carlo fault-injection estimate;
+* ``repro robustness`` — failure-law robustness campaign: sweep failure law
+  x shape parameter x scenario grid, validate the analytical backend
+  against simulation confidence intervals, emit a JSON report (and figure);
 * ``repro figures`` — regenerate the data behind the paper's figures;
 * ``repro campaign`` — multi-seed sweep with aggregation and error bars;
 * ``repro cache`` — inspect / clear the persistent result cache.
@@ -41,7 +44,15 @@ from .analysis import analyse_schedule, checkpoint_utilities
 from .core.backend import EVAL_BACKENDS
 from .core.evaluator import evaluate_schedule
 from .core.platform import Platform
-from .experiments import all_figures, run_campaign, save_rows_csv, scenario_grid
+from .experiments import (
+    all_figures,
+    plot_robustness,
+    run_campaign,
+    run_robustness,
+    save_robustness_report,
+    save_rows_csv,
+    scenario_grid,
+)
 from .heuristics import (
     HEURISTIC_NAMES,
     candidate_counts,
@@ -122,6 +133,42 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--downtime", type=float, default=0.0)
     simulate.add_argument("--runs", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(simulate)
+
+    # robustness --------------------------------------------------------
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="failure-law robustness campaign (analytical vs Monte-Carlo)",
+    )
+    robustness.add_argument("--families", default="montage",
+                            help="comma-separated workflow families")
+    robustness.add_argument("--sizes", default="30,60",
+                            help="comma-separated task counts")
+    robustness.add_argument("--laws", default="exponential,weibull,lognormal",
+                            help="comma-separated failure laws to sweep")
+    robustness.add_argument("--shapes", default="0.5,0.7",
+                            help="comma-separated Weibull shape parameters")
+    robustness.add_argument("--sigmas", default="1.0",
+                            help="comma-separated LogNormal sigma parameters")
+    robustness.add_argument("--runs", type=int, default=2000,
+                            help="Monte-Carlo replicas per row")
+    robustness.add_argument("--heuristic", default="DF-CkptW",
+                            help=f"one of {', '.join(HEURISTIC_NAMES)}")
+    robustness.add_argument("--seed", type=int, default=0,
+                            help="workflow-instance / linearization seed")
+    robustness.add_argument("--mc-seed", type=int, default=0,
+                            help="Monte-Carlo replica-stream seed")
+    robustness.add_argument("--search-mode", choices=("exhaustive", "geometric"),
+                            default="geometric")
+    robustness.add_argument("--max-candidates", type=int, default=30)
+    robustness.add_argument("--output", "-o",
+                            help="write the machine-readable JSON report here")
+    robustness.add_argument("--figure",
+                            help="render the campaign figure to this path (needs matplotlib)")
+    robustness.add_argument("--check", action="store_true",
+                            help="exit with status 1 unless every exponential row's "
+                                 "analytical expectation lies in the simulation 95%% CI")
+    _add_runtime_arguments(robustness)
 
     # figures -----------------------------------------------------------
     figures = subparsers.add_parser("figures", help="regenerate the paper's figure data")
@@ -282,12 +329,75 @@ def _cmd_analyse(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     schedule = load_schedule(args.schedule)
     platform = _platform(args)
-    summary = run_monte_carlo(schedule, platform, n_runs=args.runs, rng=args.seed)
+    summary = run_monte_carlo(
+        schedule, platform, n_runs=args.runs, rng=args.seed, backend=args.backend
+    )
     low, high = summary.ci95
     print(f"{args.runs} simulated executions: mean {summary.mean_makespan:.2f}s, "
           f"95% CI [{low:.2f}, {high:.2f}], "
           f"min {summary.min_makespan:.2f}s, max {summary.max_makespan:.2f}s, "
           f"{summary.mean_failures:.2f} failures/run")
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    # Validate everything cheap before opening the cache or sweeping.
+    resolve_jobs(args.jobs)
+    parse_heuristic_name(args.heuristic)
+    families = _split_csv(args.families)
+    sizes = [int(s) for s in _split_csv(args.sizes)]
+    laws = _split_csv(args.laws)
+    shapes = [float(s) for s in _split_csv(args.shapes)]
+    sigmas = [float(s) for s in _split_csv(args.sigmas)]
+    if not families:
+        raise ValueError("at least one family is required")
+    if not sizes:
+        raise ValueError("at least one size is required")
+    if not laws:
+        raise ValueError("at least one failure law is required")
+    if args.check and not any(law.strip().lower() == "exponential" for law in laws):
+        raise ValueError(
+            "--check validates the analytical backend on the exponential rows, "
+            "so --laws must include 'exponential'"
+        )
+    if args.runs <= 1:
+        raise ValueError("--runs must be at least 2 (a confidence interval needs variance)")
+    for path_arg in (args.output, args.figure):
+        if path_arg:
+            _check_writable(Path(path_arg).parent)
+    with _managed_cache(args) as cache:
+        report = run_robustness(
+            families,
+            sizes=sizes,
+            laws=laws,
+            weibull_shapes=shapes,
+            lognormal_sigmas=sigmas,
+            n_runs=args.runs,
+            heuristic=args.heuristic,
+            seed=args.seed,
+            mc_seed=args.mc_seed,
+            search_mode=args.search_mode,
+            max_candidates=args.max_candidates,
+            jobs=args.jobs,
+            cache=cache,
+            progress=args.progress or None,
+            backend=args.backend,
+        )
+    print(report.render())
+    _print_cache_summary(cache)
+    if args.output:
+        path = save_robustness_report(report, args.output)
+        print(f"wrote {path} ({len(report.rows)} rows)")
+    if args.figure:
+        path = plot_robustness(report, args.figure)
+        print(f"wrote {path}")
+    if args.check and not report.exponential_validated:
+        print(
+            "error: analytical expectation fell outside the simulation 95% CI "
+            "on at least one exponential row",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -461,6 +571,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "analyse": _cmd_analyse,
     "simulate": _cmd_simulate,
+    "robustness": _cmd_robustness,
     "figures": _cmd_figures,
     "campaign": _cmd_campaign,
     "cache": _cmd_cache,

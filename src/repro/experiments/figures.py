@@ -24,7 +24,7 @@ Figure map (paper -> here):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..heuristics.registry import HEURISTIC_NAMES

@@ -23,7 +23,7 @@ and the default benchmark configuration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..core.dag import Workflow

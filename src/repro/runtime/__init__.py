@@ -22,10 +22,13 @@ from .cache import CacheStats, DiskCache, LRUCache, ResultCache, read_disk_stats
 from .keys import (
     ALGO_VERSION,
     KEY_VERSION,
+    MC_RNG_SCHEME,
     canonical_json,
     digest,
     evaluation_key,
+    monte_carlo_key,
     platform_fingerprint,
+    robustness_unit_key,
     scenario_unit_key,
     schedule_fingerprint,
     stable_seed_words,
@@ -42,6 +45,8 @@ __all__ = [
     "DiskCache",
     "KEY_VERSION",
     "LRUCache",
+    "MC_RNG_SCHEME",
+    "MonteCarloUnit",
     "NullProgress",
     "ResultCache",
     "WorkUnit",
@@ -52,6 +57,9 @@ __all__ = [
     "evaluation_key",
     "evaluate_schedule_cached",
     "expand_work_units",
+    "monte_carlo_key",
+    "robustness_unit_key",
+    "run_monte_carlo_cached",
     "parallel_map",
     "platform_fingerprint",
     "read_disk_stats",
@@ -64,9 +72,11 @@ __all__ = [
 
 _RUNNER_EXPORTS = {
     "CampaignRunner",
+    "MonteCarloUnit",
     "WorkUnit",
     "expand_work_units",
     "evaluate_schedule_cached",
+    "run_monte_carlo_cached",
 }
 
 

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 __all__ = [
     "ALGO_VERSION",
     "KEY_VERSION",
+    "MC_RNG_SCHEME",
     "canonical_json",
     "digest",
     "stable_seed_words",
@@ -36,6 +37,8 @@ __all__ = [
     "schedule_fingerprint",
     "evaluation_key",
     "scenario_unit_key",
+    "monte_carlo_key",
+    "robustness_unit_key",
 ]
 
 #: Bumped whenever the canonical payload schema changes, so stale persistent
@@ -162,5 +165,92 @@ def scenario_unit_key(
         "max_candidates": int(max_candidates),
         "seed": int(seed),
         "rng": RNG_SCHEME,
+    }
+    return digest(payload)
+
+
+#: Tag of the Monte-Carlo random-stream derivation: every replica draws from
+#: its own child generator spawned from the seed (see
+#: :func:`repro.simulation.engine.replica_generators`).  Part of every
+#: Monte-Carlo key because changing how replica streams are derived changes
+#: the samples, which must invalidate previously cached summaries.  The
+#: evaluation *backend* deliberately stays out of these keys: the python and
+#: numpy engines are bit-for-bit identical, so a cache warmed by either
+#: serves both.
+MC_RNG_SCHEME = "spawned-replica-streams-v1"
+
+
+def monte_carlo_key(
+    schedule: "Schedule",
+    platform: "Platform",
+    *,
+    failure_spec: dict[str, Any],
+    n_runs: int,
+    seed: int,
+    checkpoint_overlap: float = 0.0,
+) -> str:
+    """Key of one Monte-Carlo summary of a schedule on a platform.
+
+    ``failure_spec`` is the declarative law description of
+    :meth:`repro.simulation.failures.FailureModel.spec` — the law *and its
+    parameters* enter the key by content, so a Weibull sweep at two shapes
+    can never alias, and neither can two replica counts or seeds.
+    """
+    payload = {
+        "kind": "monte-carlo",
+        "v": KEY_VERSION,
+        "algo": ALGO_VERSION,
+        "schedule": schedule_fingerprint(schedule),
+        "platform": _platform_payload(platform),
+        "failure": dict(failure_spec),
+        "n_runs": int(n_runs),
+        "seed": int(seed),
+        "checkpoint_overlap": float(checkpoint_overlap),
+        "rng": MC_RNG_SCHEME,
+    }
+    return digest(payload)
+
+
+def robustness_unit_key(
+    *,
+    platform: "Platform",
+    heuristic: str,
+    search_mode: str,
+    max_candidates: int,
+    seed: int,
+    failure_spec: dict[str, Any],
+    n_runs: int,
+    mc_seed: int,
+    checkpoint_overlap: float = 0.0,
+    workflow: "Workflow | None" = None,
+    workflow_digest: str | None = None,
+) -> str:
+    """Key of one (scenario instance, heuristic, failure law) robustness row.
+
+    Extends :func:`scenario_unit_key` content with the Monte-Carlo side of
+    the unit: the failure-law spec, the replica count, the Monte-Carlo seed
+    and the replica-stream scheme.  The solver side keeps the per-heuristic
+    RNG scheme tag, since the row embeds the solved schedule's metrics.
+    """
+    if workflow_digest is None:
+        if workflow is None:
+            raise ValueError("either workflow or workflow_digest is required")
+        workflow_digest = workflow_fingerprint(workflow)
+    payload = {
+        "kind": "robustness-row",
+        "v": KEY_VERSION,
+        "algo": ALGO_VERSION,
+        "workflow": workflow_digest,
+        "platform": _platform_payload(platform),
+        "heuristic": str(heuristic),
+        "search_mode": str(search_mode),
+        "max_candidates": int(max_candidates),
+        "seed": int(seed),
+        "rng": RNG_SCHEME,
+        "failure": dict(failure_spec),
+        "n_runs": int(n_runs),
+        "mc_seed": int(mc_seed),
+        "checkpoint_overlap": float(checkpoint_overlap),
+        "mc_rng": MC_RNG_SCHEME,
     }
     return digest(payload)

@@ -28,26 +28,29 @@ labeling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..core.backend import resolve_backend
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.hashing import stable_seed_words
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..experiments.harness import ResultRow, run_heuristic
 from ..experiments.scenarios import Scenario, build_workflow
-from ..heuristics.registry import parse_heuristic_name
-from ..heuristics.search import SEARCH_MODES
+from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heuristic
+from ..heuristics.search import SEARCH_MODES, candidate_counts
 from .cache import LRUCache, ResultCache
-from .keys import evaluation_key, scenario_unit_key
+from .keys import evaluation_key, monte_carlo_key, robustness_unit_key, scenario_unit_key
 from .parallel import parallel_map, resolve_jobs
 from .progress import coerce_progress
 
 __all__ = [
     "WorkUnit",
+    "MonteCarloUnit",
     "CampaignRunner",
     "expand_work_units",
     "evaluate_schedule_cached",
+    "run_monte_carlo_cached",
 ]
 
 
@@ -65,6 +68,43 @@ class WorkUnit:
     search_mode: str = "exhaustive"
     max_candidates: int = 30
     backend: str | None = None
+
+
+@dataclass(frozen=True)
+class MonteCarloUnit:
+    """One independent (scenario instance, heuristic, failure law) simulation.
+
+    The unit solves the heuristic to obtain a schedule (and its analytical
+    Theorem-3 expectation), then estimates the same schedule's makespan by
+    ``n_runs`` Monte-Carlo replicas under the failure law described by
+    ``failure_spec`` (a :meth:`~repro.simulation.failures.FailureModel.spec`
+    payload; ``None`` uses the platform's exponential law).  ``mc_seed``
+    seeds the replica streams — the actual entropy is derived per unit via
+    :func:`repro.core.hashing.stable_seed_words`, so units are independent
+    of each other and of execution order.
+
+    As with :class:`WorkUnit`, ``backend`` selects how the unit is computed
+    and deliberately stays out of the cache key: the two Monte-Carlo engines
+    are bit-for-bit identical.
+    """
+
+    scenario: Scenario
+    heuristic: str = "DF-CkptW"
+    failure_spec: dict[str, Any] | None = None
+    n_runs: int = 1000
+    mc_seed: int = 0
+    search_mode: str = "geometric"
+    max_candidates: int = 30
+    checkpoint_overlap: float = 0.0
+    backend: str | None = None
+
+    def resolved_failure_spec(self) -> dict[str, Any]:
+        """The unit's failure law spec, with ``None`` resolved to the platform's."""
+        if self.failure_spec is not None:
+            return dict(self.failure_spec)
+        from ..simulation.failures import failure_model_for
+
+        return failure_model_for(self.scenario.platform).spec()
 
 
 #: Fields of a ResultRow that are computed (and therefore cached); the
@@ -130,6 +170,73 @@ def _solve_unit(unit: WorkUnit) -> ResultRow:
     )
 
 
+def _solve_mc_unit(unit: MonteCarloUnit) -> dict[str, Any]:
+    """Worker entry point: solve + simulate one Monte-Carlo unit.
+
+    Returns the unit's *outcome* — a plain JSON-able dict, which is also
+    exactly what the cache stores.  Identity fields (family, law label, ...)
+    are re-stamped by the caller from the requesting unit.
+    """
+    import numpy as np
+
+    from ..simulation import run_monte_carlo
+    from ..simulation.failures import failure_model_from_spec
+
+    workflow = _memoized_workflow(unit.scenario)
+    platform = unit.scenario.platform
+    _, strategy = parse_heuristic_name(unit.heuristic)
+    counts = (
+        None
+        if strategy in ("CkptNvr", "CkptAlws")
+        else candidate_counts(
+            workflow.n_tasks, mode=unit.search_mode, max_candidates=unit.max_candidates
+        )
+    )
+    result = solve_heuristic(
+        workflow,
+        platform,
+        unit.heuristic,
+        rng=heuristic_rng(unit.scenario.seed, unit.heuristic),
+        counts=counts,
+        backend=unit.backend,
+    )
+    schedule = result.schedule
+    spec = unit.resolved_failure_spec()
+    model = failure_model_from_spec(spec)
+    # Every unit gets its own reproducible entropy: the same unit yields the
+    # same replica streams in the parent, in any worker, and in any session.
+    entropy = stable_seed_words(
+        "mc-unit",
+        unit.mc_seed,
+        unit.scenario.family,
+        unit.scenario.n_tasks,
+        unit.scenario.seed,
+        unit.heuristic,
+        spec,
+    )
+    summary = run_monte_carlo(
+        schedule,
+        platform,
+        n_runs=unit.n_runs,
+        rng=np.random.default_rng(np.random.SeedSequence(entropy)),
+        failure_model=model,
+        checkpoint_overlap=unit.checkpoint_overlap,
+        backend=unit.backend,
+    )
+    return {
+        "actual_n_tasks": workflow.n_tasks,
+        "n_checkpointed": schedule.n_checkpointed,
+        "expected_makespan": result.expected_makespan,
+        "failure_free_work": result.evaluation.failure_free_work,
+        "mc_mean": summary.mean_makespan,
+        "mc_std": summary.std_makespan,
+        "mc_min": summary.min_makespan,
+        "mc_max": summary.max_makespan,
+        "mean_failures": summary.mean_failures,
+        "n_runs": summary.n_runs,
+    }
+
+
 def _row_outcome(row: ResultRow) -> dict[str, Any]:
     return {name: getattr(row, name) for name in _OUTCOME_FIELDS}
 
@@ -155,6 +262,30 @@ def _row_from_outcome(unit: WorkUnit, outcome: dict[str, Any]) -> ResultRow:
         solve_seconds=0.0,
         seed=scenario.seed,
     )
+
+
+def _normalized_search(
+    heuristic: str, n_tasks: int, search_mode: str, max_candidates: int
+) -> tuple[str, int]:
+    """Normalize the search-configuration components of a cache key.
+
+    CkptNvr/CkptAlws never consume the candidate counts, so their results
+    are identical under every search configuration; normalizing those key
+    components lets e.g. a geometric sweep warm the baselines of a later
+    exhaustive one.
+    """
+    _, strategy = parse_heuristic_name(heuristic)
+    if strategy in ("CkptNvr", "CkptAlws"):
+        return "none", 0
+    if search_mode == "geometric" and n_tasks <= max_candidates:
+        # The budget covers every count, so the geometric candidate set
+        # degenerates to the exhaustive one.
+        search_mode = "exhaustive"
+    if search_mode == "exhaustive":
+        # candidate_counts ignores the budget in exhaustive mode, so keying
+        # on it would only create spurious misses.
+        max_candidates = 0
+    return search_mode, max_candidates
 
 
 def expand_work_units(
@@ -307,7 +438,49 @@ class CampaignRunner:
 
     def run_units(self, units: Sequence[WorkUnit]) -> list[ResultRow]:
         """Resolve units from the cache, compute the misses, keep the order."""
-        rows: list[ResultRow | None] = [None] * len(units)
+        return self._run_cached(
+            units,
+            key_fn=self._unit_key,
+            solve_fn=_solve_unit,
+            decode_fn=_row_from_outcome,
+            encode_fn=_row_outcome,
+        )
+
+    def run_mc_units(self, units: Sequence[MonteCarloUnit]) -> list[dict[str, Any]]:
+        """Run Monte-Carlo units (cache-aware); outcome dicts in unit order.
+
+        Each outcome carries the analytical expectation of the solved
+        schedule next to the Monte-Carlo summary statistics, which is what
+        the robustness campaign consumes.  Cache hits skip both the solver
+        and the simulation.
+        """
+        return self._run_cached(
+            units,
+            key_fn=self._mc_unit_key,
+            solve_fn=_solve_mc_unit,
+            decode_fn=lambda unit, outcome: dict(outcome),
+            encode_fn=dict,
+        )
+
+    def _run_cached(
+        self,
+        units: Sequence[Any],
+        *,
+        key_fn: Callable[[Any], str],
+        solve_fn: Callable[[Any], Any],
+        decode_fn: Callable[[Any, dict], Any],
+        encode_fn: Callable[[Any], dict],
+    ) -> list[Any]:
+        """Shared cache-then-fan-out loop of every unit type.
+
+        ``key_fn`` keys a unit, ``solve_fn`` computes a miss (module-level,
+        picklable), ``decode_fn`` rebuilds a result from a cached outcome,
+        and ``encode_fn`` extracts the cache payload from a fresh result.
+        Results come back in unit order; every fresh result is persisted the
+        moment the parent receives it, so an interrupted or partially failed
+        sweep keeps everything it already paid for.
+        """
+        rows: list[Any] = [None] * len(units)
         pending: list[int] = []
         keys: dict[int, str] = {}
 
@@ -316,11 +489,11 @@ class CampaignRunner:
             done = 0
             if self.cache is not None:
                 for index, unit in enumerate(units):
-                    key = self._unit_key(unit)
+                    key = key_fn(unit)
                     keys[index] = key
                     outcome = self.cache.get(key)
                     if outcome is not None:
-                        rows[index] = _row_from_outcome(unit, outcome)
+                        rows[index] = decode_fn(unit, outcome)
                         done += 1
                     else:
                         pending.append(index)
@@ -332,22 +505,18 @@ class CampaignRunner:
                 done_base = done
                 completed = 0
 
-                def on_result(position: int, row: ResultRow) -> None:
-                    # Persist every result the moment the parent receives it
-                    # (completion order under jobs>1), so an interrupted or
-                    # partially failed sweep keeps everything it already
-                    # paid for.
+                def on_result(position: int, row: Any) -> None:
                     nonlocal completed
                     index = pending[position]
                     rows[index] = row
                     if self.cache is not None:
-                        self.cache.put(keys[index], _row_outcome(row))
+                        self.cache.put(keys[index], encode_fn(row))
                     completed += 1
                     self.progress.update(done_base + completed, self._progress_info())
 
                 try:
                     parallel_map(
-                        _solve_unit,
+                        solve_fn,
                         [units[index] for index in pending],
                         jobs=self.jobs,
                         on_result=on_result,
@@ -366,7 +535,7 @@ class CampaignRunner:
             # follows starts on a clean line.
             self.progress.finish()
         assert all(row is not None for row in rows)
-        return list(rows)  # type: ignore[arg-type]
+        return rows
 
     # ------------------------------------------------------------------
     # Internals
@@ -376,23 +545,9 @@ class CampaignRunner:
         # both backends compute the same quantity (the equivalence property
         # tests pin the bound), so a cache warmed by either serves both.
         workflow, fingerprint = _memoized_instance(unit.scenario, digest=True)
-        # CkptNvr/CkptAlws never consume the candidate counts, so their
-        # results are identical under every search configuration; normalize
-        # those key components to let e.g. a geometric sweep warm the
-        # baselines of a later exhaustive one.
-        _, strategy = parse_heuristic_name(unit.heuristic)
-        if strategy in ("CkptNvr", "CkptAlws"):
-            search_mode, max_candidates = "none", 0
-        else:
-            search_mode, max_candidates = unit.search_mode, unit.max_candidates
-            if search_mode == "geometric" and workflow.n_tasks <= max_candidates:
-                # The budget covers every count, so the geometric candidate
-                # set degenerates to the exhaustive one.
-                search_mode = "exhaustive"
-            if search_mode == "exhaustive":
-                # candidate_counts ignores the budget in exhaustive mode, so
-                # keying on it would only create spurious misses.
-                max_candidates = 0
+        search_mode, max_candidates = _normalized_search(
+            unit.heuristic, workflow.n_tasks, unit.search_mode, unit.max_candidates
+        )
         return scenario_unit_key(
             workflow_digest=fingerprint,
             platform=unit.scenario.platform,
@@ -400,6 +555,27 @@ class CampaignRunner:
             search_mode=search_mode,
             max_candidates=max_candidates,
             seed=unit.scenario.seed,
+        )
+
+    def _mc_unit_key(self, unit: MonteCarloUnit) -> str:
+        # Backend-agnostic like _unit_key — here that is exact rather than
+        # within floating-point noise: the two Monte-Carlo engines produce
+        # bit-for-bit identical samples.
+        workflow, fingerprint = _memoized_instance(unit.scenario, digest=True)
+        search_mode, max_candidates = _normalized_search(
+            unit.heuristic, workflow.n_tasks, unit.search_mode, unit.max_candidates
+        )
+        return robustness_unit_key(
+            workflow_digest=fingerprint,
+            platform=unit.scenario.platform,
+            heuristic=unit.heuristic,
+            search_mode=search_mode,
+            max_candidates=max_candidates,
+            seed=unit.scenario.seed,
+            failure_spec=unit.resolved_failure_spec(),
+            n_runs=unit.n_runs,
+            mc_seed=unit.mc_seed,
+            checkpoint_overlap=unit.checkpoint_overlap,
         )
 
     def _progress_info(self) -> str:
@@ -447,3 +623,74 @@ def evaluate_schedule_cached(
         },
     )
     return evaluation
+
+
+def run_monte_carlo_cached(
+    schedule: Schedule,
+    platform: Platform,
+    cache: ResultCache,
+    *,
+    n_runs: int = 1000,
+    seed: int = 0,
+    failure_spec: dict[str, Any] | None = None,
+    checkpoint_overlap: float = 0.0,
+    backend: str | None = None,
+):
+    """Content-addressed wrapper around :func:`repro.simulation.run_monte_carlo`.
+
+    The key embeds the failure-law spec, replica count, seed and
+    replica-stream scheme (:data:`repro.runtime.keys.MC_RNG_SCHEME`); the
+    individual samples are not cached, only the summary statistics.
+    ``backend`` selects how a miss is computed — the engines are bit-for-bit
+    identical, so the key is backend-agnostic.
+    """
+    import numpy as np
+
+    from ..simulation import MonteCarloSummary, run_monte_carlo
+    from ..simulation.failures import failure_model_for, failure_model_from_spec
+
+    if failure_spec is not None:
+        spec = dict(failure_spec)
+        model = failure_model_from_spec(spec)
+    else:
+        model = failure_model_for(platform)
+        spec = model.spec()
+    key = monte_carlo_key(
+        schedule,
+        platform,
+        failure_spec=spec,
+        n_runs=n_runs,
+        seed=seed,
+        checkpoint_overlap=checkpoint_overlap,
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return MonteCarloSummary(
+            n_runs=int(payload["n_runs"]),
+            mean_makespan=float(payload["mean_makespan"]),
+            std_makespan=float(payload["std_makespan"]),
+            min_makespan=float(payload["min_makespan"]),
+            max_makespan=float(payload["max_makespan"]),
+            mean_failures=float(payload["mean_failures"]),
+        )
+    summary = run_monte_carlo(
+        schedule,
+        platform,
+        n_runs=n_runs,
+        rng=np.random.default_rng(np.random.SeedSequence(stable_seed_words("mc-cached", seed))),
+        failure_model=model,
+        checkpoint_overlap=checkpoint_overlap,
+        backend=backend,
+    )
+    cache.put(
+        key,
+        {
+            "n_runs": summary.n_runs,
+            "mean_makespan": summary.mean_makespan,
+            "std_makespan": summary.std_makespan,
+            "min_makespan": summary.min_makespan,
+            "max_makespan": summary.max_makespan,
+            "mean_failures": summary.mean_failures,
+        },
+    )
+    return summary

@@ -4,9 +4,11 @@ from .engine import (
     MonteCarloSummary,
     SimulationDiverged,
     SimulationResult,
+    replica_generators,
     run_monte_carlo,
     simulate_schedule,
 )
+from .engine_np import attempt_matrix, simulate_batch
 from .failures import (
     ExponentialFailures,
     FailureModel,
@@ -15,6 +17,7 @@ from .failures import (
     ScriptedFailures,
     WeibullFailures,
     failure_model_for,
+    failure_model_from_spec,
 )
 from .trace import EventKind, ExecutionTrace, TraceEvent
 
@@ -31,7 +34,11 @@ __all__ = [
     "SimulationResult",
     "TraceEvent",
     "WeibullFailures",
+    "attempt_matrix",
     "failure_model_for",
+    "failure_model_from_spec",
+    "replica_generators",
     "run_monte_carlo",
+    "simulate_batch",
     "simulate_schedule",
 ]

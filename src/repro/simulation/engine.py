@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import resolve_backend
 from ..core.lost_work import lost_and_needed_tasks
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -39,6 +40,7 @@ __all__ = [
     "MonteCarloSummary",
     "simulate_schedule",
     "run_monte_carlo",
+    "replica_generators",
 ]
 
 
@@ -214,6 +216,14 @@ def simulate_schedule(
                     note=f"plan={len(plan)} predecessor(s) to restore",
                 )
             interrupted = False
+            # The clock advances segment by segment (failure detection and
+            # trace timestamps need the intermediate values), but a completed
+            # attempt *snaps* the clock to ``attempt_start + attempt_total``,
+            # with the total accumulated one segment at a time.  The batched
+            # NumPy engine advances whole attempts with the identically
+            # ordered sum, so both engines produce bit-for-bit equal clocks.
+            attempt_start = clock
+            attempt_total = 0.0
 
             for plan_position in plan:
                 plan_task_index = order[plan_position - 1]
@@ -227,6 +237,7 @@ def simulate_schedule(
                     )
                     if ok:
                         total_recovery += plan_task.recovery_cost
+                        attempt_total += plan_task.recovery_cost
                 else:
                     ok = run_segment(
                         plan_task.weight,
@@ -236,6 +247,7 @@ def simulate_schedule(
                     )
                     if ok:
                         total_reexec += plan_task.weight
+                        attempt_total += plan_task.weight
                 if not ok:
                     interrupted = True
                     break
@@ -247,6 +259,7 @@ def simulate_schedule(
             if not run_segment(task.weight, EventKind.COMPUTE, task_index):
                 continue
             in_memory.add(position)
+            attempt_total += task.weight
 
             # Its checkpoint (possibly shortened by the overlap extension).
             if is_ckpt:
@@ -254,6 +267,8 @@ def simulate_schedule(
                     # The checkpoint did not commit and the computed output was
                     # wiped with the rest of the memory: retry the task.
                     continue
+            attempt_total += ckpt_duration
+            clock = attempt_start + attempt_total
             if trace is not None:
                 trace.record(EventKind.TASK_COMPLETE, clock, task=task_index)
             break
@@ -270,6 +285,26 @@ def simulate_schedule(
     )
 
 
+def replica_generators(
+    rng: np.random.Generator | int | None, n_runs: int
+) -> list[np.random.Generator]:
+    """One independent child generator per Monte-Carlo replica.
+
+    Replica streams are spawned from the seed (or generator) rather than
+    shared sequentially, so replica ``r`` consumes the same values no matter
+    how many draws the replicas before it made — the property that lets the
+    batched NumPy engine pre-sample failures per replica and still be
+    bit-for-bit identical to the sequential reference engine.
+    """
+    if isinstance(rng, np.random.Generator):
+        try:
+            return list(rng.spawn(n_runs))
+        except AttributeError:  # pragma: no cover - numpy < 1.25
+            seeds = rng.integers(0, 2**63, size=n_runs)
+            return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seq) for seq in np.random.SeedSequence(rng).spawn(n_runs)]
+
+
 def run_monte_carlo(
     schedule: Schedule,
     platform: Platform,
@@ -280,6 +315,7 @@ def run_monte_carlo(
     max_failures: int = 1_000_000,
     checkpoint_overlap: float = 0.0,
     keep_samples: bool = False,
+    backend: str | None = None,
 ) -> MonteCarloSummary:
     """Estimate the expected makespan of a schedule by repeated simulation.
 
@@ -290,6 +326,13 @@ def run_monte_carlo(
     keep_samples:
         Attach the individual makespans to the summary (useful for plotting
         or for distribution-level tests).
+    backend:
+        ``"python"`` replays the replicas one by one through
+        :func:`simulate_schedule`; ``"numpy"`` simulates all replicas at
+        once (:mod:`repro.simulation.engine_np`); ``"auto"``/``None`` picks
+        NumPy for batches large enough to amortize the attempt-matrix
+        precomputation.  Both engines produce bit-for-bit identical samples
+        for the same ``rng``, so the backend is a pure performance knob.
 
     Returns
     -------
@@ -297,22 +340,38 @@ def run_monte_carlo(
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
-    makespans = np.empty(n_runs, dtype=float)
-    failures = np.empty(n_runs, dtype=float)
-    for run in range(n_runs):
-        result = simulate_schedule(
+    # The "instance size" that decides whether vectorization pays off is the
+    # replica count, so it (not the task count) feeds the auto rule.
+    resolved = resolve_backend(backend, n_tasks=n_runs)
+    generators = replica_generators(rng, n_runs)
+
+    if resolved == "numpy":
+        from .engine_np import simulate_batch
+
+        makespans, failure_counts = simulate_batch(
             schedule,
             platform,
-            rng=rng,
+            generators,
             failure_model=failure_model,
-            collect_trace=False,
             max_failures=max_failures,
             checkpoint_overlap=checkpoint_overlap,
         )
-        makespans[run] = result.makespan
-        failures[run] = result.n_failures
+        failures = failure_counts.astype(float)
+    else:
+        makespans = np.empty(n_runs, dtype=float)
+        failures = np.empty(n_runs, dtype=float)
+        for run in range(n_runs):
+            result = simulate_schedule(
+                schedule,
+                platform,
+                rng=generators[run],
+                failure_model=failure_model,
+                collect_trace=False,
+                max_failures=max_failures,
+                checkpoint_overlap=checkpoint_overlap,
+            )
+            makespans[run] = result.makespan
+            failures[run] = result.n_failures
     return MonteCarloSummary(
         n_runs=n_runs,
         mean_makespan=float(np.mean(makespans)),

@@ -1,0 +1,222 @@
+"""Batched NumPy Monte-Carlo engine: simulate every replica simultaneously.
+
+The reference engine of :mod:`repro.simulation.engine` replays one execution
+at a time with an interpreted event loop; statistically meaningful robustness
+studies need 10^4-10^5 replicas per scenario point, which that loop cannot
+sustain.  This module simulates *all* replicas of one schedule at once and is
+bit-for-bit identical to the reference engine for a shared seed (the
+equivalence tests in ``tests/test_engine_np.py`` pin this exactly, not within
+a tolerance).
+
+The vectorization rests on one structural observation about the blocking
+execution model of Section 3: **between two failures, execution is
+deterministic**.  A failure wipes the memory, so the execution state of a
+replica collapses to the pair ``(s, i)`` where ``i`` is the position being
+attempted and ``s`` is the position whose processing the *last* failure
+interrupted (``s = 1`` covers the never-failed prefix, whose memory state
+equals the restart-at-1 trajectory).  Given ``s``, the memory contents upon
+reaching any later position ``i`` — and therefore the recovery plan and the
+duration of the attempt at ``i`` — are fixed by the schedule alone:
+
+* ``T[s, i]`` — the *attempt matrix* — is the total duration of one attempt
+  of position ``i`` in restart state ``s``: recoveries and re-executions of
+  the lost-and-needed closure, the task's own weight, and its (possibly
+  overlap-shortened) checkpoint;
+* an attempt either completes (``clock += T[s, i]``, move to ``i + 1``,
+  state ``s`` unchanged) or is interrupted by the next failure
+  (``clock = failure time + downtime``, state becomes ``(i, i)``).
+
+The matrix costs O(n^2) memory and one Algorithm-1-style traversal sweep to
+fill, paid once per schedule and amortized over every replica.  The replica
+loop then advances one *event* (completed attempt or failure) per iteration
+for every still-active replica with pure array operations.
+
+Randomness: each replica owns a spawned child generator (see
+``run_monte_carlo``), and inter-arrival times are drawn through
+``FailureModel.sample_batch``, whose contract guarantees the same values as
+the reference engine's lazy scalar draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from .engine import SimulationDiverged
+from .failures import FailureModel, failure_model_for
+
+__all__ = ["attempt_matrix", "simulate_batch"]
+
+#: Inter-arrival times pre-sampled per replica and per refill.  Large enough
+#: that failure-heavy runs amortize the per-replica refill calls, small
+#: enough that failure-free runs do not oversample.
+DEFAULT_BATCH = 64
+
+
+def attempt_matrix(schedule: Schedule, *, checkpoint_overlap: float = 0.0) -> np.ndarray:
+    """The ``(n + 2, n + 2)`` attempt-duration matrix ``T[s, i]`` of a schedule.
+
+    ``T[s, i]`` (1-based positions, ``1 <= s <= i <= n``) is the duration of
+    one failure-free attempt of position ``i`` when the last failure struck
+    while position ``s`` was being processed; row ``s = 1`` doubles as the
+    never-failed trajectory.  Entries outside ``s <= i`` are zero.  The extra
+    trailing row/column lets the replica loop index ``T[i, i]`` after a
+    failure at ``i = n`` without clamping.
+    """
+    if not 0.0 <= checkpoint_overlap <= 1.0:
+        raise ValueError("checkpoint_overlap must lie in [0, 1]")
+    workflow = schedule.workflow
+    order = schedule.order
+    n = len(order)
+
+    # 1-based per-position tables, as in repro.core.lost_work.
+    weight = [0.0] * (n + 1)
+    ckpt_duration = [0.0] * (n + 1)  # (possibly overlap-shortened) checkpoint
+    segment_cost = [0.0] * (n + 1)  # recovery if checkpointed, re-execution otherwise
+    checkpointed = [False] * (n + 1)
+    predecessors: list[tuple[int, ...]] = [()] * (n + 1)
+    position = {task: pos + 1 for pos, task in enumerate(order)}
+    for pos_zero, task_index in enumerate(order):
+        pos = pos_zero + 1
+        task = workflow.task(task_index)
+        weight[pos] = task.weight
+        checkpointed[pos] = schedule.is_checkpointed(task_index)
+        segment_cost[pos] = task.recovery_cost if checkpointed[pos] else task.weight
+        if checkpointed[pos]:
+            ckpt_duration[pos] = task.checkpoint_cost * (1.0 - checkpoint_overlap)
+        predecessors[pos] = tuple(position[p] for p in workflow.predecessors(task_index))
+
+    matrix = np.zeros((n + 2, n + 2), dtype=np.float64)
+    for s in range(1, n + 1):
+        # Walk the deterministic restart-s trajectory: memory starts empty
+        # (the failure wiped it) and accumulates every recovered,
+        # re-executed, or completed position.  The traversal below is the
+        # lost-and-needed closure of repro.core.lost_work, with membership
+        # recorded directly into the trajectory's memory state.
+        in_memory = bytearray(n + 1)
+        for i in range(s, n + 1):
+            plan: list[int] = []
+            stack = [j for j in predecessors[i] if not in_memory[j]]
+            while stack:
+                j = stack.pop()
+                if in_memory[j]:
+                    continue
+                in_memory[j] = 1
+                plan.append(j)
+                if not checkpointed[j]:
+                    stack.extend(p for p in predecessors[j] if not in_memory[p])
+            # Accumulate in the exact order the reference engine executes
+            # the attempt — sorted plan positions, own weight, checkpoint —
+            # with one scalar addition per segment, so the two engines'
+            # floating-point results are identical to the last bit.
+            total = 0.0
+            for j in sorted(plan):
+                total += segment_cost[j]
+            total += weight[i]
+            total += ckpt_duration[i]
+            matrix[s, i] = total
+            in_memory[i] = 1
+    return matrix
+
+
+class _InterArrivalStreams:
+    """Per-replica buffers of pre-sampled failure inter-arrival times.
+
+    Each replica draws from its own spawned generator through
+    ``FailureModel.sample_batch``; the model is ``reset()`` before each
+    replica's first batch, so every replica sees the model's sequence from
+    the start (this is what the reference engine's per-run ``reset`` does).
+    Refills replace a replica's exhausted row; stateful scripted models
+    request their whole script in the first batch via ``batch_hint``.
+    """
+
+    def __init__(
+        self,
+        model: FailureModel,
+        generators: list[np.random.Generator],
+        batch: int = DEFAULT_BATCH,
+    ) -> None:
+        hint = model.batch_hint()
+        self._batch = max(batch, hint if hint is not None else 0)
+        self._model = model
+        self._generators = generators
+        n = len(generators)
+        self._buffer = np.empty((n, self._batch), dtype=np.float64)
+        for replica, generator in enumerate(generators):
+            model.reset()
+            self._buffer[replica] = model.sample_batch(generator, self._batch)
+        self._cursor = np.zeros(n, dtype=np.intp)
+
+    def take(self, replicas: np.ndarray) -> np.ndarray:
+        """Next inter-arrival time for each replica index in ``replicas``."""
+        exhausted = replicas[self._cursor[replicas] >= self._batch]
+        for replica in exhausted:
+            self._buffer[replica] = self._model.sample_batch(
+                self._generators[replica], self._batch
+            )
+            self._cursor[replica] = 0
+        values = self._buffer[replicas, self._cursor[replicas]]
+        self._cursor[replicas] += 1
+        return values
+
+
+def simulate_batch(
+    schedule: Schedule,
+    platform: Platform,
+    generators: list[np.random.Generator],
+    *,
+    failure_model: FailureModel | None = None,
+    max_failures: int = 1_000_000,
+    checkpoint_overlap: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate one execution per generator; return (makespans, failure counts).
+
+    Replica ``r`` consumes exactly the same inter-arrival values, in the same
+    order, as ``simulate_schedule(schedule, platform, rng=generators[r],
+    failure_model=failure_model, ...)`` — the two engines produce bit-for-bit
+    identical makespans.
+    """
+    model = failure_model if failure_model is not None else failure_model_for(platform)
+    matrix = attempt_matrix(schedule, checkpoint_overlap=checkpoint_overlap)
+    n = len(schedule.order)
+    downtime = platform.downtime
+    n_replicas = len(generators)
+
+    streams = _InterArrivalStreams(model, generators)
+    all_replicas = np.arange(n_replicas, dtype=np.intp)
+
+    clock = np.zeros(n_replicas, dtype=np.float64)
+    failures = np.zeros(n_replicas, dtype=np.int64)
+    restart = np.ones(n_replicas, dtype=np.intp)  # state s (last interrupted position)
+    current = np.ones(n_replicas, dtype=np.intp)  # position i being attempted
+    next_failure = streams.take(all_replicas)
+    active = all_replicas.copy() if n > 0 else all_replicas[:0]
+
+    while active.size:
+        duration = matrix[restart[active], current[active]]
+        interrupted = clock[active] + duration > next_failure[active]
+
+        completed = active[~interrupted]
+        if completed.size:
+            clock[completed] += duration[~interrupted]
+            current[completed] += 1
+
+        failed = active[interrupted]
+        if failed.size:
+            failures[failed] += 1
+            worst = int(failures[failed].max())
+            if worst > max_failures:
+                replica = int(failed[np.argmax(failures[failed])])
+                raise SimulationDiverged(
+                    f"simulation exceeded {max_failures} failures at "
+                    f"t={float(next_failure[replica]):.3g}s (replica {replica}); "
+                    "the schedule cannot realistically complete on this platform"
+                )
+            clock[failed] = next_failure[failed] + downtime
+            restart[failed] = current[failed]
+            next_failure[failed] = clock[failed] + streams.take(failed)
+
+        active = active[current[active] <= n]
+
+    return clock, failures

@@ -27,6 +27,7 @@ __all__ = [
     "ScriptedFailures",
     "NoFailures",
     "failure_model_for",
+    "failure_model_from_spec",
 ]
 
 
@@ -37,10 +38,42 @@ class FailureModel(ABC):
     def sample(self, rng: np.random.Generator) -> float:
         """Draw the time until the next failure, measured from *now*."""
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` successive inter-arrival times as a float64 array.
+
+        The contract — relied upon for the bit-for-bit equivalence of the
+        Monte-Carlo backends — is that one batched call advances the model
+        and generator state exactly like ``size`` successive :meth:`sample`
+        calls, producing the identical values.  NumPy's ``Generator``
+        distributions fill arrays from the same bit stream as repeated
+        scalar draws, so the built-in overrides satisfy this for free; this
+        fallback keeps any user-defined subclass correct (if slow).
+        """
+        return np.array([self.sample(rng) for _ in range(size)], dtype=np.float64)
+
     @property
     @abstractmethod
     def mean_time_between_failures(self) -> float:
         """Expected inter-arrival time (``inf`` when failures never happen)."""
+
+    @abstractmethod
+    def spec(self) -> dict:
+        """Declarative, JSON-able description of the law and its parameters.
+
+        Specs serve two purposes: they are the content that enters
+        Monte-Carlo cache keys (:func:`repro.runtime.keys.monte_carlo_key`),
+        and they let worker processes rebuild the model via
+        :func:`failure_model_from_spec` without pickling model objects.
+        """
+
+    def batch_hint(self) -> int | None:
+        """Minimum useful first-batch size, or ``None`` for "any".
+
+        Stateful models whose sequence cannot be re-entered mid-stream
+        (:class:`ScriptedFailures`) use this to ask the vectorized engine to
+        pre-sample their whole script per replica in one batch.
+        """
+        return None
 
     def reset(self) -> None:  # pragma: no cover - default is stateless
         """Reset internal state (only meaningful for scripted models)."""
@@ -52,9 +85,15 @@ class NoFailures(FailureModel):
     def sample(self, rng: np.random.Generator) -> float:
         return math.inf
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, math.inf, dtype=np.float64)
+
     @property
     def mean_time_between_failures(self) -> float:
         return math.inf
+
+    def spec(self) -> dict:
+        return {"law": "none"}
 
     def __repr__(self) -> str:  # pragma: no cover
         return "NoFailures()"
@@ -74,9 +113,17 @@ class ExponentialFailures(FailureModel):
             return math.inf
         return float(rng.exponential(1.0 / self.rate))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.rate == 0.0:
+            return np.full(size, math.inf, dtype=np.float64)
+        return rng.exponential(1.0 / self.rate, size)
+
     @property
     def mean_time_between_failures(self) -> float:
         return math.inf if self.rate == 0.0 else 1.0 / self.rate
+
+    def spec(self) -> dict:
+        return {"law": "exponential", "rate": self.rate}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ExponentialFailures(rate={self.rate:g})"
@@ -112,9 +159,15 @@ class WeibullFailures(FailureModel):
     def sample(self, rng: np.random.Generator) -> float:
         return float(self.scale * rng.weibull(self.shape))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size)
+
     @property
     def mean_time_between_failures(self) -> float:
         return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def spec(self) -> dict:
+        return {"law": "weibull", "scale": self.scale, "shape": self.shape}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WeibullFailures(scale={self.scale:g}, shape={self.shape:g})"
@@ -140,9 +193,15 @@ class LogNormalFailures(FailureModel):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size)
+
     @property
     def mean_time_between_failures(self) -> float:
         return math.exp(self.mu + self.sigma * self.sigma / 2.0)
+
+    def spec(self) -> dict:
+        return {"law": "lognormal", "mu": self.mu, "sigma": self.sigma}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"LogNormalFailures(mu={self.mu:g}, sigma={self.sigma:g})"
@@ -170,6 +229,22 @@ class ScriptedFailures(FailureModel):
         self._cursor += 1
         return value
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        batch = np.full(size, math.inf, dtype=np.float64)
+        available = self._times[self._cursor : self._cursor + size]
+        batch[: len(available)] = available
+        self._cursor += len(available)
+        return batch
+
+    def batch_hint(self) -> int | None:
+        # The script cannot be re-entered mid-stream once another replica
+        # has consumed from it, so the vectorized engine must take the whole
+        # remaining script (plus one inf terminator) in its first batch.
+        return len(self._times) + 1
+
+    def spec(self) -> dict:
+        return {"law": "scripted", "times": list(self._times)}
+
     def reset(self) -> None:
         self._cursor = 0
 
@@ -193,3 +268,33 @@ def failure_model_for(platform: Platform) -> FailureModel:
     if platform.is_failure_free:
         return NoFailures()
     return ExponentialFailures(platform.failure_rate)
+
+
+def failure_model_from_spec(spec: dict) -> FailureModel:
+    """Rebuild a failure model from its :meth:`FailureModel.spec` payload.
+
+    The inverse of ``model.spec()`` for every built-in law; used by the
+    campaign runtime to ship failure laws to worker processes as plain JSON
+    (the same payload that enters the Monte-Carlo cache keys).
+    """
+    if not isinstance(spec, dict) or "law" not in spec:
+        raise ValueError(f"failure spec must be a dict with a 'law' entry, got {spec!r}")
+    law = spec["law"]
+    params = {key: value for key, value in spec.items() if key != "law"}
+    try:
+        if law == "none":
+            return NoFailures(**params)
+        if law == "exponential":
+            return ExponentialFailures(**params)
+        if law == "weibull":
+            return WeibullFailures(**params)
+        if law == "lognormal":
+            return LogNormalFailures(**params)
+        if law == "scripted":
+            return ScriptedFailures(params.pop("times"), **params)
+    except (TypeError, KeyError) as exc:
+        raise ValueError(f"invalid parameters for failure law {law!r}: {params!r}") from exc
+    raise ValueError(
+        f"unknown failure law {law!r}; expected one of "
+        "'none', 'exponential', 'weibull', 'lognormal', 'scripted'"
+    )

@@ -27,7 +27,6 @@ with :meth:`~repro.core.dag.Workflow.with_checkpoint_costs`, e.g.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np

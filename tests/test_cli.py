@@ -224,6 +224,51 @@ class TestCampaignCommand:
         assert table(warm) == table(cold)
 
 
+class TestRobustnessCommand:
+    ROBUSTNESS_ARGS = [
+        "robustness",
+        "--families", "montage",
+        "--sizes", "20",
+        "--laws", "exponential,weibull",
+        "--shapes", "0.7",
+        "--runs", "300",
+        "--max-candidates", "5",
+    ]
+
+    def test_robustness_prints_table_and_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "robustness.json"
+        code = main(self.ROBUSTNESS_ARGS + ["--output", str(report_path), "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exponential" in out and "weibull(k=0.7)" in out
+        assert "PASS" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["exponential_validated"] is True
+        assert len(payload["rows"]) == 2
+
+    def test_robustness_with_cache_is_warm_on_rerun(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.sqlite"
+        args = self.ROBUSTNESS_ARGS + ["--cache", str(cache_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "misses" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 misses" in warm
+
+    def test_robustness_rejects_bad_law(self, capsys):
+        assert main(["robustness", "--laws", "gamma", "--runs", "50"]) == 2
+        assert "unknown failure law" in capsys.readouterr().err
+
+    def test_robustness_check_requires_exponential(self, capsys):
+        assert main(["robustness", "--laws", "weibull", "--check", "--runs", "50"]) == 2
+        assert "must include 'exponential'" in capsys.readouterr().err
+
+    def test_robustness_rejects_single_run(self, capsys):
+        assert main(["robustness", "--runs", "1"]) == 2
+        assert "at least 2" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_stats_reports_entries(self, tmp_path, capsys):
         cache_path = tmp_path / "cache.sqlite"

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
 import pytest
 
 from repro import Platform, Schedule, run_monte_carlo, simulate_schedule

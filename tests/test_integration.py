@@ -12,7 +12,6 @@ import pytest
 
 from repro import (
     Platform,
-    evaluate_schedule,
     run_monte_carlo,
     solve_all_heuristics,
     solve_heuristic,

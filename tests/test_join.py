@@ -7,7 +7,7 @@ import math
 
 import pytest
 
-from repro import Platform, Schedule, evaluate_schedule
+from repro import Platform, evaluate_schedule
 from repro.theory import (
     g_priority,
     join_expected_makespan,

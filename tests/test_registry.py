@@ -6,7 +6,7 @@ import pytest
 
 from repro import HEURISTIC_NAMES, Platform, evaluate_schedule, solve_all_heuristics, solve_heuristic
 from repro.heuristics import best_heuristic, parse_heuristic_name
-from repro.workflows import generators, pegasus
+from repro.workflows import pegasus
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,152 @@
+"""Tests for the failure-law robustness campaign (repro.experiments.robustness)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import Platform
+from repro.experiments import (
+    RobustnessReport,
+    RobustnessRow,
+    law_specs_for,
+    run_robustness,
+    save_robustness_report,
+)
+from repro.runtime import ResultCache
+
+
+SMOKE = dict(sizes=[20], n_runs=300, max_candidates=5)
+
+
+class TestLawSpecs:
+    def test_laws_are_mtbf_matched(self):
+        from repro.simulation import failure_model_from_spec
+
+        platform = Platform.from_platform_rate(1e-3)
+        triples = law_specs_for(
+            platform,
+            ["exponential", "weibull", "lognormal"],
+            weibull_shapes=[0.5, 0.7],
+            lognormal_sigmas=[1.0],
+        )
+        assert [law for law, _, _ in triples] == [
+            "exponential", "weibull", "weibull", "lognormal",
+        ]
+        for _, _, spec in triples:
+            model = failure_model_from_spec(spec)
+            assert model.mean_time_between_failures == pytest.approx(1000.0)
+
+    def test_rejects_unknown_law(self):
+        with pytest.raises(ValueError):
+            law_specs_for(Platform.from_platform_rate(1e-3), ["gamma"])
+
+    def test_rejects_failure_free_platform(self):
+        with pytest.raises(ValueError):
+            law_specs_for(Platform.failure_free(), ["exponential"])
+
+
+class TestRunRobustness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_robustness(["montage"], **SMOKE)
+
+    def test_row_grid_is_complete(self, report):
+        # 1 scenario x (1 exponential + 2 weibull shapes + 1 lognormal sigma)
+        assert len(report.rows) == 4
+        assert [row.law for row in report.rows] == [
+            "exponential", "weibull", "weibull", "lognormal",
+        ]
+        assert all(isinstance(row, RobustnessRow) for row in report.rows)
+
+    def test_exponential_validation_passes_on_default_seed(self, report):
+        assert report.exponential_validated
+        for row in report.exponential_rows:
+            assert row.ci_low <= row.analytical <= row.ci_high
+
+    def test_rows_carry_consistent_statistics(self, report):
+        for row in report.rows:
+            assert row.ci_low <= row.mc_mean <= row.ci_high
+            assert row.n_runs == SMOKE["n_runs"]
+            assert row.mtbf == pytest.approx(1000.0)
+            assert row.mean_failures >= 0.0
+            assert math.isfinite(row.relative_gap)
+
+    def test_report_payload_is_json_able(self, report, tmp_path):
+        path = save_robustness_report(report, tmp_path / "sub" / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "robustness-report"
+        assert payload["exponential_validated"] is True
+        assert len(payload["rows"]) == len(report.rows)
+        assert set(payload["worst_gaps"]) == {"exponential", "weibull", "lognormal"}
+        assert payload["worst_gaps"]["exponential"] <= 0.05
+
+    def test_render_mentions_every_law(self, report):
+        text = report.render()
+        assert "exponential" in text
+        assert "weibull(k=0.5)" in text
+        assert "lognormal(s=1)" in text
+        assert "PASS" in text
+
+
+class TestDeterminismAndCaching:
+    def test_rerun_is_identical(self):
+        first = run_robustness(["montage"], laws=["exponential"], **SMOKE)
+        second = run_robustness(["montage"], laws=["exponential"], **SMOKE)
+        assert first.rows == second.rows
+
+    def test_warm_cache_answers_without_simulation(self):
+        cache = ResultCache()
+        cold = run_robustness(["montage"], laws=["weibull"], cache=cache, **SMOKE)
+        assert cache.stats.misses == len(cold.rows)
+        warm = run_robustness(["montage"], laws=["weibull"], cache=cache, **SMOKE)
+        assert cache.stats.hits == len(warm.rows)
+        assert warm.rows == cold.rows
+
+    def test_parallel_matches_serial(self):
+        serial = run_robustness(["montage"], laws=["exponential", "lognormal"], **SMOKE)
+        parallel = run_robustness(
+            ["montage"], laws=["exponential", "lognormal"], jobs=2, **SMOKE
+        )
+        assert parallel.rows == serial.rows
+
+    def test_backends_produce_identical_reports(self):
+        python = run_robustness(["montage"], laws=["exponential"], backend="python", **SMOKE)
+        numpy_ = run_robustness(["montage"], laws=["exponential"], backend="numpy", **SMOKE)
+        assert python.rows == numpy_.rows
+
+    def test_mc_seed_changes_samples_but_not_analytical(self):
+        base = run_robustness(["montage"], laws=["exponential"], mc_seed=0, **SMOKE)
+        other = run_robustness(["montage"], laws=["exponential"], mc_seed=1, **SMOKE)
+        assert base.rows[0].analytical == other.rows[0].analytical
+        assert base.rows[0].mc_mean != other.rows[0].mc_mean
+
+
+class TestReportProperties:
+    def _row(self, law: str, analytical: float, mean: float, half: float) -> RobustnessRow:
+        return RobustnessRow(
+            family="montage", n_tasks=20, seed=0, heuristic="DF-CkptW",
+            law=law, law_label=law, law_params={}, mtbf=1000.0, n_checkpointed=3,
+            analytical=analytical, mc_mean=mean, mc_std=1.0,
+            ci_low=mean - half, ci_high=mean + half,
+            mean_failures=0.5, n_runs=100,
+        )
+
+    def test_validation_fails_when_analytical_escapes_ci(self):
+        good = self._row("exponential", 100.0, 100.5, 1.0)
+        bad = self._row("exponential", 100.0, 105.0, 1.0)
+        assert RobustnessReport((good,), 100, "DF-CkptW", 0, 0).exponential_validated
+        report = RobustnessReport((good, bad), 100, "DF-CkptW", 0, 0)
+        assert not report.exponential_validated
+        assert "NO" in report.render()
+
+    def test_worst_gap(self):
+        rows = (
+            self._row("weibull", 100.0, 108.0, 1.0),
+            self._row("weibull", 100.0, 96.0, 1.0),
+        )
+        report = RobustnessReport(rows, 100, "DF-CkptW", 0, 0)
+        assert report.worst_gap("weibull") == pytest.approx(0.08)
+        assert report.worst_gap("lognormal") == 0.0

@@ -172,3 +172,90 @@ class TestHeuristicRng:
         base = list(heuristic_rng(3, "RF-CkptW").integers(1 << 30, size=8))
         assert base != list(heuristic_rng(3, "RF-CkptC").integers(1 << 30, size=8))
         assert base != list(heuristic_rng(4, "RF-CkptW").integers(1 << 30, size=8))
+
+
+class TestMonteCarloKeys:
+    """Cache-key sensitivity of the Monte-Carlo / robustness keys."""
+
+    def test_monte_carlo_key_varies_with_each_input(self, workflow):
+        from repro.runtime import monte_carlo_key
+
+        platform = Platform.from_platform_rate(1e-3)
+        schedule = Schedule(workflow, workflow.topological_order(), {0})
+        base = dict(
+            failure_spec={"law": "exponential", "rate": 1e-3},
+            n_runs=1000,
+            seed=0,
+            checkpoint_overlap=0.0,
+        )
+        reference = monte_carlo_key(schedule, platform, **base)
+        assert reference == monte_carlo_key(schedule, platform, **base)
+        for change in (
+            {"failure_spec": {"law": "exponential", "rate": 2e-3}},
+            {"failure_spec": {"law": "weibull", "scale": 1000.0, "shape": 0.7}},
+            {"n_runs": 2000},
+            {"seed": 1},
+            {"checkpoint_overlap": 0.5},
+        ):
+            assert monte_carlo_key(schedule, platform, **{**base, **change}) != reference
+        other_platform = Platform.from_platform_rate(1e-3, downtime=5.0)
+        assert monte_carlo_key(schedule, other_platform, **base) != reference
+
+    def test_law_parameters_alone_change_the_key(self, workflow):
+        """Same law family, different shape parameter: keys must differ."""
+        from repro.runtime import monte_carlo_key
+
+        platform = Platform.from_platform_rate(1e-3)
+        schedule = Schedule(workflow, workflow.topological_order(), {0})
+        shapes = [0.5, 0.7, 1.0]
+        keys = {
+            monte_carlo_key(
+                schedule,
+                platform,
+                failure_spec={"law": "weibull", "scale": 1000.0, "shape": shape},
+                n_runs=500,
+                seed=0,
+            )
+            for shape in shapes
+        }
+        assert len(keys) == len(shapes)
+
+    def test_robustness_unit_key_varies_with_mc_inputs(self, workflow):
+        from repro.runtime import robustness_unit_key
+
+        platform = Platform.from_platform_rate(1e-3)
+        base = dict(
+            workflow=workflow,
+            platform=platform,
+            heuristic="DF-CkptW",
+            search_mode="geometric",
+            max_candidates=10,
+            seed=0,
+            failure_spec={"law": "lognormal", "mu": 6.4, "sigma": 1.0},
+            n_runs=1000,
+            mc_seed=0,
+        )
+        reference = robustness_unit_key(**base)
+        assert reference == robustness_unit_key(**base)
+        for change in (
+            {"failure_spec": {"law": "lognormal", "mu": 6.4, "sigma": 1.2}},
+            {"n_runs": 500},
+            {"mc_seed": 3},
+            {"heuristic": "RF-CkptW"},
+            {"checkpoint_overlap": 0.25},
+        ):
+            assert robustness_unit_key(**{**base, **change}) != reference
+
+    def test_mc_unit_key_is_backend_agnostic(self):
+        """The engines are bit-for-bit identical, so the backend must not key."""
+        from repro.runtime.runner import CampaignRunner, MonteCarloUnit
+
+        scenario = Scenario(family="montage", n_tasks=20, failure_rate=1e-3, seed=2)
+        runner = CampaignRunner()
+        keys = {
+            runner._mc_unit_key(
+                MonteCarloUnit(scenario=scenario, n_runs=100, backend=backend)
+            )
+            for backend in (None, "auto", "python", "numpy")
+        }
+        assert len(keys) == 1

@@ -328,3 +328,60 @@ class TestEvaluateScheduleCached:
         assert first.expected_makespan == direct.expected_makespan
         assert second.expected_task_times == direct.expected_task_times
         assert second.overhead_ratio == direct.overhead_ratio
+
+
+class TestRunMonteCarloCached:
+    def test_hit_reproduces_summary_exactly(self):
+        from repro.runtime.runner import run_monte_carlo_cached
+
+        workflow = pegasus.ligo(18, seed=2).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        order = linearize(workflow, "DF")
+        schedule = Schedule(workflow, order, set(order[::3]))
+        platform = Platform.from_platform_rate(1e-3)
+        cache = ResultCache()
+
+        first = run_monte_carlo_cached(schedule, platform, cache, n_runs=200, seed=3)
+        second = run_monte_carlo_cached(schedule, platform, cache, n_runs=200, seed=3)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert second == first
+
+    def test_law_and_run_count_miss_separately(self):
+        from repro.runtime.runner import run_monte_carlo_cached
+
+        workflow = pegasus.montage(16, seed=1).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        order = linearize(workflow, "DF")
+        schedule = Schedule(workflow, order, set(order[::4]))
+        platform = Platform.from_platform_rate(1e-3)
+        cache = ResultCache()
+
+        run_monte_carlo_cached(schedule, platform, cache, n_runs=100, seed=0)
+        run_monte_carlo_cached(
+            schedule, platform, cache, n_runs=100, seed=0,
+            failure_spec={"law": "weibull", "scale": 1000.0, "shape": 0.7},
+        )
+        run_monte_carlo_cached(schedule, platform, cache, n_runs=200, seed=0)
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+
+    def test_backend_shares_cache_entries(self):
+        from repro.runtime.runner import run_monte_carlo_cached
+
+        workflow = pegasus.montage(16, seed=1).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        order = linearize(workflow, "DF")
+        schedule = Schedule(workflow, order, set(order[::4]))
+        platform = Platform.from_platform_rate(1e-3)
+        cache = ResultCache()
+
+        python = run_monte_carlo_cached(
+            schedule, platform, cache, n_runs=150, seed=0, backend="python"
+        )
+        numpy_ = run_monte_carlo_cached(
+            schedule, platform, cache, n_runs=150, seed=0, backend="numpy"
+        )
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert numpy_ == python
