@@ -38,6 +38,7 @@ from .core import (
     LostWork,
     MakespanEvaluation,
     Platform,
+    PlatformSpec,
     Schedule,
     Task,
     Workflow,
@@ -71,6 +72,7 @@ __all__ = [
     "MakespanEvaluation",
     "MonteCarloSummary",
     "Platform",
+    "PlatformSpec",
     "Schedule",
     "SimulationResult",
     "Task",

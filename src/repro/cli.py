@@ -14,8 +14,18 @@ can be scripted without writing Python:
   x shape parameter x scenario grid, validate the analytical backend
   against simulation confidence intervals, emit a JSON report (and figure);
 * ``repro figures`` — regenerate the data behind the paper's figures;
-* ``repro campaign`` — multi-seed sweep with aggregation and error bars;
+* ``repro campaign`` — multi-seed sweep with aggregation and error bars over
+  a family x size x downtime x processors grid (``--downtimes`` /
+  ``--processors`` open the platform axes; ``--preset lambda-downtime`` is
+  the lambda x D sweep); ``--shard k/N`` runs one deterministic shard of the
+  grid and ``repro campaign merge`` re-assembles shard CSVs into the exact
+  unsharded report;
 * ``repro cache`` — inspect / clear the persistent result cache.
+
+The single-platform commands (``solve`` / ``evaluate`` / ``analyse`` /
+``simulate``) describe the platform with the same ``--failure-rate`` /
+``--downtime`` / ``--processors`` triple scenarios use, so a direct
+evaluation and the equivalent campaign scenario price the same platform.
 
 The evaluation-heavy sub-commands accept ``--backend auto|python|numpy`` to
 pick the Theorem-3 evaluation backend (default ``auto``: NumPy when it is
@@ -43,9 +53,13 @@ from typing import Sequence
 from .analysis import analyse_schedule, checkpoint_utilities
 from .core.backend import EVAL_BACKENDS
 from .core.evaluator import evaluate_schedule
-from .core.platform import Platform
+from .core.platform import Platform, PlatformSpec
 from .experiments import (
+    CampaignResult,
     all_figures,
+    lambda_downtime_grid,
+    load_rows_csv,
+    parse_shard,
     plot_robustness,
     run_campaign,
     run_robustness,
@@ -101,8 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--workflow", required=True, help="workflow JSON produced by 'generate'")
     solve.add_argument("--heuristic", default="DF-CkptW",
                        help=f"one of {', '.join(HEURISTIC_NAMES)}")
-    solve.add_argument("--failure-rate", type=float, default=1e-3, help="platform lambda (per second)")
-    solve.add_argument("--downtime", type=float, default=0.0, help="downtime after each failure (s)")
+    _add_platform_arguments(solve)
     solve.add_argument("--seed", type=int, default=0, help="seed for the RF linearization")
     solve.add_argument("--refine", action="store_true",
                        help="apply local-search refinement to the checkpoint set")
@@ -112,15 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     # evaluate ----------------------------------------------------------
     evaluate = subparsers.add_parser("evaluate", help="expected makespan of a schedule")
     evaluate.add_argument("--schedule", required=True, help="schedule JSON produced by 'solve'")
-    evaluate.add_argument("--failure-rate", type=float, default=1e-3)
-    evaluate.add_argument("--downtime", type=float, default=0.0)
+    _add_platform_arguments(evaluate)
     _add_backend_argument(evaluate)
 
     # analyse -----------------------------------------------------------
     analyse = subparsers.add_parser("analyse", help="expected-time breakdown of a schedule")
     analyse.add_argument("--schedule", required=True)
-    analyse.add_argument("--failure-rate", type=float, default=1e-3)
-    analyse.add_argument("--downtime", type=float, default=0.0)
+    _add_platform_arguments(analyse)
     analyse.add_argument("--top", type=int, default=5, help="number of worst tasks to list")
     analyse.add_argument("--utilities", action="store_true",
                          help="also report the exact utility of every checkpoint")
@@ -129,8 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     # simulate ----------------------------------------------------------
     simulate = subparsers.add_parser("simulate", help="Monte-Carlo estimate of a schedule")
     simulate.add_argument("--schedule", required=True)
-    simulate.add_argument("--failure-rate", type=float, default=1e-3)
-    simulate.add_argument("--downtime", type=float, default=0.0)
+    _add_platform_arguments(simulate)
     simulate.add_argument("--runs", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=0)
     _add_backend_argument(simulate)
@@ -144,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="comma-separated workflow families")
     robustness.add_argument("--sizes", default="30,60",
                             help="comma-separated task counts")
+    robustness.add_argument("--downtimes", default="0",
+                            help="comma-separated downtimes D (seconds) — Theorem 3 "
+                                 "stays exact for D > 0, so exponential rows must "
+                                 "validate there too")
+    robustness.add_argument("--processors", default="1",
+                            help="comma-separated processor counts p "
+                                 "(platform lambda = p x per-processor lambda)")
     robustness.add_argument("--laws", default="exponential,weibull,lognormal",
                             help="comma-separated failure laws to sweep")
     robustness.add_argument("--shapes", default="0.5,0.7",
@@ -185,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated workflow families")
     campaign.add_argument("--sizes", default="30,60",
                           help="comma-separated task counts")
+    campaign.add_argument("--downtimes", default=None,
+                          help="comma-separated downtimes D (seconds; grid axis, "
+                               "default 0)")
+    campaign.add_argument("--processors", default=None,
+                          help="comma-separated processor counts p (grid axis, "
+                               "default 1; platform lambda = p x per-processor "
+                               "lambda)")
+    campaign.add_argument("--preset", choices=("grid", "lambda-downtime"),
+                          default="grid",
+                          help="'grid': families x sizes x downtimes x processors; "
+                               "'lambda-downtime': the lambda x D sweep preset at "
+                               "the first --sizes value")
     campaign.add_argument("--seeds", default="0,1,2",
                           help="comma-separated instance seeds")
     campaign.add_argument("--heuristics", default="",
@@ -196,8 +225,33 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--search-mode", choices=("exhaustive", "geometric"),
                           default="geometric")
     campaign.add_argument("--max-candidates", type=int, default=30)
+    campaign.add_argument("--shard", default=None, metavar="K/N",
+                          help="run only the k-th of N deterministic grid shards "
+                               "(1-based, e.g. 1/2); re-assemble shard CSVs with "
+                               "'repro campaign merge'")
     campaign.add_argument("--output", "-o", help="write the raw result rows to this CSV path")
+    campaign.add_argument("--report", metavar="PATH",
+                          help="write the rendered aggregation table to this path")
     _add_runtime_arguments(campaign)
+
+    # campaign merge ----------------------------------------------------
+    campaign_sub = campaign.add_subparsers(dest="campaign_command")
+    merge = campaign_sub.add_parser(
+        "merge",
+        help="merge sharded campaign CSVs and re-aggregate "
+             "(byte-identical to the unsharded report)",
+    )
+    merge.add_argument("csvs", nargs="+",
+                       help="row CSVs written by the sharded runs' --output")
+    # SUPPRESS defaults: when the option is not given after 'merge', the
+    # attribute set while parsing the parent campaign options survives, so
+    # `repro campaign -o merged.csv merge a.csv b.csv` works like
+    # `repro campaign merge a.csv b.csv -o merged.csv` instead of silently
+    # discarding the output path.
+    merge.add_argument("--output", "-o", default=argparse.SUPPRESS,
+                       help="write the merged rows (canonical order) to this CSV path")
+    merge.add_argument("--report", metavar="PATH", default=argparse.SUPPRESS,
+                       help="write the rendered aggregation table to this path")
 
     # cache -------------------------------------------------------------
     cache = subparsers.add_parser("cache", help="inspect the persistent result cache")
@@ -228,6 +282,21 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=EVAL_BACKENDS, default=None,
                         help="Theorem-3 evaluation backend (default: auto, "
                              "or the REPRO_EVAL_BACKEND environment variable)")
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--failure-rate`` / ``--downtime`` / ``--processors`` of the
+    single-platform commands — the same platform description scenarios use,
+    so direct CLI paths and campaign scenarios can never disagree."""
+    parser.add_argument("--failure-rate", type=float, default=1e-3,
+                        help="per-processor failure rate lambda_proc (per second); "
+                             "with the default single processor this is the "
+                             "platform lambda")
+    parser.add_argument("--downtime", type=float, default=0.0,
+                        help="downtime after each failure (s)")
+    parser.add_argument("--processors", type=int, default=1,
+                        help="number of processors p (platform lambda = "
+                             "p x lambda_proc)")
 
 
 
@@ -262,7 +331,14 @@ def _build_workflow(args: argparse.Namespace):
 
 
 def _platform(args: argparse.Namespace) -> Platform:
-    return Platform.from_platform_rate(args.failure_rate, downtime=args.downtime)
+    # Route through PlatformSpec — the exact construction Scenario.platform
+    # uses — so `repro evaluate --downtime 2` and the equivalent campaign
+    # scenario price the same platform by construction.
+    return PlatformSpec(
+        failure_rate=args.failure_rate,
+        downtime=args.downtime,
+        processors=getattr(args, "processors", 1),
+    ).build()
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -346,6 +422,8 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     parse_heuristic_name(args.heuristic)
     families = _split_csv(args.families)
     sizes = [int(s) for s in _split_csv(args.sizes)]
+    downtimes = [float(d) for d in _split_csv(args.downtimes)]
+    processors = [int(p) for p in _split_csv(args.processors)]
     laws = _split_csv(args.laws)
     shapes = [float(s) for s in _split_csv(args.shapes)]
     sigmas = [float(s) for s in _split_csv(args.sigmas)]
@@ -353,6 +431,10 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         raise ValueError("at least one family is required")
     if not sizes:
         raise ValueError("at least one size is required")
+    if not downtimes:
+        raise ValueError("at least one downtime is required")
+    if not processors:
+        raise ValueError("at least one processor count is required")
     if not laws:
         raise ValueError("at least one failure law is required")
     if args.check and not any(law.strip().lower() == "exponential" for law in laws):
@@ -369,6 +451,8 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         report = run_robustness(
             families,
             sizes=sizes,
+            downtimes=downtimes,
+            processors=processors,
             laws=laws,
             weibull_shapes=shapes,
             lognormal_sigmas=sigmas,
@@ -490,6 +574,8 @@ def _split_csv(text: str) -> list[str]:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if getattr(args, "campaign_command", None) == "merge":
+        return _cmd_campaign_merge(args)
     # Validate everything cheap *before* opening the cache, so a rejected
     # invocation never leaves a stray cache file behind.
     resolve_jobs(args.jobs)
@@ -503,26 +589,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     families = _split_csv(args.families)
     sizes = [int(s) for s in _split_csv(args.sizes)]
     seeds = [int(s) for s in _split_csv(args.seeds)]
+    downtimes = (
+        [float(d) for d in _split_csv(args.downtimes)]
+        if args.downtimes is not None
+        else None
+    )
+    processors = (
+        [int(p) for p in _split_csv(args.processors)]
+        if args.processors is not None
+        else None
+    )
+    shard = parse_shard(args.shard) if args.shard else None
     if not families:
         raise ValueError("at least one family is required")
     if not sizes:
         raise ValueError("at least one size is required")
     if not seeds:
         raise ValueError("at least one seed is required")
-    if args.output:
-        out_parent = Path(args.output).parent
-        if not out_parent.exists():
-            raise ValueError(f"output directory {out_parent} does not exist")
-        _check_writable(out_parent)
-    scenarios = scenario_grid(
-        families,
-        sizes,
-        checkpoint_mode=args.checkpoint_mode,
-        checkpoint_factor=args.checkpoint_factor,
-        checkpoint_value=args.checkpoint_value,
-        heuristics=heuristics,
-        label="campaign",
-    )
+    if downtimes is not None and not downtimes:
+        raise ValueError("at least one downtime is required")
+    if processors is not None and not processors:
+        raise ValueError("at least one processor count is required")
+    for path_arg in (args.output, args.report):
+        if path_arg:
+            out_parent = Path(path_arg).parent
+            if not out_parent.exists():
+                raise ValueError(f"output directory {out_parent} does not exist")
+            _check_writable(out_parent)
+    if args.preset == "lambda-downtime":
+        preset_kwargs = {}
+        if downtimes is not None:
+            preset_kwargs["downtimes"] = downtimes
+        if processors is not None:
+            preset_kwargs["processors"] = processors
+        scenarios = lambda_downtime_grid(
+            families,
+            n_tasks=sizes[0],
+            checkpoint_mode=args.checkpoint_mode,
+            checkpoint_factor=args.checkpoint_factor,
+            checkpoint_value=args.checkpoint_value,
+            heuristics=heuristics,
+            shard=shard,
+            **preset_kwargs,
+        )
+    else:
+        scenarios = scenario_grid(
+            families,
+            sizes,
+            downtimes=downtimes if downtimes is not None else (0.0,),
+            processors=processors if processors is not None else (1,),
+            checkpoint_mode=args.checkpoint_mode,
+            checkpoint_factor=args.checkpoint_factor,
+            checkpoint_value=args.checkpoint_value,
+            heuristics=heuristics,
+            label="campaign",
+            shard=shard,
+        )
     with _managed_cache(args) as cache:
         result = run_campaign(
             scenarios,
@@ -539,6 +661,71 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.output:
         path = save_rows_csv(list(result.rows), args.output)
         print(f"wrote {path} ({len(result.rows)} rows)")
+    if args.report:
+        path = Path(args.report)
+        path.write_text(result.render() + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+#: Canonical row order of merged campaign CSVs: the full grid-point identity,
+#: so the merged file does not depend on the order the shards are passed in.
+def _row_identity(row) -> tuple:
+    return (
+        row.label,
+        row.family,
+        row.n_tasks,
+        row.failure_rate,
+        row.downtime,
+        row.processors,
+        row.checkpoint_mode,
+        row.checkpoint_parameter,
+        row.seed,
+        row.heuristic,
+    )
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    # Same upfront guard as the sweep path: a rejected invocation must not
+    # print a table or leave a partial output file behind.
+    for path_arg in (args.output, args.report):
+        if path_arg:
+            out_parent = Path(path_arg).parent
+            if not out_parent.exists():
+                raise ValueError(f"output directory {out_parent} does not exist")
+            _check_writable(out_parent)
+    rows = []
+    for csv_path in args.csvs:
+        rows.extend(load_rows_csv(csv_path))
+    if not rows:
+        raise ValueError("the given CSV files contain no result rows")
+    # Overlapping inputs (a shard listed twice, a glob that caught a
+    # previous merged.csv) would silently double-count every duplicated
+    # row in the aggregation; the identity tuple makes them detectable.
+    seen: set = set()
+    for row in rows:
+        identity = _row_identity(row)
+        if identity in seen:
+            raise ValueError(
+                "duplicate result row across the given CSV files "
+                f"(e.g. {row.family} n={row.n_tasks} seed={row.seed} "
+                f"{row.heuristic}); was the same shard passed twice?"
+            )
+        seen.add(identity)
+    # Aggregation runs over the rows in shard-file order: every (grid point,
+    # heuristic) group lives entirely inside one shard (shards split whole
+    # scenarios), so the group-internal member order — and therefore the
+    # floating-point sums — match the unsharded run exactly.
+    result = CampaignResult.from_rows(rows)
+    print(result.render())
+    if args.output:
+        merged = sorted(result.rows, key=_row_identity)
+        path = save_rows_csv(merged, args.output)
+        print(f"wrote {path} ({len(merged)} rows)")
+    if args.report:
+        path = Path(args.report)
+        path.write_text(result.render() + "\n")
+        print(f"wrote {path}")
     return 0
 
 

@@ -17,7 +17,7 @@ from .expectation import (
     success_probability,
 )
 from .lost_work import LostWork, compute_lost_work, lost_and_needed_tasks
-from .platform import Platform
+from .platform import Platform, PlatformSpec
 from .schedule import Schedule
 from .task import Task
 
@@ -27,6 +27,7 @@ __all__ = [
     "LostWork",
     "MakespanEvaluation",
     "Platform",
+    "PlatformSpec",
     "Schedule",
     "Task",
     "Workflow",

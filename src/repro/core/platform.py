@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["Platform"]
+__all__ = ["Platform", "PlatformSpec"]
 
 
 @dataclass(frozen=True)
@@ -134,3 +134,63 @@ class Platform:
             f"Platform(p={self.processors}, lambda={self.failure_rate:.3g}/s, "
             f"MTBF={self.mtbf:.3g}s, D={self.downtime:g}s)"
         )
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Declarative platform description — the scenario- and CLI-facing view.
+
+    A spec is the three parameters a study sweeps: the per-processor failure
+    rate, the downtime after each failure, and the number of processors the
+    application enrolls.  :meth:`build` turns it into the equivalent
+    :class:`Platform`; with the default single processor, ``failure_rate``
+    is exactly the platform-level :math:`\\lambda` the paper's experiments
+    are parameterised by.  With ``processors > 1`` the effective platform
+    rate is :math:`\\lambda = p \\cdot \\lambda_{proc}` — sweeping ``p`` at a
+    fixed per-processor rate is how the processor-count grid axis scales
+    the failure pressure.
+
+    Parameters
+    ----------
+    failure_rate:
+        Per-processor failure rate :math:`\\lambda_{proc}` (per second).
+    downtime:
+        Constant downtime ``D`` (seconds) after each failure.
+    processors:
+        Number of processors ``p`` (>= 1).
+    """
+
+    failure_rate: float = 0.0
+    downtime: float = 0.0
+    processors: int = 1
+
+    def __post_init__(self) -> None:
+        # Reuse Platform's validation so a bad spec fails where it is
+        # written, not where a sweep first builds it.
+        self.build()
+
+    def build(self) -> Platform:
+        """The equivalent :class:`Platform` (rate, downtime, processors)."""
+        return Platform(
+            processors=self.processors,
+            processor_failure_rate=self.failure_rate,
+            downtime=self.downtime,
+        )
+
+    @property
+    def platform_failure_rate(self) -> float:
+        """Effective platform rate :math:`\\lambda = p \\cdot \\lambda_{proc}`."""
+        return self.processors * float(self.failure_rate)
+
+    @classmethod
+    def from_platform(cls, platform: Platform) -> "PlatformSpec":
+        """The spec describing an existing :class:`Platform`."""
+        return cls(
+            failure_rate=platform.processor_failure_rate,
+            downtime=platform.downtime,
+            processors=platform.processors,
+        )
+
+    def describe(self) -> str:
+        """Human readable one-line summary (delegates to the platform)."""
+        return self.build().describe()

@@ -36,6 +36,8 @@ class AggregatedResult:
     max_ratio: float
     mean_makespan: float
     mean_checkpoints: float
+    downtime: float = 0.0
+    processors: int = 1
 
     @property
     def sem_ratio(self) -> float:
@@ -52,10 +54,40 @@ class CampaignResult:
     rows: tuple[ResultRow, ...]
     aggregated: tuple[AggregatedResult, ...]
 
-    def ranking(self, family: str, n_tasks: int) -> tuple[AggregatedResult, ...]:
-        """Heuristics of one point ordered by mean overhead ratio (best first)."""
+    @classmethod
+    def from_rows(cls, rows: Sequence[ResultRow]) -> "CampaignResult":
+        """Re-aggregate loose rows (e.g. loaded from sharded CSV outputs).
+
+        This is what ``repro campaign merge`` runs on the concatenated
+        shard rows: aggregation groups each (grid point, heuristic) across
+        seeds, and because a shard always carries *whole* scenarios (every
+        seed of a grid point), the per-group member order — hence the
+        floating-point sums — matches the unsharded run exactly.
+        """
+        rows = tuple(rows)
+        return cls(rows=rows, aggregated=aggregate_rows(rows))
+
+    def ranking(
+        self,
+        family: str,
+        n_tasks: int,
+        *,
+        downtime: float | None = None,
+        processors: int | None = None,
+    ) -> tuple[AggregatedResult, ...]:
+        """Heuristics of one point ordered by mean overhead ratio (best first).
+
+        ``downtime`` / ``processors`` restrict the ranking to one platform
+        point; ``None`` keeps every platform of the (family, size) pair —
+        fine for paper-style grids where those axes do not vary.
+        """
         entries = [
-            a for a in self.aggregated if a.family == family and a.n_tasks == n_tasks
+            a
+            for a in self.aggregated
+            if a.family == family
+            and a.n_tasks == n_tasks
+            and (downtime is None or a.downtime == downtime)
+            and (processors is None or a.processors == processors)
         ]
         return tuple(sorted(entries, key=lambda a: a.mean_ratio))
 
@@ -67,16 +99,46 @@ class CampaignResult:
         return ranking[0].heuristic
 
     def render(self) -> str:
-        """Compact text table: one line per (family, size, heuristic)."""
+        """Compact text table: one line per (grid point, heuristic).
+
+        The downtime / processor columns appear as soon as any point leaves
+        the paper's defaults (D = 0, p = 1), so platform-sweep points are
+        always distinguishable.  The decision depends only on the aggregated
+        data, which keeps the rendering byte-identical between an unsharded
+        run and a merged sharded one.
+        """
+        platform_axes = any(
+            a.downtime != 0.0 or a.processors != 1 for a in self.aggregated
+        )
+        # A per-family rate is the paper's setting and stays implicit; a
+        # rate *sweep* (lambda x D grids) must label every point with it.
+        rate_varies = len({(a.family, a.failure_rate) for a in self.aggregated}) > len(
+            {a.family for a in self.aggregated}
+        )
+        platform_header = (f" {'lambda':>9}" if rate_varies else "") + (
+            f" {'D':>7} {'p':>4}" if platform_axes else ""
+        )
         lines = [
-            f"{'family':<12} {'n':>5} {'heuristic':<12} {'mean':>8} {'std':>7} "
-            f"{'min':>7} {'max':>7} {'seeds':>6}"
+            f"{'family':<12} {'n':>5}{platform_header} {'heuristic':<12} "
+            f"{'mean':>8} {'std':>7} {'min':>7} {'max':>7} {'seeds':>6}"
         ]
         for entry in sorted(
-            self.aggregated, key=lambda a: (a.family, a.n_tasks, a.mean_ratio)
+            self.aggregated,
+            key=lambda a: (
+                a.family,
+                a.n_tasks,
+                a.failure_rate,
+                a.downtime,
+                a.processors,
+                a.mean_ratio,
+            ),
         ):
+            platform_cells = (f" {entry.failure_rate:>9g}" if rate_varies else "") + (
+                f" {entry.downtime:>7g} {entry.processors:>4}" if platform_axes else ""
+            )
             lines.append(
-                f"{entry.family:<12} {entry.n_tasks:>5} {entry.heuristic:<12} "
+                f"{entry.family:<12} {entry.n_tasks:>5}{platform_cells} "
+                f"{entry.heuristic:<12} "
                 f"{entry.mean_ratio:>8.3f} {entry.std_ratio:>7.3f} "
                 f"{entry.min_ratio:>7.3f} {entry.max_ratio:>7.3f} {entry.n_seeds:>6}"
             )
@@ -84,14 +146,28 @@ class CampaignResult:
 
 
 def aggregate_rows(rows: Sequence[ResultRow]) -> tuple[AggregatedResult, ...]:
-    """Aggregate harness rows by (family, n_tasks, failure_rate, heuristic)."""
-    groups: dict[tuple[str, int, float, str], list[ResultRow]] = {}
+    """Aggregate harness rows per heuristic and grid point.
+
+    The grouping key is the full grid point — family, size, failure rate,
+    downtime and processor count — so distinct platform points of a
+    downtime or processor sweep are never averaged together.
+    """
+    groups: dict[tuple[str, int, float, float, int, str], list[ResultRow]] = {}
     for row in rows:
-        key = (row.family, row.n_tasks, row.failure_rate, row.heuristic)
+        key = (
+            row.family,
+            row.n_tasks,
+            row.failure_rate,
+            row.downtime,
+            row.processors,
+            row.heuristic,
+        )
         groups.setdefault(key, []).append(row)
 
     aggregated: list[AggregatedResult] = []
-    for (family, n_tasks, rate, heuristic), members in sorted(groups.items()):
+    for (family, n_tasks, rate, downtime, processors, heuristic), members in sorted(
+        groups.items()
+    ):
         ratios = [m.overhead_ratio for m in members]
         count = len(ratios)
         mean = sum(ratios) / count
@@ -111,6 +187,8 @@ def aggregate_rows(rows: Sequence[ResultRow]) -> tuple[AggregatedResult, ...]:
                 max_ratio=max(ratios),
                 mean_makespan=sum(m.expected_makespan for m in members) / count,
                 mean_checkpoints=sum(m.n_checkpointed for m in members) / count,
+                downtime=downtime,
+                processors=processors,
             )
         )
     return tuple(aggregated)

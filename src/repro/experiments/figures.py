@@ -72,7 +72,14 @@ class FigureResult:
     panels: tuple[str, ...] = ()
 
     def series(self, family: str | None = None) -> dict[str, list[tuple[float, float]]]:
-        """``heuristic -> [(x, T/T_inf), ...]`` series, optionally per family."""
+        """``heuristic -> [(x, T/T_inf), ...]`` series, optionally per family.
+
+        When the rows span several platform points in a dimension other
+        than the x-axis (downtime / processor sweeps built from custom
+        grids), the series keys carry that dimension — e.g.
+        ``"DF-CkptW [D=60]"`` — so distinct grid points keep distinct
+        labels (see :func:`repro.experiments.series_by_heuristic`).
+        """
         rows = self.rows if family is None else tuple(r for r in self.rows if r.family == family)
         return series_by_heuristic(rows, x_axis=self.x_axis)
 

@@ -28,6 +28,7 @@ from .scenarios import Scenario, build_workflow
 
 __all__ = [
     "ResultRow",
+    "SERIES_AXES",
     "run_heuristic",
     "run_scenario",
     "run_grid",
@@ -68,6 +69,11 @@ class ResultRow:
     overhead_ratio: float
     solve_seconds: float
     seed: int
+    # Platform dimensions beyond the failure rate.  They default to the
+    # paper's setting (D = 0, single processor) so rows written before the
+    # platform became a grid axis keep loading.
+    downtime: float = 0.0
+    processors: int = 1
 
 
 def run_heuristic(
@@ -135,6 +141,8 @@ def run_heuristic(
         overhead_ratio=evaluation.overhead_ratio,
         solve_seconds=elapsed,
         seed=scenario.seed,
+        downtime=scenario.downtime,
+        processors=scenario.processors,
     )
 
 
@@ -250,16 +258,48 @@ def best_by_strategy(rows: Sequence[ResultRow]) -> dict[tuple[str, int, str], Re
     return best
 
 
+#: Valid x-axes for :func:`series_by_heuristic` (and the figure drivers).
+SERIES_AXES = ("n_tasks", "failure_rate", "downtime", "processors")
+
+
 def series_by_heuristic(
     rows: Sequence[ResultRow], *, x_axis: str = "n_tasks"
 ) -> dict[str, list[tuple[float, float]]]:
-    """Group rows into plottable ``heuristic -> [(x, overhead_ratio), ...]`` series."""
-    if x_axis not in ("n_tasks", "failure_rate"):
-        raise ValueError("x_axis must be 'n_tasks' or 'failure_rate'")
+    """Group rows into plottable ``heuristic -> [(x, overhead_ratio), ...]`` series.
+
+    When a platform dimension that is *not* the x-axis varies across the
+    rows (a D > 0 point next to the paper's D = 0 one, a processor sweep,
+    or a rate sweep within one family), it enters the series key —
+    ``"DF-CkptW [D=60]"`` — so distinct grid points never collapse into
+    one indistinguishable line.  A purely *per-family* rate (the paper
+    gives Genome its own :math:`\\lambda`) stays implicit, as families are
+    separated into panels, not series.
+    """
+    if x_axis not in SERIES_AXES:
+        raise ValueError(f"x_axis must be one of {SERIES_AXES}")
+    hidden = [
+        dim
+        for dim in ("downtime", "processors")
+        if dim != x_axis and len({getattr(row, dim) for row in rows}) > 1
+    ]
+    if x_axis != "failure_rate" and len(
+        {(row.family, row.failure_rate) for row in rows}
+    ) > len({row.family for row in rows}):
+        hidden.append("failure_rate")
     series: dict[str, list[tuple[float, float]]] = {}
     for row in rows:
+        key = row.heuristic
+        if hidden:
+            tags = []
+            if "failure_rate" in hidden:
+                tags.append(f"lambda={row.failure_rate:g}")
+            if "downtime" in hidden:
+                tags.append(f"D={row.downtime:g}")
+            if "processors" in hidden:
+                tags.append(f"p={row.processors}")
+            key = f"{key} [{' '.join(tags)}]"
         x = float(getattr(row, x_axis))
-        series.setdefault(row.heuristic, []).append((x, row.overhead_ratio))
+        series.setdefault(key, []).append((x, row.overhead_ratio))
     for values in series.values():
         values.sort()
     return series

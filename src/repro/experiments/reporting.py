@@ -1,18 +1,29 @@
-"""Rendering of experiment results (CSV, markdown, console tables)."""
+"""Rendering of experiment results (CSV, markdown, console tables).
+
+Every renderer here is platform-aware: when the downtime or processor-count
+grid axes vary across the rows (they are 0 / 1 in the paper, but first-class
+dimensions in this reproduction), the labels carry them, so two distinct
+grid points can never render identically.  CSV is also the interchange
+format of sharded campaigns — :func:`load_rows_csv` reads back what
+:func:`save_rows_csv` wrote, which is how ``repro campaign merge``
+re-assembles shard outputs.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
-from dataclasses import asdict, fields
+from dataclasses import MISSING, asdict, fields
 from pathlib import Path
-from typing import Sequence
+from typing import Sequence, get_type_hints
 
 from .harness import ResultRow
 
 __all__ = [
     "rows_to_csv",
     "save_rows_csv",
+    "rows_from_csv",
+    "load_rows_csv",
     "rows_to_markdown",
     "ratio_table",
     "format_ratio_table",
@@ -38,17 +49,75 @@ def save_rows_csv(rows: Sequence[ResultRow], path: str | Path) -> Path:
     return path
 
 
+def _field_types() -> dict[str, type]:
+    hints = get_type_hints(ResultRow)
+    return {f.name: hints[f.name] for f in fields(ResultRow)}
+
+
+def rows_from_csv(text: str) -> list[ResultRow]:
+    """Parse CSV text produced by :func:`rows_to_csv` back into rows.
+
+    Columns are matched by name, so CSVs written before a (defaulted) field
+    existed still load; unknown columns are rejected loudly rather than
+    silently dropped, since a mismatched file is more likely a wrong path
+    than a deliberate extension.
+    """
+    types = _field_types()
+    reader = csv.DictReader(io.StringIO(text))
+    header = reader.fieldnames or []
+    unknown = [name for name in header if name not in types]
+    if unknown:
+        raise ValueError(
+            f"unknown result-row column(s) {unknown}; expected a CSV written "
+            "by 'repro campaign -o' / save_rows_csv"
+        )
+    required = [
+        f.name
+        for f in fields(ResultRow)
+        if f.default is MISSING and f.default_factory is MISSING
+    ]
+    missing = [name for name in required if name not in header]
+    if missing:
+        raise ValueError(f"result-row CSV is missing required column(s) {missing}")
+    rows: list[ResultRow] = []
+    for record in reader:
+        if None in record:
+            # DictReader collects surplus fields under the None restkey.
+            raise ValueError("result-row CSV has a line with too many fields")
+        kwargs = {}
+        for name, value in record.items():
+            if value is None:
+                raise ValueError("result-row CSV has a short line")
+            kwargs[name] = types[name](value)
+        rows.append(ResultRow(**kwargs))
+    return rows
+
+
+def load_rows_csv(path: str | Path) -> list[ResultRow]:
+    """Read result rows from a CSV file written by :func:`save_rows_csv`."""
+    return rows_from_csv(Path(path).read_text())
+
+
 def rows_to_markdown(rows: Sequence[ResultRow], *, columns: Sequence[str] | None = None) -> str:
-    """Render rows as a GitHub-flavoured markdown table."""
+    """Render rows as a GitHub-flavoured markdown table.
+
+    The default column set grows a ``downtime`` / ``processors`` column
+    whenever that platform axis varies across the rows.
+    """
     if columns is None:
-        columns = (
+        columns = [
             "family",
             "n_tasks",
             "heuristic",
             "n_checkpointed",
             "expected_makespan",
             "overhead_ratio",
-        )
+        ]
+        # Insert processors first so the final order is downtime-then-
+        # processors, matching every other renderer's D, p column order.
+        for dim in ("processors", "downtime"):
+            if len({getattr(row, dim) for row in rows}) > 1:
+                columns.insert(2, dim)
     header = "| " + " | ".join(columns) + " |"
     separator = "| " + " | ".join("---" for _ in columns) + " |"
     lines = [header, separator]
@@ -67,26 +136,43 @@ def rows_to_markdown(rows: Sequence[ResultRow], *, columns: Sequence[str] | None
 
 def ratio_table(
     rows: Sequence[ResultRow],
-) -> dict[tuple[str, int], dict[str, float]]:
-    """Pivot rows into ``(family, n_tasks) -> {heuristic: overhead_ratio}``."""
-    table: dict[tuple[str, int], dict[str, float]] = {}
+) -> dict[tuple[str, int, float, float, int], dict[str, float]]:
+    """Pivot rows into ``grid point -> {heuristic: overhead_ratio}``.
+
+    The key is ``(family, n_tasks, failure_rate, downtime, processors)`` —
+    one entry per platform point, so a rate, downtime or processor sweep
+    never overwrites one point's ratios with another's.
+    """
+    table: dict[tuple[str, int, float, float, int], dict[str, float]] = {}
     for row in rows:
-        table.setdefault((row.family, row.n_tasks), {})[row.heuristic] = row.overhead_ratio
+        key = (row.family, row.n_tasks, row.failure_rate, row.downtime, row.processors)
+        table.setdefault(key, {})[row.heuristic] = row.overhead_ratio
     return table
 
 
 def format_ratio_table(rows: Sequence[ResultRow], *, digits: int = 3) -> str:
     """Console-friendly pivot of the ``T / T_inf`` ratios.
 
-    One line per (family, n_tasks); one column per heuristic; the best value of
-    each line is starred — this is the textual analogue of the paper's figures.
+    One line per grid point; one column per heuristic; the best value of
+    each line is starred — this is the textual analogue of the paper's
+    figures.  Downtime / processor columns appear when those axes vary.
     """
     table = ratio_table(rows)
     heuristics = sorted({h for values in table.values() for h in values})
+    show_rate = len({(key[0], key[2]) for key in table}) > len({key[0] for key in table})
+    show_downtime = len({key[3] for key in table}) > 1
+    show_processors = len({key[4] for key in table}) > 1
     width = max(12, digits + 6)
-    header = f"{'family':<12} {'n':>5} " + " ".join(f"{h:>{width}}" for h in heuristics)
+    header = f"{'family':<12} {'n':>5} "
+    if show_rate:
+        header += f"{'lambda':>9} "
+    if show_downtime:
+        header += f"{'D':>7} "
+    if show_processors:
+        header += f"{'p':>4} "
+    header += " ".join(f"{h:>{width}}" for h in heuristics)
     lines = [header, "-" * len(header)]
-    for (family, n_tasks), values in sorted(table.items()):
+    for (family, n_tasks, rate, downtime, processors), values in sorted(table.items()):
         best = min(values.values()) if values else float("nan")
         cells = []
         for heuristic in heuristics:
@@ -96,5 +182,12 @@ def format_ratio_table(rows: Sequence[ResultRow], *, digits: int = 3) -> str:
             else:
                 marker = "*" if abs(value - best) < 1e-12 else " "
                 cells.append(f"{value:>{width - 1}.{digits}f}{marker}")
-        lines.append(f"{family:<12} {n_tasks:>5} " + " ".join(cells))
+        prefix = f"{family:<12} {n_tasks:>5} "
+        if show_rate:
+            prefix += f"{rate:>9g} "
+        if show_downtime:
+            prefix += f"{downtime:>7g} "
+        if show_processors:
+            prefix += f"{processors:>4} "
+        lines.append(prefix + " ".join(cells))
     return "\n".join(lines)

@@ -81,6 +81,20 @@ class RobustnessRow:
     ci_high: float
     mean_failures: float
     n_runs: int
+    downtime: float = 0.0
+    processors: int = 1
+
+    @property
+    def scenario_label(self) -> str:
+        """Scenario tag for tables and figures; platform axes appear as
+        soon as they leave the paper's defaults, so a D > 0 or p > 1 row
+        never shares a label with the baseline point."""
+        label = f"{self.family}-{self.n_tasks}"
+        if self.downtime != 0.0:
+            label += f"-D{self.downtime:g}"
+        if self.processors != 1:
+            label += f"-p{self.processors}"
+        return label
 
     @property
     def within_ci(self) -> bool:
@@ -153,7 +167,7 @@ class RobustnessReport:
             f"{'95% CI':>23} {'gap':>8}  {'in CI'}",
         ]
         for row in self.rows:
-            scenario = f"{row.family}-{row.n_tasks}"
+            scenario = row.scenario_label
             ci = f"[{row.ci_low:9.1f},{row.ci_high:9.1f}]"
             lines.append(
                 f"{scenario:<16} {row.law_label:<16} {row.analytical:>11.1f} "
@@ -213,6 +227,8 @@ def run_robustness(
     families: Iterable[str],
     *,
     sizes: Sequence[int] = SMOKE_TASK_COUNTS,
+    downtimes: Sequence[float] = (0.0,),
+    processors: Sequence[int] = (1,),
     laws: Sequence[str] = DEFAULT_LAWS,
     weibull_shapes: Sequence[float] = DEFAULT_WEIBULL_SHAPES,
     lognormal_sigmas: Sequence[float] = DEFAULT_LOGNORMAL_SIGMAS,
@@ -232,15 +248,21 @@ def run_robustness(
 ) -> RobustnessReport:
     """Run the failure-law robustness campaign over a scenario grid.
 
-    One row per (family, size, law, shape): the heuristic's schedule is
-    simulated for ``n_runs`` replicas under the law (MTBF-matched to the
-    platform) and compared against the analytical Theorem-3 expectation.
+    One row per (family, size, downtime, processors, law, shape): the
+    heuristic's schedule is simulated for ``n_runs`` replicas under the law
+    (MTBF-matched to the platform — including the :math:`p \\cdot
+    \\lambda_{proc}` aggregation when ``processors > 1``) and compared
+    against the analytical Theorem-3 expectation.  ``downtimes`` extends
+    the validation beyond the paper's ``D = 0``: Theorem 3 stays exact
+    under constant downtime, so exponential rows must validate there too.
     """
     from ..runtime.runner import CampaignRunner, MonteCarloUnit
 
     scenarios = scenario_grid(
         list(families),
         list(sizes),
+        downtimes=downtimes,
+        processors=processors,
         checkpoint_mode=checkpoint_mode,
         checkpoint_factor=checkpoint_factor,
         checkpoint_value=checkpoint_value,
@@ -305,7 +327,9 @@ def run_robustness(
                 law=law,
                 law_label=label,
                 law_params={k: v for k, v in spec.items() if k != "law"},
-                mtbf=1.0 / scenario.failure_rate,
+                mtbf=scenario.platform.mtbf,
+                downtime=scenario.downtime,
+                processors=scenario.processors,
                 n_checkpointed=int(outcome["n_checkpointed"]),
                 analytical=float(outcome["expected_makespan"]),
                 mc_mean=summary.mean_makespan,
@@ -346,7 +370,10 @@ def plot_robustness(report: RobustnessReport, path: str | Path) -> Path:
             "install it or drop the figure output"
         ) from exc
 
-    scenarios = sorted({(row.family, row.n_tasks) for row in report.rows})
+    # Group bars by the full scenario label (family, size and — when they
+    # leave the defaults — downtime / processors), so distinct platform
+    # points of a sweep never stack into one indistinguishable group.
+    scenarios = list(dict.fromkeys(row.scenario_label for row in report.rows))
     law_labels = list(dict.fromkeys(row.law_label for row in report.rows))
     width = 0.8 / max(1, len(law_labels) + 1)
     fig, ax = plt.subplots(figsize=(1.8 + 2.2 * len(scenarios), 4.5))
@@ -354,7 +381,7 @@ def plot_robustness(report: RobustnessReport, path: str | Path) -> Path:
         xs, ys, errs = [], [], []
         for index, scenario in enumerate(scenarios):
             for row in report.rows:
-                if (row.family, row.n_tasks) == scenario and row.law_label == label:
+                if row.scenario_label == scenario and row.law_label == label:
                     xs.append(index + offset * width)
                     ys.append(row.mc_mean)
                     errs.append(row.ci_high - row.mc_mean)
@@ -362,7 +389,7 @@ def plot_robustness(report: RobustnessReport, path: str | Path) -> Path:
     analytical_xs = list(range(len(scenarios)))
     analytical_ys = []
     for scenario in scenarios:
-        row = next(r for r in report.rows if (r.family, r.n_tasks) == scenario)
+        row = next(r for r in report.rows if r.scenario_label == scenario)
         analytical_ys.append(row.analytical)
     ax.plot(
         [x + 0.4 - width / 2 for x in analytical_xs],
@@ -372,7 +399,7 @@ def plot_robustness(report: RobustnessReport, path: str | Path) -> Path:
         label="analytical (Theorem 3)",
     )
     ax.set_xticks([x + 0.4 - width / 2 for x in analytical_xs])
-    ax.set_xticklabels([f"{family}-{n}" for family, n in scenarios])
+    ax.set_xticklabels(scenarios)
     ax.set_ylabel("expected makespan (s)")
     ax.set_title(
         f"Failure-law robustness — {report.heuristic}, {report.n_runs} replicas"

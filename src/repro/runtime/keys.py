@@ -10,8 +10,8 @@ change in the key schema can never alias an old entry.
 
 Only the quantities that affect an evaluation enter a fingerprint: task
 weights, checkpoint / recovery costs and edges for a workflow (names and
-categories are display-only), failure rate and downtime for a platform,
-order and checkpoint set for a schedule.
+categories are display-only), processor count, per-processor failure rate
+and downtime for a platform, order and checkpoint set for a schedule.
 """
 
 from __future__ import annotations
@@ -43,7 +43,13 @@ __all__ = [
 
 #: Bumped whenever the canonical payload schema changes, so stale persistent
 #: cache entries can never be confused with fresh ones.
-KEY_VERSION = 1
+#:
+#: v2: the platform payload carries the full platform description
+#: (processor count and per-processor rate, not just the aggregated rate)
+#: now that downtime and processors are scenario grid axes.  Every v1 cache
+#: entry is invalidated once, deliberately: v1 scenario rows were computed
+#: through a scenario layer that silently dropped the downtime.
+KEY_VERSION = 2
 
 #: Version of the *algorithms* whose outputs the cache stores.  KEY_VERSION
 #: tracks the key schema; this tracks result-affecting behavior.  Bump it
@@ -71,15 +77,19 @@ def workflow_fingerprint(workflow: "Workflow") -> str:
 
 
 def platform_fingerprint(platform: "Platform") -> str:
-    """Content digest of a platform (failure rate and downtime)."""
+    """Content digest of a platform (processors, per-processor rate, downtime)."""
     return digest(_platform_payload(platform))
 
 
 def _platform_payload(platform: "Platform") -> dict[str, Any]:
+    # The full platform description, not just the aggregated rate: the
+    # stored fields (p, lambda_proc, D) are the canonical content, and the
+    # derived platform-level lambda is implied by them.
     return {
         "kind": "platform",
         "v": KEY_VERSION,
-        "failure_rate": platform.failure_rate,
+        "processors": platform.processors,
+        "processor_failure_rate": platform.processor_failure_rate,
         "downtime": platform.downtime,
     }
 

@@ -261,6 +261,8 @@ def _row_from_outcome(unit: WorkUnit, outcome: dict[str, Any]) -> ResultRow:
         overhead_ratio=float(outcome["overhead_ratio"]),
         solve_seconds=0.0,
         seed=scenario.seed,
+        downtime=scenario.downtime,
+        processors=scenario.processors,
     )
 
 

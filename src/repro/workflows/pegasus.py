@@ -27,6 +27,7 @@ with :meth:`~repro.core.dag.Workflow.with_checkpoint_costs`, e.g.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -66,9 +67,18 @@ class _Builder:
         self.edges: list[tuple[int, int]] = []
 
     def add(self, category: str, weight: float, predecessors: "list[int] | tuple[int, ...]" = ()) -> int:
+        weight = float(weight)
+        # A non-positive or non-finite runtime is a generator bug; masking
+        # it (the old behavior clamped to 1e-6) would silently skew the
+        # family's weight distribution and every downstream result.
+        if not math.isfinite(weight) or weight <= 0.0:
+            raise ValueError(
+                f"workflow generator produced an invalid weight {weight!r} for "
+                f"category {category!r}; task runtimes must be finite and positive"
+            )
         index = len(self.tasks)
         self.tasks.append(
-            Task(index=index, weight=max(weight, 1e-6), name=f"{category}_{index}", category=category)
+            Task(index=index, weight=weight, name=f"{category}_{index}", category=category)
         )
         self.edges.extend((int(p), index) for p in predecessors)
         return index

@@ -77,8 +77,15 @@ def random_instance(draw):
     checkpointed = {i for i, flag in enumerate(checkpoint_flags) if flag}
     # Natural order 0..n-1 is always a valid linearization for i<j edges.
     schedule = Schedule(workflow, range(n), checkpointed)
-    platform = Platform.from_platform_rate(
-        draw(rate_strategy), downtime=draw(downtime_strategy)
+    # The platform draw covers the full scenario space: D > 0 and p > 1
+    # are first-class grid axes, so the backends must agree there too.  The
+    # drawn rate bounds the *effective* platform rate (p x rate/p), keeping
+    # the failure pressure in the same regime the p=1 strategy explored.
+    processors = draw(st.integers(min_value=1, max_value=8))
+    platform = Platform(
+        processors=processors,
+        processor_failure_rate=draw(rate_strategy) / processors,
+        downtime=draw(downtime_strategy),
     )
     return workflow, schedule, platform
 

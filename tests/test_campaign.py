@@ -60,6 +60,53 @@ class TestRunCampaign:
             run_campaign([scenario], seeds=())
 
 
+class TestPlatformAxes:
+    @pytest.fixture(scope="class")
+    def platform_campaign(self):
+        base = Scenario(
+            family="montage", n_tasks=15, failure_rate=1e-3,
+            heuristics=("DF-CkptW",), label="platform-campaign",
+        )
+        scenarios = [
+            base,
+            base.with_updates(downtime=60.0),
+            base.with_updates(processors=8),
+        ]
+        return run_campaign(scenarios, seeds=(0, 1), search_mode="geometric",
+                            max_candidates=5)
+
+    def test_platform_points_aggregate_separately(self, platform_campaign):
+        # One aggregate per (platform point, heuristic) — D and p are part
+        # of the grouping key, so distinct points are never averaged.
+        assert len(platform_campaign.aggregated) == 3
+        points = {(a.downtime, a.processors) for a in platform_campaign.aggregated}
+        assert points == {(0.0, 1), (60.0, 1), (0.0, 8)}
+
+    def test_downtime_point_costs_more(self, platform_campaign):
+        by_point = {(a.downtime, a.processors): a for a in platform_campaign.aggregated}
+        assert by_point[(60.0, 1)].mean_ratio > by_point[(0.0, 1)].mean_ratio
+        assert by_point[(0.0, 8)].mean_ratio > by_point[(0.0, 1)].mean_ratio
+
+    def test_render_grows_platform_columns(self, platform_campaign):
+        text = platform_campaign.render()
+        header = text.splitlines()[0].split()
+        assert "D" in header and "p" in header
+        assert len(text.splitlines()) == 1 + 3
+
+    def test_ranking_filters_by_platform_point(self, platform_campaign):
+        all_points = platform_campaign.ranking("montage", 15)
+        assert len(all_points) == 3
+        only_downtime = platform_campaign.ranking("montage", 15, downtime=60.0)
+        assert len(only_downtime) == 1
+        assert only_downtime[0].downtime == 60.0
+        only_procs = platform_campaign.ranking("montage", 15, processors=8)
+        assert len(only_procs) == 1 and only_procs[0].processors == 8
+
+    def test_default_render_has_no_platform_columns(self, campaign):
+        header = campaign.render().splitlines()[0].split()
+        assert "D" not in header and "p" not in header
+
+
 class TestAggregateRows:
     def test_single_row_statistics(self, campaign):
         single = aggregate_rows(campaign.rows[:1])

@@ -179,6 +179,54 @@ class TestFigures:
         assert ", 0 misses" in second  # fully warm re-run
 
 
+class TestPlatformAgreement:
+    """Direct CLI platform paths and scenario paths must price identically."""
+
+    def test_evaluate_downtime_matches_campaign_scenario(self, tmp_path, capsys):
+        from repro.experiments import Scenario, run_heuristic
+
+        seed, downtime = 3, 2.0
+        wf_path = tmp_path / "wf.json"
+        sched_path = tmp_path / "sched.json"
+        assert main(["generate", "--family", "cybershake", "--tasks", "25",
+                     "--seed", str(seed), "--output", str(wf_path)]) == 0
+        assert main(["solve", "--workflow", str(wf_path), "--heuristic", "DF-CkptW",
+                     "--failure-rate", "1e-3", "--downtime", str(downtime),
+                     "--output", str(sched_path)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--schedule", str(sched_path),
+                     "--failure-rate", "1e-3", "--downtime", str(downtime)]) == 0
+        cli_makespan = json.loads(capsys.readouterr().out)["expected_makespan"]
+
+        scenario = Scenario(
+            family="cybershake", n_tasks=25, failure_rate=1e-3,
+            downtime=downtime, heuristics=("DF-CkptW",), seed=seed,
+        )
+        row = run_heuristic(scenario, "DF-CkptW")
+        assert cli_makespan == pytest.approx(row.expected_makespan, rel=1e-12)
+
+    def test_evaluate_processors_scale_the_rate(self, tmp_path, capsys):
+        from repro.experiments import Scenario, run_heuristic
+
+        wf_path = tmp_path / "wf.json"
+        sched_path = tmp_path / "sched.json"
+        assert main(["generate", "--family", "montage", "--tasks", "20",
+                     "--seed", "1", "--output", str(wf_path)]) == 0
+        assert main(["solve", "--workflow", str(wf_path), "--heuristic", "DF-CkptW",
+                     "--failure-rate", "2.5e-4", "--processors", "4",
+                     "--output", str(sched_path)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--schedule", str(sched_path),
+                     "--failure-rate", "2.5e-4", "--processors", "4"]) == 0
+        cli_makespan = json.loads(capsys.readouterr().out)["expected_makespan"]
+        scenario = Scenario(
+            family="montage", n_tasks=20, failure_rate=2.5e-4, processors=4,
+            heuristics=("DF-CkptW",), seed=1,
+        )
+        row = run_heuristic(scenario, "DF-CkptW")
+        assert cli_makespan == pytest.approx(row.expected_makespan, rel=1e-12)
+
+
 class TestCampaignCommand:
     CAMPAIGN_ARGS = [
         "campaign",
@@ -208,6 +256,115 @@ class TestCampaignCommand:
         out = tmp_path / "missing" / "rows.csv"
         assert main(self.CAMPAIGN_ARGS + ["--output", str(out)]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    PLATFORM_GRID_ARGS = [
+        "campaign",
+        "--families", "montage",
+        "--sizes", "15",
+        "--seeds", "0,1",
+        "--heuristics", "DF-CkptW",
+        "--max-candidates", "5",
+        "--downtimes", "0,30",
+        "--processors", "1,4",
+    ]
+
+    def test_campaign_platform_axes_render_distinct_points(self, tmp_path, capsys):
+        out_csv = tmp_path / "rows.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--output", str(out_csv)]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0].split()
+        assert "D" in header and "p" in header
+        from repro.experiments import load_rows_csv
+
+        rows = load_rows_csv(out_csv)
+        # 4 platform points x 2 seeds x 1 heuristic
+        assert len(rows) == 8
+        assert {(r.downtime, r.processors) for r in rows} == {
+            (0.0, 1), (0.0, 4), (30.0, 1), (30.0, 4),
+        }
+
+    def test_sharded_campaign_merges_to_the_unsharded_report(self, tmp_path, capsys):
+        """Acceptance: 2 shards + merge == unsharded, byte for byte."""
+        full_report = tmp_path / "full.txt"
+        merged_report = tmp_path / "merged.txt"
+        assert main(self.PLATFORM_GRID_ARGS + ["--report", str(full_report)]) == 0
+        for shard in ("1/2", "2/2"):
+            assert main(
+                self.PLATFORM_GRID_ARGS
+                + ["--shard", shard, "--output", str(tmp_path / f"shard{shard[0]}.csv")]
+            ) == 0
+        capsys.readouterr()
+        # Shards passed in reverse order: the merge must not care.
+        assert main(["campaign", "merge", str(tmp_path / "shard2.csv"),
+                     str(tmp_path / "shard1.csv"), "--report", str(merged_report),
+                     "--output", str(tmp_path / "merged.csv")]) == 0
+        assert merged_report.read_bytes() == full_report.read_bytes()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        from repro.experiments import load_rows_csv
+
+        merged_rows = load_rows_csv(tmp_path / "merged.csv")
+        assert len(merged_rows) == 8
+
+    def test_lambda_downtime_preset(self, capsys):
+        assert main([
+            "campaign", "--preset", "lambda-downtime",
+            "--families", "montage", "--sizes", "15", "--seeds", "0",
+            "--heuristics", "DF-CkptNvr", "--downtimes", "0,30",
+        ]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0].split()
+        # The preset sweeps lambda at several downtimes: both are labelled.
+        assert "lambda" in header and "D" in header
+
+    def test_merge_options_work_before_the_subcommand(self, tmp_path, capsys):
+        shard = tmp_path / "shard.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/2",
+                                               "--output", str(shard)]) == 0
+        capsys.readouterr()
+        out_csv = tmp_path / "merged.csv"
+        # Parent-level -o before 'merge' must not be silently discarded.
+        assert main(["campaign", "-o", str(out_csv), "merge", str(shard)]) == 0
+        assert out_csv.exists()
+
+    def test_merge_rejects_duplicate_rows(self, tmp_path, capsys):
+        shard = tmp_path / "shard.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/2",
+                                               "--output", str(shard)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "merge", str(shard), str(shard)]) == 2
+        assert "duplicate result row" in capsys.readouterr().err
+
+    def test_merge_fails_fast_on_missing_output_dir(self, tmp_path, capsys):
+        shard = tmp_path / "shard.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/2",
+                                               "--output", str(shard)]) == 0
+        capsys.readouterr()
+        missing = tmp_path / "absent" / "out.csv"
+        assert main(["campaign", "merge", str(shard), "--output", str(missing)]) == 2
+        err = capsys.readouterr()
+        assert "does not exist" in err.err
+        # Nothing was printed or written before the rejection.
+        assert err.out == ""
+        assert not missing.exists()
+
+    def test_merge_rejects_empty_and_foreign_csvs(self, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        assert main(["campaign", "merge", str(empty)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+        foreign = tmp_path / "foreign.csv"
+        foreign.write_text("a,b\n1,2\n")
+        assert main(["campaign", "merge", str(foreign)]) == 2
+        assert "unknown result-row column" in capsys.readouterr().err
+        assert main(["campaign", "merge", str(tmp_path / "absent.csv")]) == 2
+
+    def test_bad_shard_rejected_without_side_effects(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.sqlite"
+        assert main(self.CAMPAIGN_ARGS + ["--shard", "3/2",
+                                          "--cache", str(cache_path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+        assert not cache_path.exists()
 
     def test_campaign_with_jobs_and_cache(self, tmp_path, capsys):
         cache_path = tmp_path / "cache.sqlite"

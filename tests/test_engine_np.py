@@ -153,11 +153,40 @@ class TestBitForBitEquivalence:
         downtime = data.draw(
             st.floats(min_value=0.0, max_value=10.0, allow_nan=False), label="downtime"
         )
-        platform = Platform.from_platform_rate(rate, downtime=downtime)
+        processors = data.draw(st.integers(min_value=1, max_value=8), label="processors")
+        # The drawn rate bounds the *effective* platform rate (p x rate/p):
+        # p > 1 exercises the aggregation without letting lambda * w explode
+        # into simulations that need e^(lambda w) attempts to finish.
+        platform = Platform(
+            processors=processors,
+            processor_failure_rate=rate / processors,
+            downtime=downtime,
+        )
         seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1), label="seed")
         python, numpy_ = both_backends(schedule, platform, n_runs=25, rng=seed)
         assert python.samples == numpy_.samples
         assert python.mean_failures == numpy_.mean_failures
+
+    def test_multi_processor_platform_with_downtime(self, montage_schedule):
+        """D > 0 and p > 1 together: the platform regime the scenario layer
+        used to silently collapse to (D=0, p=1)."""
+        platform = Platform(processors=16, processor_failure_rate=1e-4, downtime=30.0)
+        python, numpy_ = both_backends(montage_schedule, platform, n_runs=400, rng=21)
+        assert python.samples == numpy_.samples
+        assert python.mean_failures == numpy_.mean_failures
+        # p really scales the pressure: more failures than the p=1 platform.
+        single = run_monte_carlo(
+            Schedule(
+                montage_schedule.workflow,
+                montage_schedule.order,
+                montage_schedule.checkpointed,
+            ),
+            Platform(processors=1, processor_failure_rate=1e-4, downtime=30.0),
+            n_runs=400,
+            rng=21,
+            backend="numpy",
+        )
+        assert python.mean_failures > single.mean_failures
 
 
 class TestSimulateBatch:

@@ -93,6 +93,56 @@ class TestAgreementOnRandomAndPegasusDags:
         assert_analytical_in_ci(Schedule(wf, order, checkpointed), platform, n_runs=2500)
 
 
+class TestSmokeGridWithDowntime:
+    """Theorem 3 vs Monte-Carlo on scenario-layer platforms with D > 0.
+
+    This is the end-to-end guard for the downtime plumbing: the schedule is
+    solved through the harness exactly as campaigns do, and the scenario's
+    platform (downtime included) must price within the simulation CI on
+    both Monte-Carlo backends.
+    """
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("downtime", [5.0, 60.0])
+    def test_scenario_analytical_within_ci(self, backend, downtime):
+        from repro import solve_heuristic
+        from repro.experiments import Scenario, build_workflow
+        from repro.heuristics import heuristic_rng
+
+        scenario = Scenario(
+            family="montage", n_tasks=20, failure_rate=5e-3,
+            downtime=downtime, heuristics=("DF-CkptW",), seed=4,
+        )
+        workflow = build_workflow(scenario)
+        platform = scenario.platform
+        assert platform.downtime == downtime
+        result = solve_heuristic(
+            workflow, platform, "DF-CkptW", rng=heuristic_rng(scenario.seed, "DF-CkptW")
+        )
+        summary = run_monte_carlo(
+            result.schedule, platform, n_runs=3000, rng=0, backend=backend
+        )
+        low, high = summary.ci95
+        margin = (high - low) / 2.0 * 1.6 + 1e-9
+        assert abs(summary.mean_makespan - result.expected_makespan) <= margin
+
+    def test_multi_processor_scenario_within_ci(self):
+        from repro import solve_heuristic
+        from repro.experiments import Scenario, build_workflow
+        from repro.heuristics import heuristic_rng
+
+        scenario = Scenario(
+            family="montage", n_tasks=20, failure_rate=1e-3,
+            downtime=10.0, processors=4, heuristics=("DF-CkptW",), seed=4,
+        )
+        workflow = build_workflow(scenario)
+        platform = scenario.platform
+        result = solve_heuristic(
+            workflow, platform, "DF-CkptW", rng=heuristic_rng(scenario.seed, "DF-CkptW")
+        )
+        assert_analytical_in_ci(result.schedule, platform, n_runs=3000)
+
+
 class TestHighFailureRegime:
     def test_agreement_when_failures_are_frequent(self):
         """Several failures per task on average: exercises deep recovery chains."""

@@ -11,6 +11,28 @@ from repro.workflows.pegasus import AVERAGE_TASK_WEIGHTS, WORKFLOW_FAMILIES
 ALL_FAMILIES = list(WORKFLOW_FAMILIES)
 
 
+class TestBuilderValidation:
+    """Regression: _Builder.add used to clamp non-positive weights to 1e-6,
+    silently masking generator bugs instead of surfacing them."""
+
+    def _builder(self):
+        import numpy as np
+
+        return pegasus._Builder(np.random.default_rng(0))
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_weight_raises_instead_of_clamping(self, weight):
+        builder = self._builder()
+        with pytest.raises(ValueError, match="invalid weight"):
+            builder.add("mProjectPP", weight)
+        assert builder.tasks == []  # nothing was silently added
+
+    def test_valid_weight_is_kept_verbatim(self):
+        builder = self._builder()
+        index = builder.add("mProjectPP", 12.5)
+        assert builder.tasks[index].weight == 12.5
+
+
 class TestCommonProperties:
     @pytest.mark.parametrize("family", ALL_FAMILIES)
     @pytest.mark.parametrize("n_tasks", [50, 120, 300])

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro import Platform
+from repro import Platform, PlatformSpec
 
 
 class TestConstruction:
@@ -94,3 +94,38 @@ class TestHelpers:
         platform = Platform()
         with pytest.raises(AttributeError):
             platform.downtime = 3.0  # type: ignore[misc]
+
+
+class TestPlatformSpec:
+    def test_build_single_processor_matches_from_platform_rate(self):
+        spec = PlatformSpec(failure_rate=1e-3, downtime=5.0)
+        assert spec.build() == Platform.from_platform_rate(1e-3, downtime=5.0)
+
+    def test_processors_scale_the_platform_rate(self):
+        spec = PlatformSpec(failure_rate=1e-4, processors=8)
+        platform = spec.build()
+        assert platform.processors == 8
+        assert platform.failure_rate == pytest.approx(8e-4)
+        assert spec.platform_failure_rate == pytest.approx(8e-4)
+
+    def test_round_trip_through_platform(self):
+        spec = PlatformSpec(failure_rate=2e-3, downtime=30.0, processors=4)
+        assert PlatformSpec.from_platform(spec.build()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_rate": -1e-3},
+            {"failure_rate": math.inf},
+            {"downtime": -1.0},
+            {"downtime": math.nan},
+            {"processors": 0},
+        ],
+    )
+    def test_invalid_specs_fail_at_construction(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            PlatformSpec(**kwargs)
+
+    def test_describe_delegates_to_platform(self):
+        text = PlatformSpec(failure_rate=1e-3, downtime=60.0, processors=8).describe()
+        assert "p=8" in text and "D=60s" in text

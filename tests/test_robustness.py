@@ -91,6 +91,32 @@ class TestRunRobustness:
         assert "PASS" in text
 
 
+class TestPlatformAxes:
+    def test_downtime_rows_validate_and_are_labelled(self):
+        report = run_robustness(
+            ["montage"], laws=["exponential"], downtimes=[0.0, 30.0], **SMOKE
+        )
+        assert len(report.rows) == 2
+        assert {row.downtime for row in report.rows} == {0.0, 30.0}
+        # Theorem 3 stays exact under constant downtime: the exponential
+        # validation must hold on the D > 0 row too.
+        assert report.exponential_validated
+        by_downtime = {row.downtime: row for row in report.rows}
+        assert by_downtime[30.0].analytical > by_downtime[0.0].analytical
+        text = report.render()
+        assert "montage-20-D30" in text
+        assert "montage-20 " in text  # the D=0 label stays terse
+
+    def test_processor_rows_scale_the_mtbf(self):
+        report = run_robustness(
+            ["montage"], laws=["exponential"], processors=[1, 4], **SMOKE
+        )
+        by_procs = {row.processors: row for row in report.rows}
+        assert by_procs[4].mtbf == pytest.approx(by_procs[1].mtbf / 4)
+        assert report.exponential_validated
+        assert "montage-20-p4" in report.render()
+
+
 class TestDeterminismAndCaching:
     def test_rerun_is_identical(self):
         first = run_robustness(["montage"], laws=["exponential"], **SMOKE)

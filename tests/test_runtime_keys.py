@@ -86,6 +86,21 @@ class TestFingerprints:
         assert platform_fingerprint(a) == platform_fingerprint(b)
         assert platform_fingerprint(a) != platform_fingerprint(c)
 
+    def test_platform_fingerprint_carries_full_platform(self):
+        """v2 keys: downtime and processor count are part of the content."""
+        base = Platform.from_platform_rate(1e-3)
+        downtime = Platform.from_platform_rate(1e-3, downtime=60.0)
+        eight = Platform(processors=8, processor_failure_rate=1e-3)
+        assert platform_fingerprint(base) != platform_fingerprint(downtime)
+        assert platform_fingerprint(base) != platform_fingerprint(eight)
+
+    def test_key_version_is_bumped_for_the_platform_schema(self):
+        from repro.runtime import KEY_VERSION
+
+        # v1 caches were written through a scenario layer that dropped the
+        # downtime; the schema bump deliberately invalidates them once.
+        assert KEY_VERSION >= 2
+
     def test_schedule_fingerprint_sees_order_and_checkpoints(self, workflow):
         from repro.heuristics import linearize
 
@@ -125,6 +140,8 @@ class TestUnitKeys:
             {"max_candidates": 20},
             {"seed": 1},
             {"platform": Platform.from_platform_rate(2e-3)},
+            {"platform": Platform.from_platform_rate(1e-3, downtime=30.0)},
+            {"platform": Platform(processors=4, processor_failure_rate=1e-3)},
         ):
             assert scenario_unit_key(**{**base, **change}) != reference
 
