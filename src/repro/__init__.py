@@ -40,6 +40,8 @@ from .core import (
     Platform,
     PlatformSpec,
     Schedule,
+    SweepState,
+    SweepStats,
     Task,
     Workflow,
     WorkflowStructure,
@@ -75,6 +77,8 @@ __all__ = [
     "PlatformSpec",
     "Schedule",
     "SimulationResult",
+    "SweepState",
+    "SweepStats",
     "Task",
     "Workflow",
     "WorkflowStructure",

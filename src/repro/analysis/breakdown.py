@@ -170,27 +170,33 @@ def checkpoint_utilities(
     :func:`repro.heuristics.refinement.local_search_checkpoints`).
     """
     base = evaluate_schedule(schedule, platform, backend=backend).expected_makespan
-    # One batch over the shared linearization: each candidate set is the
-    # current one minus a single checkpoint.
+    # One incremental sweep over the shared linearization: each candidate set
+    # is the current one minus a single checkpoint, so consecutive candidates
+    # differ by two toggles.  Probing in descending *position* order makes
+    # the freshly dropped checkpoint the lower of the two, so each probe
+    # re-prices only the suffix behind it (the utilities are still returned
+    # in ascending task-index order).
     from ..core.evaluator_np import batch_evaluate
 
-    dropped = sorted(schedule.checkpointed)
+    position = {task: pos for pos, task in enumerate(schedule.order)}
+    probed = sorted(schedule.checkpointed, key=lambda task: -position[task])
     evaluations = batch_evaluate(
         schedule.workflow,
         schedule.order,
-        [schedule.checkpointed - {task_index} for task_index in dropped],
+        [schedule.checkpointed - {task_index} for task_index in probed],
         platform,
         backend=backend,
         keep_task_times=False,
     )
-    utilities = []
-    for task_index, evaluation in zip(dropped, evaluations):
-        value = evaluation.expected_makespan
-        utilities.append(
-            CheckpointUtility(
-                task_index=task_index,
-                expected_makespan_with=base,
-                expected_makespan_without=value,
-            )
+    without = {
+        task_index: evaluation.expected_makespan
+        for task_index, evaluation in zip(probed, evaluations)
+    }
+    return tuple(
+        CheckpointUtility(
+            task_index=task_index,
+            expected_makespan_with=base,
+            expected_makespan_without=without[task_index],
         )
-    return tuple(utilities)
+        for task_index in sorted(schedule.checkpointed)
+    )

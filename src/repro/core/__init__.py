@@ -19,6 +19,7 @@ from .expectation import (
 from .lost_work import LostWork, compute_lost_work, lost_and_needed_tasks
 from .platform import Platform, PlatformSpec
 from .schedule import Schedule
+from .sweep import SweepState, SweepStats
 from .task import Task
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "Platform",
     "PlatformSpec",
     "Schedule",
+    "SweepState",
+    "SweepStats",
     "Task",
     "Workflow",
     "WorkflowStructure",

@@ -18,18 +18,31 @@ feeds ``P(Z^{k+1}_k)`` forward), so the kernel keeps ``O(n)`` Python
 iterations — but each one is a handful of ``O(n)`` vector operations instead
 of thousands of interpreted float operations.
 
-The lost-work fill (Algorithm 1) is also specialized here: only positions
-``i`` with a direct predecessor placed before ``k`` can charge anything for a
-failure during :math:`X_k`, so the fill enumerates exactly those ``(k, i)``
-pairs instead of scanning the full triangle.  On the Pegasus families this
-skips 60-99% of the pairs.  :func:`repro.core.lost_work.compute_lost_work`
-stays the readable reference transcription; the property tests pin both to
-the same values.
+The lost-work fill (Algorithm 1) is also specialized here, twice over.  Only
+positions ``i`` with a direct predecessor placed before ``k`` can charge
+anything for a failure during :math:`X_k`, so the fill enumerates exactly
+those ``(k, i)`` pairs instead of scanning the full triangle — on the Pegasus
+families this skips 60-99% of the pairs.  And instead of re-walking the DAG
+per pair, the fill intersects precomputed *predecessor-closure bitmasks*
+(:func:`_closure_masks`): the set a traversal visits is exactly the union of
+the direct predecessors' closures below ``k`` minus what earlier candidates
+already regenerated, so each entry costs a few big-int word operations, and
+a whole row's charges are summed in one fixed-width vector batch
+(:func:`_row_loss_values`).  The fixed-width pairwise sum makes each entry's
+value independent of how rows are grouped, which is what lets the
+incremental sweep engine (:mod:`repro.core.sweep`) reproduce these values
+bit for bit while recomputing rows in a completely different pattern.
+:func:`repro.core.lost_work.compute_lost_work` stays the readable reference
+transcription; the property tests pin both to the same values (1e-9).
 
 :func:`batch_evaluate` is the entry point the checkpoint-count search and the
 refinement sweeps use: it scores many checkpoint sets over one fixed
-linearization while deriving the position / predecessor tables (and the
-linearization check) only once.
+linearization.  It is a thin convenience wrapper over
+:class:`repro.core.sweep.SweepState`, which derives the position /
+predecessor tables (and the linearization check) once and evaluates each
+candidate *incrementally* — only the Algorithm-1 rows and Theorem-3 suffix a
+set's delta against the previous candidate can actually change are
+recomputed, with results bit-for-bit identical to per-candidate evaluation.
 
 Import of :mod:`numpy` is deferred to call time so that ``repro.core`` stays
 importable without it; :func:`repro.core.backend.resolve_backend` never
@@ -39,10 +52,8 @@ routes here when NumPy is missing.
 from __future__ import annotations
 
 import math
-from dataclasses import replace
 from typing import Iterable, Sequence
 
-from .backend import resolve_backend
 from .evaluator import MakespanEvaluation
 from .expectation import OVERFLOW_EXPONENT
 from .lost_work import LostWork, _position_tables
@@ -57,7 +68,7 @@ _SMALL_EXPOSURE = 1e-12
 
 
 # ----------------------------------------------------------------------
-# Lost-work fill (Algorithm 1, candidate-pruned, summed W + R)
+# Lost-work fill (Algorithm 1, candidate-pruned, closure-bitmask form)
 # ----------------------------------------------------------------------
 def _candidate_lists(n: int, predecessors: Sequence[tuple[int, ...]]) -> list[list[int]]:
     """For every ``k``, the positions ``i >= k`` that can charge anything.
@@ -78,52 +89,140 @@ def _candidate_lists(n: int, predecessors: Sequence[tuple[int, ...]]) -> list[li
     return cands
 
 
-def _fill_loss_matrix(
+def _closure_masks(
     n: int,
-    weight: Sequence[float],
-    recovery_cost: Sequence[float],
-    checkpointed: Sequence[bool],
     predecessors: Sequence[tuple[int, ...]],
-    candidates: Sequence[list[int]],
-    loss,
-) -> None:
-    """Fill ``loss[k, i] = W^i_k + R^i_k`` (Algorithm 1, pruned).
+    checkpointed: Sequence[int],
+) -> tuple[list[int], list[int]]:
+    """Per-position traversal bitmasks: ``(closures, frontiers)``.
 
-    ``loss`` is a pre-zeroed ``(n+1, n+1)`` matrix; only non-zero entries are
-    written.  Semantics are identical to
-    :func:`repro.core.lost_work.compute_lost_work` — the per-``k``
-    ``regenerated`` marks replace Algorithm 1's ``tab_k`` bookkeeping, and
-    the candidate lists merely skip ``(k, i)`` pairs whose traversal would
-    visit nothing.  ``predecessors`` must hold *ascending* position tuples:
-    the direct scan stops at the first predecessor placed at or after ``k``.
+    ``closures[p]`` contains ``p`` itself plus, when ``p`` is *not*
+    checkpointed, the closure of every direct predecessor — i.e. everything
+    Algorithm 1 walks when the output of position ``p`` is needed and nothing
+    has been regenerated yet.  Checkpointed positions stop the recursion:
+    they are recovered from disk, so their own inputs are never needed.
+    ``frontiers[p]`` is the union of the direct predecessors' closures
+    regardless of ``p``'s own checkpoint state — the set a failure traversal
+    *starting* at ``p`` visits.  Predecessors sit at smaller positions in a
+    linearization, so one ascending pass computes both.
     """
-    stack: list[int] = []  # always drained; shared across iterations
-    for k in range(1, n + 1):
-        regenerated = bytearray(n + 1)
-        for i in candidates[k]:
-            lost = 0.0
-            # Mark on push rather than on pop: every stacked position is
-            # already known to be a fresh member (predecessor positions are
-            # always smaller, so transitive pushes sit below k by
-            # construction), which keeps duplicates off the stack entirely.
-            for j in predecessors[i]:
-                if j >= k:
+    closures = [0] * (n + 1)
+    frontiers = [0] * (n + 1)
+    for p in range(1, n + 1):
+        frontier = 0
+        for q in predecessors[p]:
+            frontier |= closures[q]
+        frontiers[p] = frontier
+        closures[p] = (1 << p) | (0 if checkpointed[p] else frontier)
+    return closures, frontiers
+
+
+def _iter_bits(mask: int):
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _charge_lut(np, charge_bits):
+    """Per-byte charge lookup table — the first half of the value canon.
+
+    ``charge_bits`` holds one charge per bit position (zero-padded to
+    ``8 * mask_bytes``); the result is a ``(mask_bytes, 256)`` float64 table
+    whose ``[b, v]`` entry is the canonical charge sum of byte value ``v``
+    at byte position ``b`` (a fixed-width-8 numpy reduction).  Incremental
+    maintainers must rebuild a row with the identical expression
+    (``(byte_bits * charge_bits[8 * b : 8 * b + 8]).sum(axis=1)``) so cached
+    and freshly built tables stay bit-identical.
+    """
+    mask_bytes = charge_bits.shape[0] // 8
+    byte_bits = np.unpackbits(
+        np.arange(256, dtype=np.uint8)[:, None], axis=1, bitorder="little"
+    )
+    return (byte_bits * charge_bits.reshape(mask_bytes, 1, 8)).sum(axis=2)
+
+
+def _mask_charges(np, mask_rows, charge_lut):
+    """Charge sums of visited-set bitmask rows (the shared value canon).
+
+    ``mask_rows`` is a ``(m, mask_bytes)`` uint8 matrix of little-endian
+    visited bitmasks, every row non-empty; the result is the float64 vector
+    of per-row charge sums.  Each row is priced by gathering its bytes'
+    precomputed charges from :func:`_charge_lut` and reducing them with
+    numpy's pairwise summation over the fixed width ``mask_bytes``, which
+    depends only on that width — never on ``m`` or on neighbouring rows —
+    so every code path that prices the same visited set through this helper
+    gets the bit-identical float.  This is the property that lets the
+    incremental sweep engine (:mod:`repro.core.sweep`) recompute rows in a
+    completely different grouping than the one-shot fill and still match it
+    bit for bit.
+    """
+    per_byte = charge_lut[np.arange(charge_lut.shape[0]), mask_rows]
+    return per_byte.sum(axis=1)
+
+
+def _row_loss_values(
+    np,
+    k: int,
+    candidates_k: Sequence[int],
+    predecessors: Sequence[tuple[int, ...]],
+    closures: Sequence[int],
+    frontiers: Sequence[int],
+    charge_lut,
+    mask_bytes: int,
+):
+    """Nonzero ``(i, W^i_k + R^i_k)`` entries of row ``k`` as ``(cols, vals)``.
+
+    The closure-mask shortcut is exact because the regenerated set is closed
+    under predecessor descent: when a non-checkpointed position is first
+    visited, its whole closure is pushed within the same traversal, so any
+    member of :math:`T^{\\downarrow k}_i` reachable only through regenerated
+    intermediates is itself already regenerated.  Hence the visited set is
+    the union of the direct predecessors' closures below ``k`` minus
+    everything previous candidates regenerated — no graph walk per pair, and
+    for the common case ``k > max_pred(i)`` the union is the precomputed
+    ``frontiers[i]``.
+
+    One row's charges are summed in one :func:`_mask_charges` batch against
+    the caller's :func:`_charge_lut` table (recovery costs for checkpointed
+    positions, weights for the rest).  ``predecessors`` must hold
+    *ascending* position tuples.
+
+    Returns ``(cols, vals)`` with ``vals`` a float64 vector; zero values are
+    filtered out (structural zeros are never written).
+    """
+    regenerated = 0
+    cols: list[int] = []
+    masks = bytearray()
+    for i in candidates_k:
+        preds = predecessors[i]
+        if preds[-1] < k:
+            frontier = frontiers[i]
+        else:
+            frontier = 0
+            for p in preds:
+                if p >= k:
                     break
-                if not regenerated[j]:
-                    regenerated[j] = 1
-                    stack.append(j)
-            while stack:
-                j = stack.pop()
-                if checkpointed[j]:
-                    lost += recovery_cost[j]
-                else:
-                    lost += weight[j]
-                    for p in predecessors[j]:
-                        if not regenerated[p]:
-                            regenerated[p] = 1
-                            stack.append(p)
-            if lost:
-                loss[k, i] = lost
+                frontier |= closures[p]
+        visited = frontier & ~regenerated
+        if not visited:
+            continue
+        regenerated |= visited
+        cols.append(i)
+        masks += visited.to_bytes(mask_bytes, "little")
+    if not cols:
+        return cols, None
+    vals = _mask_charges(
+        np,
+        np.frombuffer(bytes(masks), dtype=np.uint8).reshape(len(cols), mask_bytes),
+        charge_lut,
+    )
+    nonzero = vals != 0.0
+    if not nonzero.all():
+        vals = vals[nonzero]
+        cols = [i for i, keep in zip(cols, nonzero) if keep]
+    return cols, vals
 
 
 # ----------------------------------------------------------------------
@@ -197,16 +296,20 @@ def _theorem3_kernel(
     # The sequential loop reads one *column* of ``values`` / ``loss`` per
     # position; transpose both once so those reads are contiguous.
     values_t = np.ascontiguousarray(values.T)   # values_t[i-1, k] = E[X_i|Z^i_k]
-    loss_t = np.ascontiguousarray(loss.T)       # loss_t[i, k] = loss[k][i]
+    neg_loss_t = np.ascontiguousarray(loss.T)   # neg_loss_t[i, k] = -lam*loss[k][i]
+    neg_loss_t *= -lam
+    neg_terms = (weights + ckpt_costs) * -lam   # -lam * (w_j + delta_j c_j)
 
     # base[k] = P(Z^{k+1}_k), the fault probability of interval X_k (k >= 1);
     # base[0] = 1 is the "no failure yet" convention of property [A].
     base = np.zeros(n)
     base[0] = 1.0
-    # running[k] = sum_{j=k+1}^{i-1} (W^j_k + R^j_k + w_j + delta_j c_j),
-    # advanced by one vector add per position (property [A]'s exponent).
+    # running[k] = -lam * sum_{j=k+1}^{i-1} (W^j_k + R^j_k + w_j + delta_j c_j),
+    # advanced by one vector add per position.  The sums are kept pre-scaled
+    # by -lam so the loop body computes P(Z^i_k) with a single np.exp — the
+    # terms are scaled up front (neg_loss_t / neg_terms below), which is the
+    # same accumulation the sweep engine's resumable kernel performs.
     running = np.zeros(n + 1)
-    scratch = np.empty(n)
     # The running sums are bounded by the total of the per-position terms
     # (T↓k_i ⊆ T↓i_i), so when even that bound stays under the guard, the
     # per-iteration saturation checks can be skipped wholesale.  The 1.0
@@ -222,14 +325,13 @@ def _theorem3_kernel(
         m = i - 1
         probs = probs_buf[:i]
         if m:
-            exponents = np.multiply(running[:m], lam, out=scratch[:m])
             head = probs[:m]
-            np.exp(np.negative(exponents, out=head), out=head)
+            np.exp(running[:m], out=head)
             head *= base[:m]
             if may_clip:
                 # Saturate at the shared guard so both backends zero out the
                 # same (astronomically unlikely) events.
-                clipped = exponents > OVERFLOW_EXPONENT
+                clipped = running[:m] < -OVERFLOW_EXPONENT
                 if clipped.any():
                     head[clipped] = 0.0
             remaining = 1.0 - float(head.sum())
@@ -258,8 +360,8 @@ def _theorem3_kernel(
 
         # Advance the running prefix sums so that, at the next iteration,
         # running[k] covers j = k+1 .. i.
-        running[:i] += loss_t[i, :i]
-        running[:i] += weights[m] + ckpt_costs[m]
+        running[:i] += neg_loss_t[i, :i]
+        running[:i] += neg_terms[m]
 
     return expected_times, probabilities
 
@@ -292,6 +394,24 @@ def evaluate_schedule_numpy(
             keep_probabilities=keep_probabilities, backend="python",
         )
 
+    if lost_work is None and not keep_probabilities and n >= 128:
+        # Large-instance common case: a one-shot evaluation is simply a sweep
+        # of length one, and the sweep engine's bulk fill beats the per-row
+        # loop below.  Small instances stay on the per-row path, whose fixed
+        # overhead is lower; both produce bit-identical loss values through
+        # the shared canon, so the switch is invisible in the results.
+        from dataclasses import replace as _replace
+
+        from .sweep import SweepState
+
+        state = SweepState(
+            schedule.workflow, schedule.order, platform, backend="numpy"
+        )
+        evaluation = state.evaluate(schedule.checkpointed)
+        return _replace(
+            evaluation, failure_free_makespan=schedule.failure_free_makespan
+        )
+
     import numpy as np
 
     workflow = schedule.workflow
@@ -315,11 +435,23 @@ def evaluate_schedule_numpy(
         checkpointed = [False] * (n + 1)
         for pos_zero, task_index in enumerate(order):
             checkpointed[pos_zero + 1] = task_index in selected
+        closures, frontiers = _closure_masks(n, predecessors, checkpointed)
+        # Masks are padded to whole 64-bit words so the sweep engine can run
+        # the same canon on word-typed matrices.
+        mask_bytes = ((n + 64) // 64) * 8
+        charge_bits = np.zeros(8 * mask_bytes)
+        for j in range(1, n + 1):
+            charge_bits[j] = recovery_cost[j] if checkpointed[j] else weight[j]
+        charge_lut = _charge_lut(np, charge_bits)
+        candidates = _candidate_lists(n, predecessors)
         loss = np.zeros((n + 1, n + 1))
-        _fill_loss_matrix(
-            n, weight, recovery_cost, checkpointed, predecessors,
-            _candidate_lists(n, predecessors), loss,
-        )
+        for k in range(1, n + 1):
+            cols, vals = _row_loss_values(
+                np, k, candidates[k], predecessors, closures, frontiers,
+                charge_lut, mask_bytes,
+            )
+            if cols:
+                loss[k, cols] = vals
 
     expected_times, probabilities = _theorem3_kernel(
         np, weights, ckpt_costs, loss, lam, platform.downtime, keep_probabilities
@@ -369,77 +501,20 @@ def batch_evaluate(
         ``False`` so a batch of ``n`` candidates costs O(n) rather than
         O(n^2) retained floats; re-evaluate the winner for the full vector.
     """
-    from .evaluator import evaluate_schedule
+    from .sweep import SweepState
 
     order = tuple(int(i) for i in order)
-    n = len(order)
     sets = [frozenset(int(i) for i in selected) for selected in checkpoint_sets]
-    lam = platform.failure_rate
-    resolved = resolve_backend(backend, n_tasks=n)
-    if resolved == "python" or n == 0 or lam == 0.0:
-        # Reference path (also the trivial edge cases, which the kernel
-        # delegates anyway): one Schedule per set, evaluated serially.
-        results = [
-            evaluate_schedule(Schedule(workflow, order, selected), platform, backend="python")
-            for selected in sets
-        ]
-        if not keep_task_times:
-            results = [
-                replace(evaluation, expected_task_times=())
-                for evaluation in results
-            ]
-        return results
-
-    # Validate once what Schedule would have validated per candidate.
-    if sorted(order) != list(range(workflow.n_tasks)):
-        raise ValueError(
-            f"order must be a permutation of all task indices 0..{workflow.n_tasks - 1}"
-        )
-    if not workflow.is_linearization(order):
-        raise ValueError("order violates a dependency edge of the workflow")
-    for selected in sets:
-        invalid = [i for i in selected if not 0 <= i < workflow.n_tasks]
-        if invalid:
-            raise ValueError(
-                f"checkpointed contains invalid task indices: {sorted(invalid)}"
-            )
-
-    import numpy as np
-
-    position, weight, recovery_cost, predecessors = _position_tables(workflow, order)
-    predecessors = [tuple(sorted(p)) for p in predecessors]
-    candidates = _candidate_lists(n, predecessors)
-    tasks = workflow.tasks
-    weights = np.asarray(weight[1:], dtype=np.float64)
-    raw_ckpt_costs = np.fromiter(
-        (tasks[t].checkpoint_cost for t in order), dtype=np.float64, count=n
-    )
-    failure_free_work = workflow.total_weight
-    downtime = platform.downtime
-
-    results: list[MakespanEvaluation] = []
-    loss = np.zeros((n + 1, n + 1))
-    for selected in sets:
-        checkpointed = [False] * (n + 1)
-        ckpt_mask = np.zeros(n, dtype=bool)
-        for task_index in selected:
-            pos = position[task_index]
-            checkpointed[pos] = True
-            ckpt_mask[pos - 1] = True
-        ckpt_costs = np.where(ckpt_mask, raw_ckpt_costs, 0.0)
-        loss.fill(0.0)
-        _fill_loss_matrix(
-            n, weight, recovery_cost, checkpointed, predecessors, candidates, loss
-        )
-        expected_times, _ = _theorem3_kernel(
-            np, weights, ckpt_costs, loss, lam, downtime, False
-        )
-        results.append(
-            MakespanEvaluation(
-                expected_makespan=math.fsum(expected_times),
-                expected_task_times=tuple(expected_times) if keep_task_times else (),
-                failure_free_makespan=failure_free_work + float(ckpt_costs.sum()),
-                failure_free_work=failure_free_work,
-            )
-        )
-    return results
+    state = SweepState(workflow, order, platform, backend=backend)
+    if state.is_incremental:
+        # Validate every set up front (the incremental path otherwise raises
+        # mid-batch, after earlier sets were already evaluated).
+        for selected in sets:
+            invalid = [i for i in selected if not 0 <= i < workflow.n_tasks]
+            if invalid:
+                raise ValueError(
+                    f"checkpointed contains invalid task indices: {sorted(invalid)}"
+                )
+    return [
+        state.evaluate(selected, keep_task_times=keep_task_times) for selected in sets
+    ]

@@ -1,0 +1,916 @@
+"""Incremental (delta) evaluation engine for checkpoint-set sweeps.
+
+Every optimisation layer of this reproduction — the paper's ``N = 1..n-1``
+checkpoint-count search (Section 5), greedy construction, and local-search
+refinement — evaluates a *sweep of near-identical candidates*: consecutive
+candidate sets differ by a handful of checkpoint toggles over one fixed
+linearization.  Re-running the full Algorithm-1 fill and Theorem-3 recursion
+per candidate (what :func:`repro.core.evaluator_np.batch_evaluate` did before
+this module existed) throws that structure away.
+
+:class:`SweepState` keeps the whole evaluation pipeline materialised between
+candidates and recomputes only what a toggle can actually change.  Three
+structural facts make the delta small:
+
+* ``loss[k][i]`` (the :math:`W^i_k + R^i_k` sums of Algorithm 1) depends only
+  on checkpoint states at positions ``< k`` — toggling the checkpoint at
+  position ``c`` leaves every row ``k <= c`` untouched;
+* within the invalidated rows ``k > c``, the Algorithm-1 traversal can only be
+  perturbed when ``c`` is an ancestor of some charged position, so rows whose
+  reachable-position set (precomputed once per linearization as a bitmask)
+  does not contain ``c`` are skipped wholesale;
+* the Theorem-3 recursion at position ``i`` reads only loss rows ``k <= i``
+  and checkpoint costs at positions ``<= i``, so the per-position
+  expectations, event probabilities and running prefix sums for positions
+  ``< c`` are reused verbatim — the kernel resumes at ``i = c`` from a stored
+  history of the running sums.
+
+The reused prefixes and the recomputed suffixes both apply the exact floating
+point operation sequence of the one-shot kernel to bitwise-identical inputs,
+so a :class:`SweepState` evaluation is **bit-for-bit equal** to a fresh
+:func:`repro.core.evaluator_np.evaluate_schedule_numpy` call (the property
+suite in ``tests/test_backend_equivalence.py`` pins this).  The only regime
+that defeats prefix reuse is overflow saturation (``inf`` conditional
+expectations switch the kernel to masked dot products); the engine detects it
+and falls back to a full kernel re-run for exactly those evaluations.
+
+Arbitrary candidate batches degrade gracefully: the cost of an evaluation is
+proportional to the suffix behind the *lowest* toggled position, so a batch of
+unrelated sets simply pays full-recompute cost — no separate eager fallback
+path is needed, and callers never have to classify their batches.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from .backend import resolve_backend
+from .evaluator import MakespanEvaluation
+from .evaluator_np import _SMALL_EXPOSURE
+from .expectation import OVERFLOW_EXPONENT
+from .lost_work import _position_tables
+from .platform import Platform
+from .schedule import Schedule
+
+__all__ = ["SweepState", "SweepStats"]
+
+#: Scratch budget of one bulk-fill chunk (bytes per mask buffer).  Rows are
+#: priced independently, so chunking only bounds peak memory — it cannot
+#: change any value.
+_FILL_CHUNK_BYTES = 32 * 1024 * 1024
+
+#: Distinct relevant-configuration contents remembered per Algorithm-1 row.
+#: Probe sweeps oscillate between a base configuration and single-toggle
+#: variants, so a handful of entries catches the "toggle reverted, row back
+#: to base" refills with a copy instead of a recompute; add-one sweeps never
+#: revisit a configuration and simply pay one dict miss per refill.
+_ROW_CACHE_ENTRIES = 4
+
+
+@dataclass
+class SweepStats:
+    """Work counters of one :class:`SweepState` (cumulative).
+
+    ``fill_seconds`` / ``kernel_seconds`` stay zero unless the state was
+    created with ``profile=True`` — the timer calls are kept off the hot path
+    by default.  ``kernel_seconds`` covers the vectorized Equation-(1) slab
+    *and* the sequential Theorem-3 recursion; everything else (set deltas,
+    bookkeeping, result construction) is the caller-visible overhead.
+    """
+
+    evaluations: int = 0
+    full_recomputes: int = 0
+    toggles: int = 0
+    rows_refilled: int = 0
+    rows_restored: int = 0
+    rows_skipped: int = 0
+    kernel_positions: int = 0
+    fill_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+
+
+class SweepState:
+    """Incremental evaluator for many checkpoint sets over one linearization.
+
+    Parameters
+    ----------
+    workflow, order, platform:
+        The instance; ``order`` must be a valid linearization of ``workflow``
+        (validated once, not per candidate).
+    backend:
+        ``"auto"`` / ``"python"`` / ``"numpy"``; see
+        :func:`repro.core.backend.resolve_backend`.  The python resolution
+        (and the trivial ``n = 0`` / ``lambda = 0`` cases) evaluate each set
+        eagerly through the pure-Python reference — exactly what
+        ``batch_evaluate`` always did on that path.
+    profile:
+        Record wall-clock phase timings in :attr:`stats` (adds two
+        ``perf_counter`` calls per evaluation phase; off by default).
+
+    Use :meth:`evaluate` with successive candidate sets; the engine diffs each
+    set against the previous one and recomputes only the invalidated suffix.
+    Results are bit-for-bit identical to per-candidate evaluation on the same
+    backend, so cache keys and downstream comparisons are unaffected.
+    """
+
+    def __init__(
+        self,
+        workflow,
+        order: Sequence[int],
+        platform: Platform,
+        *,
+        backend: str | None = None,
+        profile: bool = False,
+    ) -> None:
+        self.workflow = workflow
+        self.order = tuple(int(i) for i in order)
+        self.platform = platform
+        self.stats = SweepStats()
+        self._profile = bool(profile)
+        self._current: frozenset[int] = frozenset()
+        self._initialized = False
+        self._poisoned = False
+
+        n = len(self.order)
+        self._n = n
+        lam = platform.failure_rate
+        self.backend = resolve_backend(backend, n_tasks=n)
+        self._eager = self.backend == "python" or n == 0 or lam == 0.0
+        if self._eager:
+            return
+
+        # Validate once what Schedule would have validated per candidate.
+        if sorted(self.order) != list(range(workflow.n_tasks)):
+            raise ValueError(
+                f"order must be a permutation of all task indices 0..{workflow.n_tasks - 1}"
+            )
+        if not workflow.is_linearization(self.order):
+            raise ValueError("order violates a dependency edge of the workflow")
+
+        import numpy as np
+
+        from .evaluator_np import (
+            _candidate_lists,
+            _charge_lut,
+            _iter_bits,
+            _mask_charges,
+        )
+
+        self._np = np
+        self._iter_bits = _iter_bits
+        self._mask_charges = _mask_charges
+        self._lam = lam
+        self._downtime = platform.downtime
+        self._failure_free_work = workflow.total_weight
+
+        position, weight, recovery_cost, predecessors = _position_tables(
+            workflow, self.order
+        )
+        predecessors = [tuple(sorted(p)) for p in predecessors]
+        self._position = position
+        self._weight = weight
+        self._recovery_cost = recovery_cost
+        self._predecessors = predecessors
+        self._candidates = _candidate_lists(n, predecessors)
+
+        # The delta-only tables (ancestor / reachability / descendant
+        # bitmasks and the row-content cache) are built lazily on the first
+        # *incremental* evaluation — a one-shot evaluation (the
+        # ``evaluate_schedule_numpy`` fast path) never needs them.
+        self._row_reach: list[int] | None = None
+        self._desc: list[int] | None = None
+
+        tasks = workflow.tasks
+        self._weights = np.asarray(weight[1:], dtype=np.float64)
+        self._raw_ckpt_costs = np.fromiter(
+            (tasks[t].checkpoint_cost for t in self.order), dtype=np.float64, count=n
+        )
+        self._ckpt_costs = np.zeros(n)
+        self._checkpointed = bytearray(n + 1)
+        self._ckpt_bits = 0
+        # Masks are padded to whole 64-bit words: the bitwise pipeline runs
+        # on uint64 matrices (8x fewer elements than bytes), and the width
+        # matches the one-shot fill of ``evaluate_schedule_numpy`` so the
+        # shared value canon sees identical rows.
+        self._mask_bytes = ((n + 64) // 64) * 8
+        self._mask_words = self._mask_bytes // 8
+        self._charge_bits = np.zeros(8 * self._mask_bytes)
+        self._charge_bits[1 : n + 1] = weight[1:]
+        self._byte_bits = np.unpackbits(
+            np.arange(256, dtype=np.uint8)[:, None], axis=1, bitorder="little"
+        )
+        self._charge_lut = _charge_lut(np, self._charge_bits)
+
+        # Byte-matrix mirrors of the traversal masks, which turn the refill
+        # of all invalidated rows of one evaluation into a handful of vector
+        # operations: gather every row's candidate frontiers into one 3-D
+        # block, prefix-OR each row (``accumulate`` along the candidate
+        # axis), and read each candidate's freshly visited set as the XOR of
+        # consecutive prefix rows — exactly the sequential
+        # ``F_i & ~regenerated`` recurrence of Algorithm 1.  Rows are padded
+        # to a common width with position 0, whose frontier is the empty
+        # mask, so padding slots stay structurally invisible.
+        m_max = max((len(c) for c in self._candidates), default=0)
+        self._m_max = m_max
+        self._cand_len = np.asarray(
+            [len(c) for c in self._candidates], dtype=np.intp
+        )
+        self._cand_pad = np.zeros((n + 2, m_max), dtype=np.intp)
+        for k in range(1, n + 1):
+            row = self._candidates[k]
+            if row:
+                self._cand_pad[k, : len(row)] = row
+        self._fwords = np.zeros((n + 1, self._mask_words), dtype=np.uint64)
+        self._cwords = np.zeros((n + 1, self._mask_words), dtype=np.uint64)
+        # Fill scratch, grown lazily to the largest chunk actually needed
+        # (never the n * m_max worst case — see _refill_rows' chunking).
+        self._f3_buf: Any = None
+        self._v3_buf: Any = None
+        # All-positive charges mean a non-empty visited set can never sum to
+        # zero, so the refill can skip the structural-zero filter.
+        self._charge_positive = (
+            min(weight[1:], default=1.0) > 0.0
+            and min(recovery_cost[1:], default=1.0) > 0.0
+        )
+
+        # Candidates whose predecessor list straddles k need their frontier
+        # truncated below k at fill time.  Their truncated frontiers are the
+        # prefix-ORs of their predecessors' closures, kept as rows of one
+        # flat byte table; which prefix each (row, slot) pair reads is fixed
+        # by the linearization, so the refill scatter indices are
+        # precomputed and a whole row's truncations cost one gather.
+        pfbase = [-1] * (n + 1)
+        pf_rows = 0
+        pred_arrays: dict[int, Any] = {}
+        for i in range(1, n + 1):
+            preds = predecessors[i]
+            if len(preds) >= 2:
+                pfbase[i] = pf_rows
+                pf_rows += len(preds)
+                pred_arrays[i] = np.asarray(preds, dtype=np.intp)
+        self._pfbase = pfbase
+        self._pred_arrays = pred_arrays
+        self._pf_flat = np.zeros((pf_rows, self._mask_words), dtype=np.uint64)
+        trunc_dst: list[Any] = [None] * (n + 1)
+        trunc_src: list[Any] = [None] * (n + 1)
+        for k in range(1, n + 1):
+            dst: list[int] = []
+            src: list[int] = []
+            for slot, i in enumerate(self._candidates[k]):
+                preds = predecessors[i]
+                if preds[-1] >= k:
+                    dst.append(slot)
+                    src.append(pfbase[i] + bisect_left(preds, k) - 1)
+            if dst:
+                trunc_dst[k] = np.asarray(dst, dtype=np.intp)
+                trunc_src[k] = np.asarray(src, dtype=np.intp)
+        self._trunc_dst = trunc_dst
+        self._trunc_src = trunc_src
+
+        # Traversal masks (big-int mirrors drive the incremental updates);
+        # populated for the actual configuration by the first evaluation.
+        self._closures = [0] * (n + 1)
+        self._frontiers = [0] * (n + 1)
+
+        # loss_t[i, k] = loss[k][i] = W^i_k + R^i_k.  The transposed layout
+        # makes both kernel reads (loss_t[i, :i]) and the Equation-(1) slab
+        # recompute contiguous.  written[k] tracks the nonzero entries of
+        # logical row k so a refill clears exactly what it wrote — never a
+        # full-matrix memset.  row_cache[k] remembers recent row contents
+        # keyed by the row's *relevant* configuration (checkpoint bits below
+        # k that the row can actually see), so probe sweeps restore
+        # oscillating rows by copy.
+        self._loss_t = np.zeros((n + 1, n + 1))
+        # -lam-scaled mirror of loss_t: the Theorem-3 recursion accumulates
+        # pre-scaled running sums (one np.exp per position, no per-iteration
+        # multiply), exactly like the one-shot kernel.
+        self._neg_loss_t = np.zeros((n + 1, n + 1))
+        self._written: list[Any] = [[] for _ in range(n + 1)]
+        self._row_cache: list[dict[int, tuple[Any, Any]]] = [
+            {} for _ in range(n + 1)
+        ]
+
+        # values_t[i-1, k] = E[X_i | Z^i_k]; col_inf flags saturated columns
+        # so the global saturation test stays O(n) per evaluation.
+        self._values_t = np.zeros((n, n + 1))
+        self._col_inf = np.zeros(n, dtype=bool)
+
+        # running_hist[i] is the running-prefix-sum vector *after* kernel
+        # iteration i (row 0 = the initial zeros).  Writing each iteration's
+        # advance into its own row records the resume points for free: a later
+        # toggle at position c restarts from running_hist[c - 1] with no
+        # copying at all.
+        self._running_hist = np.zeros((n + 1, n + 1))
+        self._base = np.zeros(n)
+        self._base[0] = 1.0
+        self._expected_times: list[float] = [0.0] * n
+        self._probs_buf = np.empty(n)
+        self._last_saturated = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of scheduled tasks."""
+        return self._n
+
+    @property
+    def current(self) -> frozenset[int]:
+        """Checkpoint set of the last evaluation (empty before the first)."""
+        return self._current
+
+    @property
+    def is_incremental(self) -> bool:
+        """Whether deltas are evaluated incrementally (numpy path) or eagerly."""
+        return not self._eager
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, selected: Iterable[int], *, keep_task_times: bool = True
+    ) -> MakespanEvaluation:
+        """Evaluate one checkpoint set, reusing everything its delta allows.
+
+        Returns the same :class:`~repro.core.evaluator.MakespanEvaluation`
+        a fresh ``evaluate_schedule(..., backend=...)`` call would (for
+        ``expected_makespan`` and ``expected_task_times``: bit-for-bit).
+        With ``keep_task_times=False`` the per-position vector is dropped so
+        ranking sweeps retain O(1) floats per candidate.
+        """
+        selected = frozenset(int(i) for i in selected)
+        self.stats.evaluations += 1
+        if self._eager:
+            from .evaluator import evaluate_schedule
+
+            evaluation = evaluate_schedule(
+                Schedule(self.workflow, self.order, selected),
+                self.platform,
+                backend="python",
+            )
+            self._current = selected
+            self._initialized = True
+            if not keep_task_times:
+                evaluation = replace(evaluation, expected_task_times=())
+            return evaluation
+
+        invalid = [i for i in selected if not 0 <= i < self.workflow.n_tasks]
+        if invalid:
+            raise ValueError(
+                f"checkpointed contains invalid task indices: {sorted(invalid)}"
+            )
+
+        if not self._initialized:
+            if self._poisoned:
+                self._reset_configuration()
+            toggled = sorted(self._position[t] for t in selected)
+            pivot = 1
+            refill_all = True
+        else:
+            delta = selected ^ self._current
+            if not delta:
+                return self._result(keep_task_times)
+            toggled = sorted(self._position[t] for t in delta)
+            pivot = toggled[0]
+            refill_all = False
+
+        # From here until the successful return the internal state is in
+        # flux; an exception (KeyboardInterrupt, MemoryError, ...) must not
+        # leave a half-updated state serving wrong deltas, so the next
+        # evaluation falls back to a full reset + recompute instead.
+        self._initialized = False
+        self._poisoned = True
+
+        self.stats.toggles += len(toggled)
+        checkpointed = self._checkpointed
+        for c in toggled:
+            now_on = 0 if checkpointed[c] else 1
+            checkpointed[c] = now_on
+            self._ckpt_bits ^= 1 << c
+            self._ckpt_costs[c - 1] = self._raw_ckpt_costs[c - 1] if now_on else 0.0
+            self._charge_bits[c] = (
+                self._recovery_cost[c] if now_on else self._weight[c]
+            )
+        # Rebuild the charge-LUT rows of the touched byte positions with the
+        # exact expression of ``_charge_lut`` (bit-identical tables).
+        byte_bits = self._byte_bits
+        charge_bits = self._charge_bits
+        for b in {c >> 3 for c in toggled}:
+            self._charge_lut[b] = (
+                byte_bits * charge_bits[8 * b : 8 * b + 8]
+            ).sum(axis=1)
+        if refill_all:
+            # First evaluation: derive every traversal mask for the actual
+            # configuration in one bulk pass (no descendant tables needed —
+            # one-shot evaluations never build them).
+            self._rebuild_masks()
+        else:
+            self._ensure_delta_tables()
+            desc = self._desc
+            assert desc is not None
+            affected = 0
+            for c in toggled:
+                affected |= (1 << c) | desc[c]
+            self._update_masks(affected)
+
+        began = time.perf_counter() if self._profile else 0.0
+        if refill_all:
+            self.stats.full_recomputes += 1
+            rows: list[int] = list(range(1, self._n + 1))
+        else:
+            pmask = 0
+            for c in toggled:
+                pmask |= 1 << c
+            reach = self._row_reach
+            assert reach is not None
+            rows = [k for k in range(pivot + 1, self._n + 1) if reach[k] & pmask]
+            self.stats.rows_skipped += (self._n - pivot) - len(rows)
+        self._refill_rows(rows)
+        if self._profile:
+            self.stats.fill_seconds += time.perf_counter() - began
+
+        self._run_kernel(pivot)
+        self._current = selected
+        self._initialized = True
+        self._poisoned = False
+        return self._result(keep_task_times)
+
+    # ------------------------------------------------------------------
+    # Traversal-mask maintenance
+    # ------------------------------------------------------------------
+    def _update_masks(self, affected: int) -> None:
+        """Re-derive the traversal masks of the ``affected`` positions.
+
+        ``affected`` must be closed under descendants (a closure depends on
+        the checkpoint states of the position and all its ancestors), and is
+        processed in ascending position order so dependencies come first.
+        Maintains the big-int ``closures`` / ``frontiers`` together with
+        their byte mirrors (``cbytes`` / ``fbytes``) and the prefix-closure
+        table rows of every affected multi-predecessor position.
+        """
+        np = self._np
+        mask_bytes = self._mask_bytes
+        checkpointed = self._checkpointed
+        predecessors = self._predecessors
+        closures = self._closures
+        frontiers = self._frontiers
+        fwords = self._fwords
+        cwords = self._cwords
+        pfbase = self._pfbase
+        pf_flat = self._pf_flat
+        for p in self._iter_bits(affected):
+            preds = predecessors[p]
+            base = pfbase[p]
+            if base >= 0:
+                # Prefix-OR the predecessors' closure rows straight into this
+                # position's slice of the flat table; the last row is the
+                # full frontier.
+                block = pf_flat[base : base + len(preds)]
+                np.take(cwords, self._pred_arrays[p], axis=0, out=block)
+                np.bitwise_or.accumulate(block, axis=0, out=block)
+                full = block[len(preds) - 1]
+                frontier = int.from_bytes(full.tobytes(), "little")
+                if frontier != frontiers[p]:
+                    frontiers[p] = frontier
+                    fwords[p] = full
+            else:
+                frontier = 0
+                for q in preds:
+                    frontier |= closures[q]
+                if frontier != frontiers[p]:
+                    frontiers[p] = frontier
+                    fwords[p] = np.frombuffer(
+                        frontier.to_bytes(mask_bytes, "little"), dtype=np.uint64
+                    )
+            closure = (1 << p) | (0 if checkpointed[p] else frontier)
+            if closure != closures[p]:
+                closures[p] = closure
+                cwords[p] = np.frombuffer(
+                    closure.to_bytes(mask_bytes, "little"), dtype=np.uint64
+                )
+
+    def _rebuild_masks(self) -> None:
+        """Derive every traversal mask for the current configuration.
+
+        The full-rebuild twin of :meth:`_update_masks` (used by the first
+        evaluation): the big-int recursion is the shared
+        :func:`~repro.core.evaluator_np._closure_masks` (single source of
+        truth with the one-shot fill), the byte mirrors are flushed in two
+        bulk assignments, and the prefix-closure table is then rebuilt
+        vectorized from the flushed closure rows.
+        """
+        from .evaluator_np import _closure_masks
+
+        np = self._np
+        n = self._n
+        mask_bytes = self._mask_bytes
+        closures, frontiers = _closure_masks(
+            n, self._predecessors, self._checkpointed
+        )
+        self._closures = closures
+        self._frontiers = frontiers
+        f_bytes = bytearray()
+        c_bytes = bytearray()
+        for p in range(1, n + 1):
+            f_bytes += frontiers[p].to_bytes(mask_bytes, "little")
+            c_bytes += closures[p].to_bytes(mask_bytes, "little")
+        words = self._mask_words
+        if n:
+            self._fwords[1:] = np.frombuffer(
+                bytes(f_bytes), dtype=np.uint64
+            ).reshape(n, words)
+            self._cwords[1:] = np.frombuffer(
+                bytes(c_bytes), dtype=np.uint64
+            ).reshape(n, words)
+        cwords = self._cwords
+        pf_flat = self._pf_flat
+        pfbase = self._pfbase
+        for p, preds_arr in self._pred_arrays.items():
+            block = pf_flat[pfbase[p] : pfbase[p] + preds_arr.shape[0]]
+            np.take(cwords, preds_arr, axis=0, out=block)
+            np.bitwise_or.accumulate(block, axis=0, out=block)
+
+    def _ensure_delta_tables(self) -> None:
+        """Build the tables only incremental (delta) evaluations need.
+
+        Ancestor bitmasks per position, their transpose (descendants — the
+        set whose closures a toggle invalidates), and per-row reachability
+        (the positions any Algorithm-1 traversal of row ``k`` could ever
+        visit under *any* configuration: the union of the candidates'
+        ancestors below ``k``).  A toggle at a position outside
+        ``row_reach[k]`` provably cannot change row ``k``.  Python big-int
+        bitsets keep this ``O(n * |E| / 64)``; one-shot evaluations skip it
+        entirely.
+        """
+        if self._row_reach is not None:
+            return
+        n = self._n
+        predecessors = self._predecessors
+        anc = [0] * (n + 1)
+        for i in range(1, n + 1):
+            mask = 0
+            for j in predecessors[i]:
+                mask |= anc[j] | (1 << j)
+            anc[i] = mask
+        reach = [0] * (n + 1)
+        for k in range(1, n + 1):
+            row = 0
+            for i in self._candidates[k]:
+                row |= anc[i]
+            reach[k] = row & ((1 << k) - 1)
+        self._row_reach = reach
+        succs: list[list[int]] = [[] for _ in range(n + 1)]
+        for i in range(1, n + 1):
+            for j in predecessors[i]:
+                succs[j].append(i)
+        desc = [0] * (n + 1)
+        for c in range(n, 0, -1):
+            mask = 0
+            for s in succs[c]:
+                mask |= desc[s] | (1 << s)
+            desc[c] = mask
+        self._desc = desc
+
+    def _reset_configuration(self) -> None:
+        """Return to the pristine empty-set state after an aborted evaluation.
+
+        An exception inside :meth:`evaluate` can leave the checkpoint flags,
+        charge tables and loss matrices mutually inconsistent; everything
+        config-dependent is wiped so the following full recompute starts
+        from a known-good baseline.  (The per-row content cache survives:
+        its entries are keyed by the relevant configuration and remain
+        valid.)
+        """
+        from .evaluator_np import _charge_lut
+
+        n = self._n
+        self._checkpointed[:] = bytes(n + 1)
+        self._ckpt_bits = 0
+        self._ckpt_costs[:] = 0.0
+        self._charge_bits[:] = 0.0
+        self._charge_bits[1 : n + 1] = self._weight[1:]
+        self._charge_lut = _charge_lut(self._np, self._charge_bits)
+        self._loss_t[:] = 0.0
+        self._neg_loss_t[:] = 0.0
+        self._written = [[] for _ in range(n + 1)]
+        self._current = frozenset()
+
+    # ------------------------------------------------------------------
+    # Algorithm-1 row refill (bulk closure-mask fill, content-cached)
+    # ------------------------------------------------------------------
+    def _refill_rows(self, rows: list[int]) -> None:
+        """Bring the logical loss rows in ``rows`` up to date, in bulk.
+
+        Row content is a pure function of the row's *relevant* configuration
+        (the checkpoint bits inside ``row_reach[k]``), so recently seen
+        contents are restored by copy from the per-row cache; everything
+        else is recomputed in one vectorized pipeline: gather all candidate
+        frontiers into a ``(R, M, mask_bytes)`` block, patch the truncated
+        ones from the prefix-closure table, prefix-OR along the candidate
+        axis, and read each candidate's visited set off as the XOR of
+        consecutive prefix rows (``P_j = P_{j-1} | F_j`` makes the fresh
+        bits ``P_j ^ P_{j-1}`` — the vectorized ``F_j & ~regenerated``).
+        Values come from the shared :func:`_mask_charges` canon, so they are
+        bit-identical to the one-shot fill of ``evaluate_schedule_numpy``;
+        cache restores are bitwise exact for the same reason.
+        """
+        np = self._np
+        loss_t = self._loss_t
+        written = self._written
+        ckpt_bits = self._ckpt_bits
+        reach = self._row_reach
+        caches = self._row_cache
+
+        # Partition into cache hits and misses, collecting every touched
+        # row's stale entries for one batched clear (never a full memset).
+        # Before the delta tables exist (the initializing full fill) there
+        # is no per-row relevant configuration to key the cache on, so
+        # every row is a miss and nothing is cached.
+        miss_rows: list[int] = []
+        miss_cfgs: list[int | None] = []
+        hit_cols: list = []
+        hit_vals: list = []
+        hit_ks: list[int] = []
+        hit_lens: list[int] = []
+        stale_arrays: list = []
+        stale_ks: list[int] = []
+        stale_lens: list[int] = []
+        for k in rows:
+            stale = written[k]
+            if len(stale):
+                stale_arrays.append(stale)
+                stale_ks.append(k)
+                stale_lens.append(len(stale))
+            if reach is None:
+                miss_rows.append(k)
+                miss_cfgs.append(None)
+                continue
+            cfg = ckpt_bits & reach[k]
+            cache = caches[k]
+            entry = cache.get(cfg)
+            if entry is None:
+                miss_rows.append(k)
+                miss_cfgs.append(cfg)
+            else:
+                # Re-insert on hit so eviction is LRU: the hot base
+                # configuration a probe sweep keeps returning to must not
+                # age out behind a stream of one-off probe configurations.
+                del cache[cfg]
+                cache[cfg] = entry
+                cols, vals = entry
+                written[k] = cols
+                if len(cols):
+                    hit_cols.append(cols)
+                    hit_vals.append(vals)
+                    hit_ks.append(k)
+                    hit_lens.append(len(cols))
+        neg_loss_t = self._neg_loss_t
+        if stale_arrays:
+            cat = np.concatenate(stale_arrays)
+            rep = np.repeat(
+                np.asarray(stale_ks, dtype=np.intp),
+                np.asarray(stale_lens, dtype=np.intp),
+            )
+            loss_t[cat, rep] = 0.0
+            neg_loss_t[cat, rep] = 0.0
+        if hit_cols:
+            cat = np.concatenate(hit_cols)
+            rep = np.repeat(
+                np.asarray(hit_ks, dtype=np.intp),
+                np.asarray(hit_lens, dtype=np.intp),
+            )
+            vals = np.concatenate(hit_vals)
+            loss_t[cat, rep] = vals
+            neg_loss_t[cat, rep] = vals * -self._lam
+        self.stats.rows_restored += len(rows) - len(miss_rows)
+        self.stats.rows_refilled += len(miss_rows)
+        if not miss_rows:
+            return
+
+        if not self._m_max:
+            empty = np.asarray([], dtype=np.intp)
+            for k, cfg in zip(miss_rows, miss_cfgs):
+                self._store_row(k, cfg, empty, None)
+            return
+        # Bound the scratch footprint: high-fan-out instances can have
+        # candidate widths near n, so one monolithic (R, M, words) block
+        # would be O(n^2 * M) bytes.  Rows are independent, so the batch is
+        # simply split into chunks of bounded byte size; per-row values are
+        # grouping-independent by construction (the _mask_charges canon).
+        chunk = max(1, _FILL_CHUNK_BYTES // (self._m_max * self._mask_bytes))
+        for start in range(0, len(miss_rows), chunk):
+            self._fill_miss_rows(
+                miss_rows[start : start + chunk],
+                miss_cfgs[start : start + chunk],
+            )
+
+    def _fill_miss_rows(
+        self, miss_rows: list[int], miss_cfgs: list[int | None]
+    ) -> None:
+        """Recompute one bounded chunk of cache-missed rows vectorized."""
+        np = self._np
+        loss_t = self._loss_t
+        neg_loss_t = self._neg_loss_t
+        rows_arr = np.asarray(miss_rows, dtype=np.intp)
+        n_miss = rows_arr.shape[0]
+        width = int(self._cand_len[rows_arr].max())
+        empty = rows_arr[:0]
+        if width == 0:
+            for k, cfg in zip(miss_rows, miss_cfgs):
+                self._store_row(k, cfg, empty, None)
+            return
+        idx = np.take(self._cand_pad[:, :width], rows_arr, axis=0)
+        need = n_miss * width
+        if self._f3_buf is None or self._f3_buf.shape[0] < need:
+            self._f3_buf = np.empty((need, self._mask_words), dtype=np.uint64)
+            self._v3_buf = np.empty((need, self._mask_words), dtype=np.uint64)
+        frontier_block = self._f3_buf[:need]
+        np.take(self._fwords, idx.reshape(-1), axis=0, out=frontier_block)
+        acc = frontier_block.reshape(n_miss, width, self._mask_words)
+        trunc_rows: list = []
+        trunc_slots: list = []
+        trunc_srcs: list = []
+        trunc_dst = self._trunc_dst
+        trunc_src = self._trunc_src
+        for local, k in enumerate(miss_rows):
+            dst = trunc_dst[k]
+            if dst is not None:
+                trunc_rows.append(np.full(dst.shape[0], local, dtype=np.intp))
+                trunc_slots.append(dst)
+                trunc_srcs.append(trunc_src[k])
+        if trunc_rows:
+            acc[np.concatenate(trunc_rows), np.concatenate(trunc_slots)] = (
+                self._pf_flat[np.concatenate(trunc_srcs)]
+            )
+        np.bitwise_or.accumulate(acc, axis=1, out=acc)
+        visited = self._v3_buf[:need].reshape(n_miss, width, self._mask_words)
+        visited[:, 0] = acc[:, 0]
+        if width > 1:
+            np.bitwise_xor(acc[:, 1:], acc[:, :-1], out=visited[:, 1:])
+        rowsel, slotsel = np.nonzero(visited.any(axis=2))
+        if rowsel.size:
+            vals = self._mask_charges(
+                np, visited[rowsel, slotsel].view(np.uint8), self._charge_lut
+            )
+            cols = idx[rowsel, slotsel]
+            if not self._charge_positive:
+                keep = vals != 0.0
+                if not keep.all():
+                    vals = vals[keep]
+                    cols = cols[keep]
+                    rowsel = rowsel[keep]
+            ks = rows_arr[rowsel]
+            loss_t[cols, ks] = vals
+            neg_loss_t[cols, ks] = vals * -self._lam
+            bounds = np.searchsorted(rowsel, np.arange(n_miss + 1)).tolist()
+            for local, (k, cfg) in enumerate(zip(miss_rows, miss_cfgs)):
+                lo = bounds[local]
+                hi = bounds[local + 1]
+                if lo == hi:
+                    self._store_row(k, cfg, empty, None)
+                else:
+                    self._store_row(k, cfg, cols[lo:hi], vals[lo:hi])
+        else:
+            for k, cfg in zip(miss_rows, miss_cfgs):
+                self._store_row(k, cfg, empty, None)
+
+    def _store_row(self, k: int, cfg: int | None, cols, vals) -> None:
+        """Record a freshly computed row in ``written`` and the row cache.
+
+        ``cfg is None`` (the initializing full fill, before the delta tables
+        exist) records the row without caching it.  Cached contents are
+        copied out of their batch arrays: a slice view would pin the whole
+        chunk's base array for the lifetime of the cache entry.  Copies are
+        bitwise identical, so the exactness guarantee is unaffected.
+        """
+        if cfg is None:
+            self._written[k] = cols
+            return
+        cols = cols.copy()
+        if vals is not None:
+            vals = vals.copy()
+        self._written[k] = cols
+        cache = self._row_cache[k]
+        if len(cache) >= _ROW_CACHE_ENTRIES:
+            cache.pop(next(iter(cache)))
+        cache[cfg] = (cols, vals)
+
+    # ------------------------------------------------------------------
+    # Theorem-3 kernel: Equation-(1) slab + recursion resumed at the pivot
+    # ------------------------------------------------------------------
+    def _run_kernel(self, pivot: int) -> None:
+        np = self._np
+        n = self._n
+        lam = self._lam
+        began = time.perf_counter() if self._profile else 0.0
+
+        # Every value the toggles can change sits in columns i >= pivot of the
+        # conditional-expectation matrix (changed loss entries have i >= k >
+        # pivot; the changed checkpoint costs are at positions >= pivot), so
+        # one slab recompute over rows pivot-1.. of values_t restores the
+        # exact state a full one-shot computation would produce.
+        lo = pivot
+        m0 = lo - 1
+        loss_t = self._loss_t
+        values_t = self._values_t
+        sub = loss_t[lo:, :]
+        diagonal = loss_t.diagonal()[1:]
+        wc = self._weights[m0:] + self._ckpt_costs[m0:]
+        with np.errstate(over="ignore"):
+            exposure = lam * (sub + wc[:, None])
+            grown = np.expm1(np.minimum(exposure, OVERFLOW_EXPONENT))
+            rec_exposure = lam * np.maximum(diagonal[m0:, None] - sub, 0.0)
+            slab = np.exp(np.minimum(rec_exposure, OVERFLOW_EXPONENT)) * (
+                grown / lam + self._downtime * grown
+            )
+        overflow = (exposure > OVERFLOW_EXPONENT) | (rec_exposure > OVERFLOW_EXPONENT)
+        if overflow.any():
+            slab[overflow] = np.inf
+        tiny = exposure < _SMALL_EXPOSURE
+        if tiny.any():
+            failure_free = sub + wc[:, None]
+            slab[tiny] = failure_free[tiny]
+        values_t[m0:, :] = slab
+        self._col_inf[m0:] = np.isinf(slab).any(axis=1)
+        saturated = bool(self._col_inf.any())
+
+        # Saturation switches the dot products to their masked form, which
+        # changes summation shapes — the stored prefix is only reusable when
+        # both the previous and the current run are unsaturated.
+        start = lo
+        if saturated or self._last_saturated:
+            start = 1
+
+        with np.errstate(over="ignore"):
+            exponent_bound = lam * float(
+                (diagonal + self._weights + self._ckpt_costs).sum()
+            )
+        may_clip = not exponent_bound <= OVERFLOW_EXPONENT - 1.0
+
+        base = self._base
+        running_hist = self._running_hist
+        probs_buf = self._probs_buf
+        neg_loss_t = self._neg_loss_t
+        # Same pre-scaled accumulation as the one-shot kernel: running sums
+        # carry -lam * (loss + terms), so each position needs one np.exp.
+        neg_terms = (self._weights + self._ckpt_costs) * -lam
+        values_t = self._values_t
+        expected_times = self._expected_times
+        for i in range(start, n + 1):
+            m = i - 1
+            probs = probs_buf[:i]
+            if m:
+                prev = running_hist[m][:m]
+                head = probs[:m]
+                np.exp(prev, out=head)
+                head *= base[:m]
+                if may_clip:
+                    clipped = prev < -OVERFLOW_EXPONENT
+                    if clipped.any():
+                        head[clipped] = 0.0
+                remaining = 1.0 - float(head.sum())
+                if remaining < 0.0:
+                    remaining = 0.0
+                elif remaining > 1.0:
+                    remaining = 1.0
+            else:
+                remaining = 1.0
+            probs[m] = remaining
+            if i >= 2:
+                base[m] = remaining
+
+            column = values_t[m, :i]
+            if saturated:
+                mask = probs > 0.0
+                expected_xi = float(probs[mask] @ column[mask])
+            else:
+                expected_xi = float(probs @ column)
+            expected_times[m] = expected_xi
+
+            # Advance into this iteration's own history row: entries [i:] of
+            # row i are never written, so they hold the zeros a fresh kernel
+            # would see, and row i-1 doubles as the resume snapshot.
+            cur = running_hist[i]
+            np.add(running_hist[m][:i], neg_loss_t[i, :i], out=cur[:i])
+            cur[:i] += neg_terms[m]
+
+        self._last_saturated = saturated
+        self.stats.kernel_positions += n + 1 - start
+        if self._profile:
+            self.stats.kernel_seconds += time.perf_counter() - began
+
+    def _result(self, keep_task_times: bool) -> MakespanEvaluation:
+        expected_times = self._expected_times
+        return MakespanEvaluation(
+            expected_makespan=math.fsum(expected_times),
+            expected_task_times=tuple(expected_times) if keep_task_times else (),
+            failure_free_makespan=(
+                self._failure_free_work + float(self._ckpt_costs.sum())
+            ),
+            failure_free_work=self._failure_free_work,
+        )

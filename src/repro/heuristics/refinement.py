@@ -20,7 +20,10 @@ improve the expected makespan of the schedule they start from — properties the
 test-suite asserts.  They cost ``O(n)`` evaluator calls per step, so they are
 noticeably more expensive than the paper's heuristics; the ablation benchmark
 ``benchmarks/bench_refinement_ablation.py`` quantifies the accuracy/cost
-trade-off.
+trade-off.  On the numpy backend the calls are served by one persistent
+:class:`~repro.core.sweep.SweepState`, so consecutive single-toggle probes
+only recompute the suffix of the instance they can actually change
+(``benchmarks/bench_sweep_incremental.py`` measures the saving).
 """
 
 from __future__ import annotations
@@ -31,9 +34,9 @@ from typing import Sequence
 
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
-from ..core.evaluator_np import batch_evaluate
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from ..core.sweep import SweepState
 
 __all__ = [
     "RefinementResult",
@@ -58,7 +61,10 @@ class RefinementResult:
     steps:
         Number of accepted moves (checkpoint additions / removals).
     evaluations:
-        Number of evaluator calls spent.
+        Number of evaluator calls spent.  Every probed candidate counts as
+        exactly one call whether it was priced incrementally (the numpy
+        sweep engine) or eagerly (the python reference), so the ablation
+        benchmarks compare like for like across backends.
     """
 
     schedule: Schedule
@@ -86,44 +92,50 @@ class RefinementResult:
 
 
 def _best_single_change(
-    workflow: Workflow,
-    order: Sequence[int],
-    platform: Platform,
+    sweep: SweepState,
     current: frozenset[int],
     current_value: float,
     *,
     allow_add: bool,
     allow_remove: bool,
     candidates: Sequence[int] | None,
-    backend: str | None,
 ) -> tuple[frozenset[int] | None, float, int]:
-    """Evaluate all single-checkpoint toggles; return the best improving one."""
-    pool = range(workflow.n_tasks) if candidates is None else candidates
-    toggled: list[frozenset[int]] = []
+    """Evaluate all single-checkpoint toggles; return the best improving one.
+
+    The toggles are probed through the shared :class:`SweepState`:
+    consecutive probes differ by two checkpoints (revert the previous toggle,
+    apply the next), so each evaluation recomputes only the suffix behind the
+    lower of the two positions.  Probing in *descending* position order makes
+    that suffix the one behind the freshly applied toggle alone (the revert
+    always sits higher), which keeps the total invalidated work of a round at
+    its minimum.  Both backends probe in the same order, so tie-breaking is
+    backend-independent.
+    """
+    pool = range(sweep.workflow.n_tasks) if candidates is None else candidates
+    position = {task: pos for pos, task in enumerate(sweep.order)}
+    moves: list[tuple[int, frozenset[int]]] = []
     for task in pool:
         if task in current:
             if not allow_remove:
                 continue
-            toggled.append(current - {task})
+            moves.append((position[task], current - {task}))
         else:
             if not allow_add:
                 continue
             # Even a free checkpoint must be evaluated to know whether it
-            # helps, so every allowed toggle enters the batch.
-            toggled.append(current | {task})
-    if not toggled:
+            # helps, so every allowed toggle enters the sweep.
+            moves.append((position[task], current | {task}))
+    if not moves:
         return None, current_value, 0
-    evaluations = batch_evaluate(
-        workflow, order, toggled, platform, backend=backend, keep_task_times=False
-    )
+    moves.sort(key=lambda move: -move[0])
     best_set: frozenset[int] | None = None
     best_value = current_value
-    for candidate, evaluation in zip(toggled, evaluations):
-        value = evaluation.expected_makespan
+    for _, candidate in moves:
+        value = sweep.evaluate(candidate, keep_task_times=False).expected_makespan
         if value < best_value - 1e-12:
             best_value = value
             best_set = candidate
-    return best_set, best_value, len(toggled)
+    return best_set, best_value, len(moves)
 
 
 def greedy_checkpoint_selection(
@@ -166,18 +178,19 @@ def greedy_checkpoint_selection(
     steps = 0
     total_evaluations = 1
 
+    # One sweep state serves every round: the probes of round r differ from
+    # the probes of round r-1 by a handful of toggles, so the incremental
+    # engine keeps reusing its prefixes across the whole construction.
+    sweep = SweepState(workflow, order, platform, backend=backend)
     budget = workflow.n_tasks if max_checkpoints is None else int(max_checkpoints)
     while steps < budget:
         best_set, best_value, n_evals = _best_single_change(
-            workflow,
-            order,
-            platform,
+            sweep,
             current,
             current_value,
             allow_add=True,
             allow_remove=False,
             candidates=candidates,
-            backend=backend,
         )
         total_evaluations += n_evals
         if best_set is None:
@@ -227,17 +240,15 @@ def local_search_checkpoints(
     total_evaluations = 1
     limit = math.inf if max_steps is None else int(max_steps)
 
+    sweep = SweepState(workflow, order, platform, backend=backend)
     while steps < limit:
         best_set, best_value, n_evals = _best_single_change(
-            workflow,
-            order,
-            platform,
+            sweep,
             current,
             current_value,
             allow_add=True,
             allow_remove=True,
             candidates=candidates,
-            backend=backend,
         )
         total_evaluations += n_evals
         if best_set is None:

@@ -21,9 +21,9 @@ from typing import Iterable, Sequence
 
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
-from ..core.evaluator_np import batch_evaluate
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from ..core.sweep import SweepState
 from .checkpointing import Selector
 
 __all__ = ["SEARCH_MODES", "CheckpointCountSearch", "candidate_counts", "search_checkpoint_count"]
@@ -130,9 +130,11 @@ def search_checkpoint_count(
         degrade gracefully on failure-free platforms; it adds a single extra
         evaluation.
     backend:
-        Evaluation backend forwarded to
-        :func:`~repro.core.evaluator_np.batch_evaluate`, which scores all
-        distinct candidate sets over the shared linearization in one sweep.
+        Evaluation backend for the :class:`~repro.core.sweep.SweepState`
+        that scores all distinct candidate sets over the shared
+        linearization in one incremental sweep (the selectors' top-``N``
+        sets are nested, so consecutive candidates differ by single
+        checkpoint additions and only the invalidated suffix is recomputed).
 
     Returns
     -------
@@ -146,8 +148,12 @@ def search_checkpoint_count(
         counts = [0] + counts
 
     # Materialize the candidate sets first (deduplicated — e.g. CkptPer often
-    # returns the same set for several N), then price every distinct set in
-    # one batch over the shared linearization.
+    # returns the same set for several N), then price every distinct set
+    # through one incremental sweep over the shared linearization: in count
+    # order, a nested selector's consecutive sets differ by one added
+    # checkpoint, so each evaluation reuses everything below the insertion
+    # point.  Only the makespans are needed to rank candidates; dropping the
+    # per-position vectors keeps the sweep at O(n) retained floats.
     selected_sets: list[frozenset[int]] = []
     distinct: dict[frozenset[int], int] = {}
     for count in counts:
@@ -157,12 +163,10 @@ def search_checkpoint_count(
         selected_sets.append(selected)
         if selected not in distinct:
             distinct[selected] = len(distinct)
-    # Only the makespans are needed to rank candidates; dropping the
-    # per-position vectors keeps the sweep at O(n) retained floats.
-    evaluations = batch_evaluate(
-        workflow, order, list(distinct), platform, backend=backend,
-        keep_task_times=False,
-    )
+    sweep = SweepState(workflow, order, platform, backend=backend)
+    evaluations = [
+        sweep.evaluate(selected, keep_task_times=False) for selected in distinct
+    ]
 
     best_selected: frozenset[int] | None = None
     best_count = -1

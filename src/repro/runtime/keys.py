@@ -56,7 +56,11 @@ KEY_VERSION = 2
 #: whenever a heuristic, linearization, count search, or the evaluator can
 #: produce different numbers than before — otherwise an old persistent cache
 #: would silently serve the previous implementation's results as current.
-ALGO_VERSION = 1
+#: v1 -> v2: the numpy evaluator's Algorithm-1 fill and Theorem-3 running
+#: sums were re-canonicalized for the incremental sweep engine (float-noise
+#: level changes), and local-search probes now evaluate in
+#: descending-position order (tie-breaks can differ).
+ALGO_VERSION = 2
 
 
 # ----------------------------------------------------------------------

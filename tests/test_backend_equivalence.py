@@ -20,6 +20,7 @@ from repro import (
     EVAL_BACKENDS,
     Platform,
     Schedule,
+    SweepState,
     Task,
     Workflow,
     batch_evaluate,
@@ -202,6 +203,82 @@ class TestBackendEquivalence:
         np_ = evaluate_schedule(schedule, platform, backend="numpy")
         assert py == np_
         assert py.expected_makespan == 0.0
+
+
+# ----------------------------------------------------------------------
+# Incremental sweep engine: bit-for-bit with per-candidate evaluation
+# ----------------------------------------------------------------------
+class TestIncrementalSweep:
+    """The delta engine is a pure performance knob on the numpy backend.
+
+    Whatever sequence of checkpoint sets a :class:`SweepState` is driven
+    through — single toggles, add/remove/re-add round trips, arbitrary
+    multi-toggle jumps — every evaluation must be *bit-for-bit* equal to a
+    fresh per-candidate ``evaluate_schedule(..., backend="numpy")``, and
+    within float noise of the pure-Python reference.  The instances cover
+    ``D > 0`` and ``p > 1`` platforms (the ``random_instance`` strategy
+    draws both).
+    """
+
+    @given(
+        data=random_instance(),
+        toggles=st.lists(
+            st.integers(min_value=0, max_value=10**6), min_size=1, max_size=14
+        ),
+        jump=st.lists(st.integers(min_value=0, max_value=10**6), max_size=8),
+        readd=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_sweep_is_bit_for_bit_vs_per_candidate(self, data, toggles, jump, readd):
+        workflow, schedule, platform = data
+        n = workflow.n_tasks
+        order = schedule.order
+        state = SweepState(workflow, order, platform, backend="numpy")
+
+        def check(selected: frozenset[int]) -> None:
+            got = state.evaluate(selected)
+            ref = evaluate_schedule(
+                Schedule(workflow, order, selected), platform, backend="numpy"
+            )
+            assert got.expected_makespan == ref.expected_makespan
+            assert got.expected_task_times == ref.expected_task_times
+            _assert_close(got.failure_free_makespan, ref.failure_free_makespan)
+            py = evaluate_schedule(
+                Schedule(workflow, order, selected), platform, backend="python"
+            )
+            _assert_close(py.expected_makespan, got.expected_makespan)
+
+        current = set(schedule.checkpointed)
+        check(frozenset(current))  # initial (multi-toggle from empty)
+        for raw in toggles:  # single-toggle moves, incl. remove / re-add
+            current ^= {raw % n}
+            check(frozenset(current))
+        current = {raw % n for raw in jump}  # arbitrary multi-toggle jump
+        check(frozenset(current))
+        task = readd % n  # explicit add -> remove -> re-add round trip
+        for _ in range(3):
+            current ^= {task}
+            check(frozenset(current))
+
+    @given(data=random_instance())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_batch_evaluate_is_bit_for_bit_on_numpy(self, data):
+        """The batch front door inherits the sweep's exactness guarantee."""
+        workflow, schedule, platform = data
+        n = workflow.n_tasks
+        sets = [
+            frozenset(),
+            schedule.checkpointed,
+            schedule.checkpointed | {0},
+            schedule.checkpointed - {0},
+            frozenset(range(n)),
+        ]
+        batch = batch_evaluate(workflow, schedule.order, sets, platform, backend="numpy")
+        for selected, evaluation in zip(sets, batch):
+            ref = evaluate_schedule(
+                Schedule(workflow, schedule.order, selected), platform, backend="numpy"
+            )
+            assert evaluation.expected_makespan == ref.expected_makespan
 
 
 # ----------------------------------------------------------------------

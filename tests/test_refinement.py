@@ -138,3 +138,46 @@ class TestRefinementOnGeneralDags:
         assert refined.expected_makespan <= heuristic.expected_makespan + 1e-9
         # The refined schedule keeps the same linearization.
         assert refined.schedule.order == heuristic.schedule.order == order
+
+
+class TestEvaluationAccounting:
+    """Incremental probes count exactly like eager evaluator calls.
+
+    ``RefinementResult.evaluations`` feeds the ablation benchmarks, so the
+    sweep engine must not change the arithmetic: one probed candidate is one
+    evaluator call, on either backend.
+    """
+
+    def test_greedy_counts_are_exact(self, chain, platform):
+        result = greedy_checkpoint_selection(chain, range(8), platform)
+        n = chain.n_tasks
+        steps = result.steps
+        assert steps < n  # proportional costs never justify checkpointing all
+        # Round r probes the n - r remaining additions; the final round
+        # probes n - steps candidates and finds no improvement.
+        assert result.evaluations == 1 + sum(n - r for r in range(steps + 1))
+
+    def test_local_search_counts_are_exact(self, chain, platform):
+        result = local_search_checkpoints(Schedule(chain, range(8), {0}), platform)
+        n = chain.n_tasks
+        # Every round probes all n single toggles; the last round accepts
+        # nothing (the search ran to a local optimum, not into a budget).
+        assert result.evaluations == 1 + (result.steps + 1) * n
+
+    def test_counts_match_across_backends(self, chain, platform):
+        greedy = {
+            backend: greedy_checkpoint_selection(
+                chain, range(8), platform, backend=backend
+            )
+            for backend in ("python", "numpy")
+        }
+        assert greedy["python"].evaluations == greedy["numpy"].evaluations
+        assert greedy["python"].steps == greedy["numpy"].steps
+        local = {
+            backend: local_search_checkpoints(
+                Schedule(chain, range(8), {0, 3}), platform, backend=backend
+            )
+            for backend in ("python", "numpy")
+        }
+        assert local["python"].evaluations == local["numpy"].evaluations
+        assert local["python"].steps == local["numpy"].steps

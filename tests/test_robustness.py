@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 
@@ -138,10 +139,21 @@ class TestDeterminismAndCaching:
         )
         assert parallel.rows == serial.rows
 
-    def test_backends_produce_identical_reports(self):
+    def test_backends_produce_equivalent_reports(self):
+        # The Monte-Carlo fields are bit-for-bit across backends; the
+        # analytical expectation is only float-noise equal (the evaluation
+        # backends agree within 1e-9 relative, which is why the cache keys
+        # may exclude the backend in the first place).
         python = run_robustness(["montage"], laws=["exponential"], backend="python", **SMOKE)
         numpy_ = run_robustness(["montage"], laws=["exponential"], backend="numpy", **SMOKE)
-        assert python.rows == numpy_.rows
+        assert len(python.rows) == len(numpy_.rows)
+        for py_row, np_row in zip(python.rows, numpy_.rows):
+            assert dataclasses.replace(py_row, analytical=0.0) == dataclasses.replace(
+                np_row, analytical=0.0
+            )
+            assert abs(py_row.analytical - np_row.analytical) <= 1e-9 * max(
+                1.0, abs(py_row.analytical)
+            )
 
     def test_mc_seed_changes_samples_but_not_analytical(self):
         base = run_robustness(["montage"], laws=["exponential"], mc_seed=0, **SMOKE)

@@ -117,3 +117,28 @@ class TestSearch:
         search = search_checkpoint_count(wf, order, platform, selector, counts=[1, 2, 3])
         assert len(set(search.evaluated.values())) == 2  # {0 checkpoints, {0}}
         assert len(calls) == 3
+
+
+class TestIncrementalAccounting:
+    """The incremental sweep prices every candidate exactly once per count.
+
+    The ablation benchmarks compare evaluator-call counts across backends,
+    so an incremental toggle must count exactly like an eager evaluation.
+    """
+
+    def test_evaluated_covers_every_count_on_both_backends(self, wf, platform):
+        order = linearize(wf, "DF")
+        by_backend = {
+            backend: search_checkpoint_count(
+                wf, order, platform, checkpoint_by_weight, backend=backend
+            )
+            for backend in ("python", "numpy")
+        }
+        python, numpy_ = by_backend["python"], by_backend["numpy"]
+        # include_zero + exhaustive: one entry per count 0..n, whatever the
+        # backend — the sweep never skips or double-counts a candidate.
+        assert set(python.evaluated) == set(range(0, wf.n_tasks + 1))
+        assert python.evaluated.keys() == numpy_.evaluated.keys()
+        for count, value in python.evaluated.items():
+            assert abs(value - numpy_.evaluated[count]) <= 1e-9 * max(1.0, abs(value))
+        assert python.best_count == numpy_.best_count
