@@ -63,7 +63,15 @@ from .heuristics import (
 )
 from .simulation import MonteCarloSummary, SimulationResult, run_monte_carlo, simulate_schedule
 
-__version__ = "1.1.0"
+# Resolved from the installed package metadata so `repro --version` can
+# never drift from pyproject; the literal fallback covers source-tree runs
+# (PYTHONPATH=src) where the distribution is not installed.
+try:  # pragma: no cover - depends on how the package is run
+    from importlib.metadata import version as _distribution_version
+
+    __version__ = _distribution_version("repro-workflows")
+except Exception:  # pragma: no cover - uninstalled source tree
+    __version__ = "1.3.0"
 
 __all__ = [
     "CycleError",

@@ -20,7 +20,14 @@ can be scripted without writing Python:
   the lambda x D sweep); ``--shard k/N`` runs one deterministic shard of the
   grid and ``repro campaign merge`` re-assembles shard CSVs into the exact
   unsharded report;
+* ``repro serve`` — long-running HTTP/JSON service exposing solve / evaluate
+  / analyse with cross-request batching and Prometheus-style ``/metrics``
+  (see :mod:`repro.service`);
 * ``repro cache`` — inspect / clear the persistent result cache.
+
+``repro --json <command> ...`` switches failures to a machine-readable JSON
+object on stderr (same shape as the service's error responses); ``repro
+--version`` reports the package version from the installed metadata.
 
 The single-platform commands (``solve`` / ``evaluate`` / ``analyse`` /
 ``simulate``) describe the platform with the same ``--failure-rate`` /
@@ -50,6 +57,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
 
+from . import __version__
 from .analysis import analyse_schedule, checkpoint_utilities
 from .core.backend import EVAL_BACKENDS
 from .core.evaluator import evaluate_schedule
@@ -96,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Scheduling computational workflows on failure-prone platforms "
         "(reproduction of Aupy, Benoit, Casanova, Robert — IPDPS 2015).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_errors",
+        help="report failures as a JSON object on stderr (machine-parseable "
+             "errors for service clients and benchmarks)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -252,6 +268,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged rows (canonical order) to this CSV path")
     merge.add_argument("--report", metavar="PATH", default=argparse.SUPPRESS,
                        help="write the rendered aggregation table to this path")
+
+    # serve -------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the checkpoint-planning HTTP service (solve/evaluate/analyse "
+             "over JSON, with request batching and /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for solve batches "
+                            "(1 = in-thread, 0 = all CPUs)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent request batches (threads)")
+    serve.add_argument("--cache", dest="cache_path", metavar="PATH",
+                       help="persistent result cache shared with campaign runs")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       help="seconds to wait for co-batchable requests before "
+                            "dispatching (0 = lowest latency)")
+    serve.add_argument("--queue-max", type=int, default=256,
+                       help="queued solve requests before rejecting with 503")
+    _add_backend_argument(serve)
 
     # cache -------------------------------------------------------------
     cache = subparsers.add_parser("cache", help="inspect the persistent result cache")
@@ -729,6 +768,28 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import: the service package pulls in asyncio plumbing no other
+    # sub-command needs.
+    from .service import ServiceConfig, run_server
+
+    resolve_jobs(args.jobs)  # reject a bad --jobs before binding the socket
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        workers=args.workers,
+        cache_path=args.cache_path,
+        backend=args.backend,
+        batch_window=args.batch_window,
+        queue_max=args.queue_max,
+    )
+    return run_server(
+        config,
+        announce=lambda url: print(f"repro service listening on {url}", flush=True),
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     path = Path(args.path)
     if args.cache_command == "stats":
@@ -761,8 +822,19 @@ _COMMANDS = {
     "robustness": _cmd_robustness,
     "figures": _cmd_figures,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
 }
+
+
+#: Machine-readable error codes of ``--json`` mode, by exception type.  The
+#: same ``{"error": {"code", "message"}}`` shape the service daemon returns,
+#: so one client-side parser covers CLI and HTTP failures.
+_JSON_ERROR_CODES = (
+    (sqlite3.DatabaseError, "cache-error"),
+    (OSError, "io-error"),
+    (ValueError, "bad-request"),
+)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -782,7 +854,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         # the stack.
         if os.environ.get("REPRO_DEBUG", "").lower() in ("1", "true", "yes"):
             raise
-        print(f"error: {exc}", file=sys.stderr)
+        if getattr(args, "json_errors", False):
+            code = next(
+                code for kind, code in _JSON_ERROR_CODES if isinstance(exc, kind)
+            )
+            print(
+                json.dumps({"error": {"code": code, "message": str(exc)}}),
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

@@ -118,6 +118,7 @@ def solve_heuristic(
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
     backend: str | None = None,
+    sweep_evaluator=None,
 ) -> HeuristicResult:
     """Run one named heuristic end to end.
 
@@ -144,6 +145,11 @@ def solve_heuristic(
         Evaluation backend (``"auto"`` / ``"python"`` / ``"numpy"``) for
         every schedule scoring; see
         :func:`repro.core.backend.resolve_backend`.
+    sweep_evaluator:
+        Optional shared candidate-set evaluator forwarded to
+        :func:`~repro.heuristics.search.search_checkpoint_count` (the
+        service layer's cross-request batching hook).  Ignored by the
+        search-free strategies ``CkptNvr`` / ``CkptAlws``.
 
     Returns
     -------
@@ -173,7 +179,8 @@ def solve_heuristic(
 
     selector = get_selector(strategy)
     search = search_checkpoint_count(
-        workflow, order, platform, selector, counts=counts, backend=backend
+        workflow, order, platform, selector, counts=counts, backend=backend,
+        evaluator=sweep_evaluator,
     )
     return HeuristicResult(
         heuristic=heuristic,

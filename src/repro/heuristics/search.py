@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
@@ -113,6 +113,7 @@ def search_checkpoint_count(
     counts: Iterable[int] | None = None,
     include_zero: bool = True,
     backend: str | None = None,
+    evaluator: "Callable[[frozenset[int]], MakespanEvaluation] | None" = None,
 ) -> CheckpointCountSearch:
     """Find the checkpoint count minimising the expected makespan.
 
@@ -135,12 +136,29 @@ def search_checkpoint_count(
         linearization in one incremental sweep (the selectors' top-``N``
         sets are nested, so consecutive candidates differ by single
         checkpoint additions and only the invalidated suffix is recomputed).
+    evaluator:
+        Optional replacement for the private sweep: a callable
+        ``frozenset -> MakespanEvaluation`` scoring a checkpoint set over
+        *this* instance and linearization.  The service layer passes one
+        shared :class:`~repro.service.planner.SharedSweepScorer` here so
+        concurrent searches over the same linearization ride a single
+        :class:`~repro.core.sweep.SweepState` (sweep evaluations are
+        order-independent, so sharing cannot change any value).  When the
+        callable exposes an ``order`` attribute it must match this search's
+        linearization.
 
     Returns
     -------
     CheckpointCountSearch
     """
     order = tuple(order)
+    if evaluator is not None:
+        evaluator_order = getattr(evaluator, "order", None)
+        if evaluator_order is not None and tuple(evaluator_order) != order:
+            raise ValueError(
+                "shared evaluator was built for a different linearization "
+                "than this search's order"
+            )
     if counts is None:
         counts = candidate_counts(workflow.n_tasks, mode="exhaustive")
     counts = [int(c) for c in counts]
@@ -163,10 +181,13 @@ def search_checkpoint_count(
         selected_sets.append(selected)
         if selected not in distinct:
             distinct[selected] = len(distinct)
-    sweep = SweepState(workflow, order, platform, backend=backend)
-    evaluations = [
-        sweep.evaluate(selected, keep_task_times=False) for selected in distinct
-    ]
+    if evaluator is None:
+        sweep = SweepState(workflow, order, platform, backend=backend)
+        evaluations = [
+            sweep.evaluate(selected, keep_task_times=False) for selected in distinct
+        ]
+    else:
+        evaluations = [evaluator(selected) for selected in distinct]
 
     best_selected: frozenset[int] | None = None
     best_count = -1

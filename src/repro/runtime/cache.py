@@ -13,13 +13,19 @@ JSON-serializable payloads.  Two layers compose:
 
 :class:`ResultCache` is the façade the runtime uses: reads check memory
 first, then disk (promoting disk hits to memory); writes go to both.  Only
-the parent process of a parallel campaign touches the cache — workers just
-compute — so no cross-process locking is needed beyond sqlite's own.
+the parent *process* of a parallel campaign touches the cache — workers just
+compute — but within that process the cache is thread-safe: the service
+daemon's worker threads hammer one shared cache concurrently.  Each thread
+gets its own sqlite connection (sqlite connections are not safely shareable
+across threads, and serializing every lookup through one connection would
+defeat the WAL's concurrent readers), while the LRU bookkeeping and the
+hit/miss counters sit behind locks.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -89,65 +95,91 @@ class LRUCache:
 
     ``get`` refreshes recency; ``put`` evicts the stalest entry once
     ``maxsize`` is exceeded.  ``maxsize <= 0`` disables the bound.
+    Thread-safe: recency bookkeeping and the counters mutate under one lock
+    (an OrderedDict ``move_to_end`` racing a ``popitem`` corrupts the dict).
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Any | None:
         """Value stored under ``key``, or ``None``; refreshes recency."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value``, evicting the least recently used entry if full."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self.stats.puts += 1
-        if self.maxsize > 0:
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stats.puts += 1
+            if self.maxsize > 0:
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class DiskCache:
-    """Persistent key/value store backed by a single sqlite3 file.
+    """Persistent key/value store backed by one sqlite3 file.
 
     Values are stored as canonical JSON text.  Lifetime counters live in a
-    ``meta`` table and are updated synchronously — the cache is only ever
-    driven by the campaign parent process, so contention is not a concern.
+    ``meta`` table, accumulated in memory and flushed on :meth:`close`.
+
+    Thread-safe by *one connection per thread*: sqlite connections must not
+    be shared across threads mid-statement, and a single serialized
+    connection would also make every worker thread of the service daemon
+    queue behind one reader.  Each thread lazily opens its own connection
+    (WAL mode: many concurrent readers, writers serialized by sqlite with a
+    busy timeout), while the in-memory counter bookkeeping sits behind a
+    lock.  :meth:`close` closes every connection the cache opened.
     """
+
+    #: Seconds a writer waits for sqlite's write lock before failing; far
+    #: beyond any realistic commit time, so concurrent writers queue instead
+    #: of raising ``database is locked``.
+    BUSY_TIMEOUT = 30.0
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._pending = _empty_counters()
-        self._conn = sqlite3.connect(str(self.path))
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._closed = False
+        # The first connection skips the pragmas until the file is validated:
+        # even PRAGMA journal_mode=WAL rewrites a foreign database's header.
+        conn = self._connect(apply_pragmas=False)
         # Refuse to adopt a foreign database: switching its journal mode and
         # injecting our tables would corrupt-by-surprise whatever application
         # owns it.  An empty or repro-owned file proceeds.
         try:
             tables = {
                 row[0]
-                for row in self._conn.execute(
+                for row in conn.execute(
                     "SELECT name FROM sqlite_master WHERE type = 'table'"
                 )
             }
@@ -160,33 +192,61 @@ class DiskCache:
                     # else's database must be refused too: check the schema.
                     columns = {
                         row[1]
-                        for row in self._conn.execute("PRAGMA table_info(entries)")
+                        for row in conn.execute("PRAGMA table_info(entries)")
                     }
                     foreign = columns != {"key", "value", "created"}
         except sqlite3.DatabaseError as exc:
-            self._conn.close()
-            self._conn = None
+            self.close()
             raise ValueError(
                 f"{self.path} is not a repro result cache ({exc})"
             ) from exc
         if foreign:
-            self._conn.close()
-            self._conn = None
+            self.close()
             raise ValueError(f"{self.path} exists and is not a repro result cache")
         # Entries are committed one by one so an interrupted sweep keeps what
         # it already computed; WAL + synchronous=NORMAL keeps those commits
         # from paying a full fsync each (safe: worst case on power loss is a
         # recomputable cache entry).
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        with self._conn:
-            self._conn.execute(
+        self._apply_pragmas(conn)
+        with conn:
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
                 "key TEXT PRIMARY KEY, value TEXT NOT NULL, created REAL NOT NULL)"
             )
-            self._conn.execute(
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
             )
+
+    @staticmethod
+    def _apply_pragmas(conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+
+    def _connect(self, *, apply_pragmas: bool = True) -> sqlite3.Connection:
+        """Open (and register) this thread's connection."""
+        # check_same_thread=False so close() can reap connections opened by
+        # worker threads that have since exited; every *use* still happens on
+        # the opening thread via the threading.local lookup.
+        conn = sqlite3.connect(
+            str(self.path), timeout=self.BUSY_TIMEOUT, check_same_thread=False
+        )
+        if apply_pragmas:
+            self._apply_pragmas(conn)
+        with self._lock:
+            if self._closed:
+                conn.close()
+                raise ValueError(f"cache {self.path} is closed")
+            self._connections.append(conn)
+        self._local.conn = conn
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection, opened on first use."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+        return conn
 
     def __len__(self) -> int:
         row = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()
@@ -196,20 +256,23 @@ class DiskCache:
         row = self._conn.execute(
             "SELECT value FROM entries WHERE key = ?", (key,)
         ).fetchone()
-        if row is None:
-            self._pending["misses"] += 1
-            return None
-        self._pending["hits"] += 1
-        return json.loads(row[0])
+        with self._lock:
+            if row is None:
+                self._pending["misses"] += 1
+            else:
+                self._pending["hits"] += 1
+        return None if row is None else json.loads(row[0])
 
     def put(self, key: str, value: Any) -> None:
         payload = canonical_json(value)
-        with self._conn:
-            self._conn.execute(
+        conn = self._conn
+        with conn:
+            conn.execute(
                 "INSERT OR REPLACE INTO entries (key, value, created) VALUES (?, ?, ?)",
                 (key, payload, time.time()),
             )
-        self._pending["puts"] += 1
+        with self._lock:
+            self._pending["puts"] += 1
 
     def count_hit(self) -> None:
         """Record a lookup answered by a faster layer on top of this one.
@@ -218,29 +281,33 @@ class DiskCache:
         without touching the disk; calling this keeps the persisted lifetime
         counters equal to what the whole cache actually answered.
         """
-        self._pending["hits"] += 1
+        with self._lock:
+            self._pending["hits"] += 1
 
     def _flush_counters(self) -> None:
         # Counters are accumulated in memory so the warm hit path stays
         # read-only on disk; one transaction per session persists them.
-        updates = [(k, v) for k, v in self._pending.items() if v]
+        with self._lock:
+            updates = [(k, v) for k, v in self._pending.items() if v]
+            self._pending = _empty_counters()
         if not updates:
             return
-        with self._conn:
+        conn = self._conn
+        with conn:
             for counter, amount in updates:
-                self._conn.execute(
+                conn.execute(
                     "INSERT INTO meta (key, value) VALUES (?, ?) "
                     "ON CONFLICT(key) DO UPDATE SET value = CAST(value AS INTEGER) + ?",
                     (counter, str(amount), amount),
                 )
-        self._pending = _empty_counters()
 
     def counters(self) -> dict[str, int]:
         """Lifetime counters: the persisted totals plus this session's."""
         rows = self._conn.execute("SELECT key, value FROM meta").fetchall()
         counters = _merge_counter_rows(rows)
-        for key, value in self._pending.items():
-            counters[key] += value
+        with self._lock:
+            for key, value in self._pending.items():
+                counters[key] += value
         return counters
 
     def clear(self) -> int:
@@ -251,19 +318,35 @@ class DiskCache:
         over an empty store would be misleading.
         """
         count = len(self)
-        with self._conn:
-            self._conn.execute("DELETE FROM entries")
-            self._conn.execute("DELETE FROM meta")
-        self._pending = _empty_counters()
+        conn = self._conn
+        with conn:
+            conn.execute("DELETE FROM entries")
+            conn.execute("DELETE FROM meta")
+        with self._lock:
+            self._pending = _empty_counters()
         return count
 
     def close(self) -> None:
-        """Flush counters and close the connection (idempotent)."""
-        if self._conn is None:
-            return
-        self._flush_counters()
-        self._conn.close()
-        self._conn = None
+        """Flush counters and close every connection (idempotent).
+
+        Call only once no other thread is using the cache — closing a
+        connection out from under a running statement is exactly the misuse
+        the per-thread connections exist to prevent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            # _flush_counters needs a live connection; mark closed only
+            # after it ran.
+        try:
+            self._flush_counters()
+        finally:
+            with self._lock:
+                self._closed = True
+                connections, self._connections = self._connections, []
+            for conn in connections:
+                conn.close()
+            self._local = threading.local()
 
 
 class ResultCache:
@@ -285,6 +368,9 @@ class ResultCache:
         self.memory = LRUCache(maxsize=maxsize)
         self.disk: DiskCache | None = DiskCache(path) if path is not None else None
         self.stats = CacheStats()
+        # ``stats`` is a plain mutable dataclass shared by every worker
+        # thread of the service daemon; += on its fields is not atomic.
+        self._stats_lock = threading.Lock()
 
     @classmethod
     def open(cls, path: str | Path | None = None, *, maxsize: int = 4096) -> "ResultCache":
@@ -306,7 +392,8 @@ class ResultCache:
         """Look up ``key`` in memory, then on disk (promoting disk hits)."""
         value = self.memory.get(key)
         if value is not None:
-            self.stats.hits += 1
+            with self._stats_lock:
+                self.stats.hits += 1
             if self.disk is not None:
                 self.disk.count_hit()
             return value
@@ -314,9 +401,11 @@ class ResultCache:
             value = self.disk.get(key)
             if value is not None:
                 self.memory.put(key, value)
-                self.stats.hits += 1
+                with self._stats_lock:
+                    self.stats.hits += 1
                 return value
-        self.stats.misses += 1
+        with self._stats_lock:
+            self.stats.misses += 1
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -324,7 +413,8 @@ class ResultCache:
         self.memory.put(key, value)
         if self.disk is not None:
             self.disk.put(key, value)
-        self.stats.puts += 1
+        with self._stats_lock:
+            self.stats.puts += 1
 
     def close(self) -> None:
         if self.disk is not None:

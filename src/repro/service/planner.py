@@ -1,0 +1,544 @@
+"""The service's bridge into the campaign runtime.
+
+:class:`ServicePlanner` turns batches of validated solve requests into
+response payloads by the cheapest available route, in order:
+
+1. **cache** — the shared :class:`~repro.runtime.cache.ResultCache`, through
+   the unchanged content-addressed keys of :mod:`repro.runtime.keys` (a
+   cache warmed by ``repro campaign`` serves the daemon and vice versa);
+2. **single-flight** — identical requests already being computed (by this
+   batch or a concurrent one) are joined instead of recomputed;
+3. **family batching** — the remaining misses are grouped by (workflow
+   content, platform content, linearization, backend); each group's
+   searches share one :class:`SharedSweepScorer`, i.e. one
+   :class:`~repro.core.sweep.SweepState` pass over the common
+   linearization instead of one per request.
+
+Sharing a sweep cannot change any response: sweep evaluations are pinned
+order-independent (the PR-5 hypothesis tests), the scorer memoises by exact
+checkpoint set, and the search still re-evaluates its winner through the
+plain evaluator — so a daemon response is bit-for-bit the direct
+:func:`~repro.heuristics.registry.solve_heuristic` result.
+
+Everything here is synchronous and thread-safe; the asyncio side lives in
+:mod:`repro.service.batcher`.  With ``jobs > 1`` the planner fans groups out
+over a process pool (one group per worker, scorer and all), mirroring the
+campaign runner's worker model.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..analysis import analyse_schedule, checkpoint_utilities
+from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.sweep import SweepState
+from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heuristic
+from ..heuristics.linearization import linearize
+from ..heuristics.search import candidate_counts
+from ..runtime.cache import LRUCache, ResultCache
+from ..runtime.keys import platform_fingerprint, scenario_unit_key
+from ..runtime.parallel import resolve_jobs
+from ..runtime.runner import _memoized_instance, _normalized_search
+from .metrics import MetricsRegistry
+from .schema import ScheduleRequest, ServiceError, SolveRequest
+
+__all__ = ["ServicePlanner", "SharedSweepScorer"]
+
+
+class SharedSweepScorer:
+    """One incremental sweep shared by several checkpoint-count searches.
+
+    Wraps a :class:`~repro.core.sweep.SweepState` over one (workflow,
+    linearization, platform) and memoises evaluations by exact checkpoint
+    set, so N concurrent searches over the same family cost one sweep pass
+    and each *distinct* candidate set is priced exactly once.  ``order`` is
+    exposed so :func:`~repro.heuristics.search.search_checkpoint_count` can
+    verify the scorer matches its linearization.
+    """
+
+    def __init__(self, workflow, order, platform, *, backend: str | None = None):
+        self.order = tuple(order)
+        self._sweep = SweepState(workflow, self.order, platform, backend=backend)
+        self._memo: dict[frozenset[int], MakespanEvaluation] = {}
+        #: Underlying sweep evaluations (memo misses) performed so far.
+        self.evaluations = 0
+        #: Searches that scored at least one set through this scorer.
+        self.searches = 0
+        self._clients: set[int] = set()
+
+    def __call__(self, selected: frozenset[int]) -> MakespanEvaluation:
+        selected = frozenset(selected)
+        evaluation = self._memo.get(selected)
+        if evaluation is None:
+            evaluation = self._sweep.evaluate(selected, keep_task_times=False)
+            self._memo[selected] = evaluation
+            self.evaluations += 1
+        return evaluation
+
+
+@dataclass(frozen=True)
+class _PlannedUnit:
+    """One solve request, keyed and normalised, ready to group and compute."""
+
+    request: SolveRequest
+    key: str
+    group: tuple
+    counts: tuple[int, ...] | None
+    linearization: str
+    strategy: str
+
+
+def _solve_group(units: Sequence[_PlannedUnit]) -> list[dict[str, Any]]:
+    """Compute one family group (module-level, hence picklable for jobs>1).
+
+    All units share workflow content, platform content, linearization and
+    backend, so the parameterised searches ride one
+    :class:`SharedSweepScorer`.  Returns, per unit, the cacheable outcome
+    payload, the schedule (order + checkpoint set) and the group's share of
+    the sweep-pass / evaluation counters (stamped on the first entry).
+    """
+    first = units[0].request
+    workflow, _ = _memoized_instance(first.scenario)
+    platform = first.scenario.platform
+    scorer: SharedSweepScorer | None = None
+    passes = 0
+    private_evaluations = 0
+    results: list[dict[str, Any]] = []
+    for unit in units:
+        request = unit.request
+        evaluator = None
+        if unit.counts is not None:
+            if unit.linearization == "RF":
+                # RF draws its order from the (seed, heuristic) stream, so
+                # it can never share a linearization: give it a private
+                # scorer (its own single sweep pass).
+                order = linearize(
+                    workflow,
+                    unit.linearization,
+                    rng=heuristic_rng(request.scenario.seed, request.heuristic),
+                )
+                evaluator = SharedSweepScorer(
+                    workflow, order, platform, backend=request.backend
+                )
+                passes += 1
+            else:
+                if scorer is None:
+                    order = linearize(workflow, unit.linearization)
+                    scorer = SharedSweepScorer(
+                        workflow, order, platform, backend=request.backend
+                    )
+                    passes += 1
+                evaluator = scorer
+        result = solve_heuristic(
+            workflow,
+            platform,
+            request.heuristic,
+            rng=heuristic_rng(request.scenario.seed, request.heuristic),
+            counts=unit.counts,
+            backend=request.backend,
+            sweep_evaluator=evaluator,
+        )
+        if evaluator is not None:
+            evaluator.searches += 1
+            if evaluator is not scorer:
+                private_evaluations += evaluator.evaluations
+        results.append(
+            {
+                # Exactly the campaign runner's cached outcome payload
+                # (_OUTCOME_FIELDS), so daemon and campaign entries are
+                # interchangeable under the same key.
+                "outcome": {
+                    "actual_n_tasks": workflow.n_tasks,
+                    "n_checkpointed": result.checkpoint_count,
+                    "expected_makespan": result.expected_makespan,
+                    "failure_free_work": result.evaluation.failure_free_work,
+                    "overhead_ratio": result.overhead_ratio,
+                },
+                "schedule": {
+                    "order": list(result.schedule.order),
+                    "checkpointed": sorted(result.schedule.checkpointed),
+                },
+            }
+        )
+    evaluations = private_evaluations + (scorer.evaluations if scorer else 0)
+    results[0]["stats"] = {"passes": passes, "evaluations": evaluations}
+    return results
+
+
+class ServicePlanner:
+    """Cache-aware, deduplicating, batch-coalescing solve executor.
+
+    Parameters
+    ----------
+    cache:
+        Optional shared :class:`~repro.runtime.cache.ResultCache` (its
+        thread-safe since this PR); ``None`` still coalesces in-flight and
+        in-batch duplicates, it just cannot answer repeats across batches.
+    registry:
+        Optional :class:`~repro.service.metrics.MetricsRegistry` built by
+        :func:`~repro.service.metrics.build_service_registry`; ``None``
+        skips instrumentation (library / test use).
+    jobs:
+        Worker processes for computing groups (``1`` = in-thread, the
+        reference path).
+    schedule_memory:
+        Bound of the in-memory schedule LRU.  Outcomes persist to the disk
+        cache, but schedules (order + checkpoint set) are only kept here:
+        ``include_schedule`` requests that miss this layer recompute.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        registry: MetricsRegistry | None = None,
+        jobs: int | None = 1,
+        schedule_memory: int = 512,
+    ) -> None:
+        self.cache = cache
+        self.registry = registry
+        self.jobs = resolve_jobs(jobs)
+        self._schedules = LRUCache(maxsize=schedule_memory)
+        self._inflight: dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._pool: Any = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        if self.registry is not None:
+            self.registry.get(name).inc(amount)
+
+    def cache_hit_rate(self) -> float:
+        """Lifetime hit rate of the shared cache (0.0 without a cache)."""
+        if self.cache is None:
+            return 0.0
+        stats = self.cache.stats
+        total = stats.hits + stats.misses
+        return stats.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Solve path
+    # ------------------------------------------------------------------
+    def solve_batch(self, requests: Sequence[SolveRequest]) -> list[Any]:
+        """Solve one batch; returns one payload (or exception) per request.
+
+        Runs on a worker thread.  Never raises for a single bad unit — the
+        per-request entry is the exception instead, so co-batched requests
+        are isolated from each other's failures.
+        """
+        self._inc("repro_solve_requests_total", len(requests))
+        self._inc("repro_solve_batches_total")
+        results: list[Any] = [None] * len(requests)
+        planned: list[_PlannedUnit | None] = [None] * len(requests)
+        pending: list[int] = []
+
+        for index, request in enumerate(requests):
+            try:
+                unit = self._plan(request)
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                self._inc("repro_solve_errors_total")
+                results[index] = exc
+                continue
+            planned[index] = unit
+            served = self._from_cache(request, unit)
+            if served is not None:
+                self._inc("repro_solve_cache_hits_total")
+                results[index] = served
+            else:
+                pending.append(index)
+
+        # Single-flight: the first pending occurrence of a key (across this
+        # batch and any concurrently running batch) owns the computation;
+        # the rest join its future.
+        owned: list[int] = []
+        joined: list[tuple[int, Future]] = []
+        with self._inflight_lock:
+            for index in pending:
+                unit = planned[index]
+                future = self._inflight.get(unit.key)
+                if future is None:
+                    self._inflight[unit.key] = Future()
+                    owned.append(index)
+                else:
+                    joined.append((index, future))
+        if joined:
+            self._inc("repro_solve_coalesced_total", len(joined))
+
+        groups: dict[tuple, list[int]] = {}
+        for index in owned:
+            groups.setdefault(planned[index].group, []).append(index)
+        try:
+            self._compute_groups(groups, planned, results)
+        finally:
+            # Any owned key whose future was not resolved (a bug or an
+            # interpreter-level error) must not wedge future requests.
+            with self._inflight_lock:
+                for index in owned:
+                    future = self._inflight.pop(planned[index].key, None)
+                    if future is not None and not future.done():
+                        future.set_exception(
+                            ServiceError(
+                                "solve computation was abandoned",
+                                status=500,
+                                code="internal",
+                            )
+                        )
+
+        for index, future in joined:
+            unit = planned[index]
+            try:
+                outcome, schedule = future.result()
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                results[index] = exc
+                continue
+            results[index] = self._response(
+                unit.request, unit, outcome, schedule, source="coalesced"
+            )
+        return results
+
+    def _plan(self, request: SolveRequest) -> _PlannedUnit:
+        workflow, fingerprint = _memoized_instance(request.scenario, digest=True)
+        linearization, strategy = parse_heuristic_name(request.heuristic)
+        search_mode, max_candidates = _normalized_search(
+            request.heuristic,
+            workflow.n_tasks,
+            request.search_mode,
+            request.max_candidates,
+        )
+        key = scenario_unit_key(
+            workflow_digest=fingerprint,
+            platform=request.scenario.platform,
+            heuristic=request.heuristic,
+            search_mode=search_mode,
+            max_candidates=max_candidates,
+            seed=request.scenario.seed,
+        )
+        counts = (
+            None
+            if strategy in ("CkptNvr", "CkptAlws")
+            else candidate_counts(
+                workflow.n_tasks,
+                mode=request.search_mode,
+                max_candidates=request.max_candidates,
+            )
+        )
+        group: tuple = (
+            fingerprint,
+            platform_fingerprint(request.scenario.platform),
+            linearization,
+            request.backend,
+        )
+        if linearization == "RF":
+            # RF orders depend on (seed, heuristic): no shared sweep, so
+            # make the group unique to keep each unit a singleton.
+            group += (request.scenario.seed, request.heuristic)
+        return _PlannedUnit(
+            request=request,
+            key=key,
+            group=group,
+            counts=counts,
+            linearization=linearization,
+            strategy=strategy,
+        )
+
+    def _from_cache(
+        self, request: SolveRequest, unit: _PlannedUnit
+    ) -> dict[str, Any] | None:
+        if self.cache is None:
+            return None
+        outcome = self.cache.get(unit.key)
+        if outcome is None:
+            return None
+        schedule = self._schedules.get(unit.key)
+        if request.include_schedule and schedule is None:
+            # The disk layer only persists outcomes; honouring the schedule
+            # request needs a recomputation (which reproduces the cached
+            # outcome bit-for-bit).
+            return None
+        return self._response(request, unit, outcome, schedule, source="cache")
+
+    def _compute_groups(
+        self,
+        groups: dict[tuple, list[int]],
+        planned: Sequence[_PlannedUnit | None],
+        results: list[Any],
+    ) -> None:
+        if not groups:
+            return
+        items = [
+            (indices, tuple(planned[i] for i in indices))
+            for indices in groups.values()
+        ]
+        executor = self._executor() if len(items) > 1 else None
+        if executor is None:
+            computed = [
+                self._safe_solve_group(units) for _, units in items
+            ]
+        else:
+            futures = [executor.submit(_solve_group, units) for _, units in items]
+            computed = []
+            for future in futures:
+                try:
+                    computed.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - reported per unit
+                    computed.append(exc)
+        for (indices, units), group_result in zip(items, computed):
+            if isinstance(group_result, Exception):
+                self._inc("repro_solve_errors_total", len(indices))
+                for index, unit in zip(indices, units):
+                    results[index] = group_result
+                    self._resolve_inflight(unit.key, error=group_result)
+                continue
+            stats = group_result[0].get("stats") or {}
+            self._inc("repro_solve_sweep_passes_total", stats.get("passes", 0))
+            self._inc("repro_solve_evaluations_total", stats.get("evaluations", 0))
+            self._inc("repro_solve_computed_total", len(indices))
+            for index, unit, entry in zip(indices, units, group_result):
+                outcome = entry["outcome"]
+                schedule = entry["schedule"]
+                if self.cache is not None:
+                    self.cache.put(unit.key, outcome)
+                self._schedules.put(unit.key, schedule)
+                self._resolve_inflight(unit.key, value=(outcome, schedule))
+                results[index] = self._response(
+                    unit.request, unit, outcome, schedule, source="computed"
+                )
+
+    def _safe_solve_group(self, units: Sequence[_PlannedUnit]):
+        try:
+            return _solve_group(units)
+        except Exception as exc:  # noqa: BLE001 - reported per unit
+            return exc
+
+    def _resolve_inflight(
+        self, key: str, *, value: Any = None, error: Exception | None = None
+    ) -> None:
+        with self._inflight_lock:
+            future = self._inflight.pop(key, None)
+        if future is None or future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+
+    def _response(
+        self,
+        request: SolveRequest,
+        unit: _PlannedUnit,
+        outcome: dict[str, Any],
+        schedule: dict[str, Any] | None,
+        *,
+        source: str,
+    ) -> dict[str, Any]:
+        scenario = request.scenario
+        payload: dict[str, Any] = {
+            "heuristic": request.heuristic,
+            "family": scenario.family,
+            "n_tasks": scenario.n_tasks,
+            "actual_n_tasks": int(outcome["actual_n_tasks"]),
+            "seed": scenario.seed,
+            "failure_rate": scenario.failure_rate,
+            "downtime": scenario.downtime,
+            "processors": scenario.processors,
+            "search_mode": request.search_mode,
+            "max_candidates": request.max_candidates,
+            "expected_makespan": float(outcome["expected_makespan"]),
+            "failure_free_work": float(outcome["failure_free_work"]),
+            "overhead_ratio": float(outcome["overhead_ratio"]),
+            "n_checkpointed": int(outcome["n_checkpointed"]),
+            "cache": source,
+            "cache_key": unit.key,
+        }
+        if request.include_schedule and schedule is not None:
+            payload["schedule"] = {
+                "order": list(schedule["order"]),
+                "checkpointed": list(schedule["checkpointed"]),
+            }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Evaluate / analyse paths (no batching; direct library calls)
+    # ------------------------------------------------------------------
+    def evaluate(self, request: ScheduleRequest) -> dict[str, Any]:
+        """Price a schedule; the JSON mirror of ``repro evaluate``."""
+        if self.cache is not None:
+            from ..runtime.runner import evaluate_schedule_cached
+
+            evaluation = evaluate_schedule_cached(
+                request.schedule, request.platform, self.cache, backend=request.backend
+            )
+        else:
+            evaluation = evaluate_schedule(
+                request.schedule, request.platform, backend=request.backend
+            )
+        return {
+            "expected_makespan": evaluation.expected_makespan,
+            "failure_free_makespan": evaluation.failure_free_makespan,
+            "failure_free_work": evaluation.failure_free_work,
+            "overhead_ratio": evaluation.overhead_ratio,
+            "n_checkpointed": request.schedule.n_checkpointed,
+        }
+
+    def analyse(self, request: ScheduleRequest) -> dict[str, Any]:
+        """Expected-time breakdown; the JSON mirror of ``repro analyse``."""
+        breakdown = analyse_schedule(
+            request.schedule, request.platform, backend=request.backend
+        )
+        workflow = request.schedule.workflow
+        payload: dict[str, Any] = {
+            "expected_makespan": breakdown.expected_makespan,
+            "useful_work": breakdown.useful_work,
+            "checkpoint_time": breakdown.checkpoint_time,
+            "expected_waste": breakdown.expected_waste,
+            "waste_fraction": breakdown.waste_fraction,
+            "worst_tasks": [
+                {
+                    "task_index": entry.task_index,
+                    "name": workflow.task(entry.task_index).name,
+                    "position": entry.position,
+                    "expected_time": entry.expected_time,
+                    "expected_overhead": entry.expected_overhead,
+                    "overhead_ratio": entry.overhead_ratio,
+                }
+                for entry in breakdown.worst_tasks(request.top)
+            ],
+        }
+        if request.utilities:
+            payload["utilities"] = [
+                {"task_index": utility.task_index, "utility": utility.utility}
+                for utility in sorted(
+                    checkpoint_utilities(
+                        request.schedule, request.platform, backend=request.backend
+                    ),
+                    key=lambda u: -u.utility,
+                )
+            ]
+        return payload
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _executor(self):
+        if self.jobs <= 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was started)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None

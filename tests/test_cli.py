@@ -535,3 +535,55 @@ class TestErrorHandling:
         assert "removed 1" in capsys.readouterr().out
         assert main(["cache", "stats", str(cache_path)]) == 0
         assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestJsonErrorMode:
+    """--json renders failures in the service daemon's error shape."""
+
+    def test_missing_file_is_io_error(self, tmp_path, capsys):
+        missing = tmp_path / "absent.json"
+        assert main(["--json", "evaluate", "--schedule", str(missing)]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert payload["error"]["code"] == "io-error"
+        assert "absent.json" in payload["error"]["message"]
+
+    def test_bad_input_is_bad_request(self, capsys):
+        assert main(["--json", "campaign", "--families", "bogus",
+                     "--sizes", "10", "--seeds", "0"]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_plain_mode_is_unchanged(self, tmp_path, capsys):
+        missing = tmp_path / "absent.json"
+        assert main(["evaluate", "--schedule", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+
+class TestServeParser:
+    def test_serve_accepts_its_options(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0", "--jobs", "2",
+            "--workers", "4", "--cache", "/tmp/c.sqlite",
+            "--batch-window", "0.05", "--queue-max", "64",
+            "--backend", "python",
+        ])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.cache_path == "/tmp/c.sqlite"
+        assert args.batch_window == 0.05
+
+    def test_serve_rejects_bad_jobs_before_binding(self, capsys):
+        assert main(["serve", "--jobs", "-3", "--port", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -159,6 +159,79 @@ class TestLifetimeCounterConsistency:
         assert stats["misses"] == 0
 
 
+class TestThreadSafety:
+    """The cache is shared by the service daemon's worker threads.
+
+    Before this PR a DiskCache held one sqlite connection and the LRU /
+    stats bookkeeping was unguarded; hammering from several threads either
+    raised ``ProgrammingError`` (cross-thread connection use) or silently
+    lost counter increments.  These tests pin the repaired invariants:
+    no exceptions, and exact counter conservation (every get is a hit or
+    a miss, every put is counted).
+    """
+
+    N_THREADS = 8
+    N_OPS = 150
+    KEY_SPACE = 32
+
+    def _hammer(self, cache, worker: int) -> int:
+        puts = 0
+        for i in range(self.N_OPS):
+            key = f"k{(worker * 7 + i) % self.KEY_SPACE}"
+            if i % 3 == 0:
+                cache.put(key, {"worker": worker, "i": i})
+                puts += 1
+            else:
+                value = cache.get(key)
+                assert value is None or isinstance(value, dict)
+        return puts
+
+    def test_disk_cache_survives_concurrent_hammer(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        disk = DiskCache(tmp_path / "cache.sqlite")
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            puts = sum(pool.map(lambda w: self._hammer(disk, w), range(self.N_THREADS)))
+        counters = disk.counters()
+        gets = self.N_THREADS * self.N_OPS - puts
+        assert counters["puts"] == puts
+        assert counters["hits"] + counters["misses"] == gets
+        assert len(disk) <= self.KEY_SPACE
+        disk.close()
+
+    def test_result_cache_stats_consistent_under_threads(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ResultCache.open(tmp_path / "cache.sqlite") as cache:
+            with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+                puts = sum(
+                    pool.map(lambda w: self._hammer(cache, w), range(self.N_THREADS))
+                )
+            gets = self.N_THREADS * self.N_OPS - puts
+            assert cache.stats.puts == puts
+            assert cache.stats.hits + cache.stats.misses == gets
+            # Every key that was ever written must now be readable.
+            written = {
+                f"k{(w * 7 + i) % self.KEY_SPACE}"
+                for w in range(self.N_THREADS)
+                for i in range(0, self.N_OPS, 3)
+            }
+            for key in written:
+                assert cache.get(key) is not None
+
+    def test_disk_cache_connection_per_thread(self, tmp_path):
+        """Each thread gets its own sqlite connection; close() reaps all."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        disk = DiskCache(tmp_path / "cache.sqlite")
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(lambda i: disk.put(f"k{i}", i), range(4)))
+        assert len(disk._connections) >= 2  # main thread + workers
+        disk.close()
+        with pytest.raises(ValueError, match="closed"):
+            disk._connect()  # closed caches refuse new connections
+
+
 class TestReadDiskStats:
     def test_summary_fields(self, tmp_path):
         path = tmp_path / "cache.sqlite"

@@ -1,0 +1,278 @@
+"""End-to-end tests of the `repro serve` daemon (repro.service.app).
+
+A real :class:`BackgroundServer` on an ephemeral port, spoken to over real
+sockets with :mod:`http.client` — the same path a curl session or the load
+benchmark takes.  The headline assertions: daemon responses are bit-for-bit
+the direct library results, and N concurrent same-family solves cost fewer
+sweep passes than N.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import solve_heuristic
+from repro.heuristics.registry import heuristic_rng
+from repro.heuristics.search import candidate_counts
+from repro.service import BackgroundServer, ServiceConfig
+from repro.workflows import pegasus
+from repro.workflows.serialization import schedule_to_dict
+
+
+@pytest.fixture(scope="module")
+def server():
+    # A small batch window lets near-simultaneous test requests coalesce
+    # into one batch (the production default is 0 for lowest latency).
+    config = ServiceConfig(port=0, workers=2, batch_window=0.1)
+    with BackgroundServer(config) as running:
+        yield running
+
+
+def request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+def solve_payload(**overrides):
+    payload = {"family": "montage", "n_tasks": 20, "seed": 1, "heuristic": "DF-CkptW"}
+    payload.update(overrides)
+    return payload
+
+
+class TestBasicEndpoints:
+    def test_healthz(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"]
+
+    def test_unknown_route_404(self, server):
+        status, payload = request(server, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+
+    def test_invalid_json_body_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/solve", body="{not json", headers={})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_validation_error_maps_to_400_with_code(self, server):
+        status, payload = request(
+            server, "POST", "/v1/solve", solve_payload(family="unknown-family")
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+        assert "unknown workflow family" in payload["error"]["message"]
+
+    def test_keep_alive_serves_two_requests_on_one_connection(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            for _ in range(2):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+
+class TestSolve:
+    def test_solve_is_bit_identical_to_direct_call(self, server):
+        status, payload = request(
+            server, "POST", "/v1/solve", solve_payload(include_schedule=True)
+        )
+        assert status == 200
+        workflow = pegasus.montage(20, seed=1).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        from repro import Platform
+
+        platform = Platform.from_platform_rate(1e-3)
+        reference = solve_heuristic(
+            workflow,
+            platform,
+            "DF-CkptW",
+            rng=heuristic_rng(1, "DF-CkptW"),
+            counts=candidate_counts(workflow.n_tasks, mode="exhaustive"),
+        )
+        assert payload["expected_makespan"] == reference.expected_makespan
+        assert payload["overhead_ratio"] == reference.overhead_ratio
+        assert payload["schedule"]["checkpointed"] == sorted(
+            reference.schedule.checkpointed
+        )
+
+    def test_repeat_solve_hits_the_cache(self, server):
+        body = solve_payload(heuristic="DF-CkptC")
+        status1, first = request(server, "POST", "/v1/solve", body)
+        status2, second = request(server, "POST", "/v1/solve", body)
+        assert status1 == status2 == 200
+        assert second["cache"] == "cache"
+        assert second["expected_makespan"] == first["expected_makespan"]
+        assert second["cache_key"] == first["cache_key"]
+
+    def test_concurrent_same_family_solves_share_sweep_passes(self, server):
+        """The acceptance bar: N same-family solves, fewer than N passes."""
+        heuristics = ["DF-CkptW", "DF-CkptC", "DF-CkptD", "DF-CkptPer"]
+        bodies = [
+            solve_payload(family="cybershake", n_tasks=25, seed=7, heuristic=h)
+            for h in heuristics
+        ]
+        before = scrape_counters(server)
+        with ThreadPoolExecutor(max_workers=len(bodies)) as pool:
+            responses = list(
+                pool.map(lambda b: request(server, "POST", "/v1/solve", b), bodies)
+            )
+        assert all(status == 200 for status, _ in responses)
+        assert all(payload["cache"] != "cache" for _, payload in responses)
+        after = scrape_counters(server)
+        passes = after["repro_solve_sweep_passes_total"] - before[
+            "repro_solve_sweep_passes_total"
+        ]
+        # All four DF searches over one family linearization share sweeps:
+        # strictly fewer passes than requests regardless of batch timing.
+        assert 1 <= passes < len(bodies)
+
+    def test_async_job_lifecycle(self, server):
+        status, job = request(
+            server,
+            "POST",
+            "/v1/solve",
+            solve_payload(heuristic="DF-CkptPer", **{"async": True}),
+        )
+        assert status == 202
+        job_id = job["job_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, record = request(server, "GET", f"/v1/jobs/{job_id}")
+            assert status == 200
+            if record["status"] == "done":
+                assert record["result"]["expected_makespan"] > 0
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("async job never finished")
+
+    def test_unknown_job_404(self, server):
+        status, payload = request(server, "GET", "/v1/jobs/deadbeef")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+
+
+class TestEvaluateAnalyse:
+    @pytest.fixture(scope="class")
+    def schedule_payload(self):
+        workflow = pegasus.montage(15, seed=2).with_checkpoint_costs(
+            mode="proportional", factor=0.1
+        )
+        from repro import Platform
+
+        platform = Platform.from_platform_rate(1e-3)
+        result = solve_heuristic(
+            workflow,
+            platform,
+            "DF-CkptW",
+            rng=heuristic_rng(2, "DF-CkptW"),
+            counts=candidate_counts(workflow.n_tasks, mode="exhaustive"),
+        )
+        return schedule_to_dict(result.schedule)
+
+    def test_evaluate_round_trip(self, server, schedule_payload):
+        status, payload = request(
+            server,
+            "POST",
+            "/v1/evaluate",
+            {"schedule": schedule_payload, "failure_rate": 1e-3},
+        )
+        assert status == 200
+        assert payload["expected_makespan"] > 0
+        assert payload["overhead_ratio"] >= 1.0
+
+    def test_analyse_round_trip(self, server, schedule_payload):
+        status, payload = request(
+            server,
+            "POST",
+            "/v1/analyse",
+            {
+                "schedule": schedule_payload,
+                "failure_rate": 1e-3,
+                "top": 2,
+                "utilities": True,
+            },
+        )
+        assert status == 200
+        assert len(payload["worst_tasks"]) <= 2
+        assert "utilities" in payload
+
+    def test_evaluate_rejects_garbage_schedule(self, server):
+        status, payload = request(
+            server, "POST", "/v1/evaluate", {"schedule": {"bogus": 1}}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_with_required_series(self, server):
+        # make sure at least one solve happened before scraping
+        request(server, "POST", "/v1/solve", solve_payload())
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            content_type = response.getheader("Content-Type", "")
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_solve_latency_seconds histogram" in text
+        assert 'repro_solve_latency_seconds_bucket{le="+Inf"}' in text
+        assert "repro_cache_hit_rate" in text
+        assert "repro_queue_depth" in text
+        assert "repro_solve_cache_hits_total" in text
+        assert 'repro_requests_total{endpoint="/v1/solve",status="200"}' in text
+
+    def test_latency_histogram_counts_solves(self, server):
+        before = scrape_counters(server)
+        request(server, "POST", "/v1/solve", solve_payload(seed=99))
+        after = scrape_counters(server)
+        assert (
+            after["repro_solve_latency_seconds_count"]
+            > before.get("repro_solve_latency_seconds_count", 0)
+        )
+
+
+def scrape_counters(server) -> dict[str, float]:
+    """Parse unlabelled samples of /metrics into a name -> value dict."""
+    status, text = request(server, "GET", "/metrics")
+    assert status == 200
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or "{" in line:
+            continue
+        name, _, value = line.rpartition(" ")
+        if name:
+            values[name] = float(value)
+    return values
