@@ -81,7 +81,7 @@ from .heuristics import (
     parse_heuristic_name,
     solve_heuristic,
 )
-from .runtime import DiskCache, ResultCache, read_disk_stats, resolve_jobs
+from .runtime import CampaignJournal, DiskCache, ResultCache, read_disk_stats, resolve_jobs
 from .heuristics.refinement import local_search_checkpoints
 from .simulation import run_monte_carlo
 from .workflows import generators, pegasus
@@ -248,6 +248,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--output", "-o", help="write the raw result rows to this CSV path")
     campaign.add_argument("--report", metavar="PATH",
                           help="write the rendered aggregation table to this path")
+    campaign.add_argument("--journal", metavar="PATH",
+                          help="append-only journal of completed units (fsync'd "
+                               "JSONL); created if missing, replayed if present — "
+                               "a crashed or interrupted campaign resumes from it")
+    campaign.add_argument("--resume", metavar="PATH",
+                          help="resume from (and keep appending to) this journal; "
+                               "must exist — alias of --journal with an existence "
+                               "check, for explicit resume invocations")
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="pool-level retries per chunk after a worker crash "
+                               "or timeout (default 2)")
+    campaign.add_argument("--unit-timeout", type=float, default=None, metavar="SECONDS",
+                          help="per-unit wall-clock budget; a stuck worker chunk "
+                               "is killed and retried (default: none)")
+    campaign.add_argument("--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+                          help="base of the exponential backoff between worker-pool "
+                               "resets (default 0.5)")
     _add_runtime_arguments(campaign)
 
     # campaign merge ----------------------------------------------------
@@ -290,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "dispatching (0 = lowest latency)")
     serve.add_argument("--queue-max", type=int, default=256,
                        help="queued solve requests before rejecting with 503")
+    serve.add_argument("--request-timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-request wall-clock budget; exceeded requests get "
+                            "503 + Retry-After (default: none)")
+    serve.add_argument("--group-retries", type=int, default=1,
+                       help="solve-group retries after a worker-pool crash before "
+                            "answering 503 (default 1)")
     _add_backend_argument(serve)
 
     # cache -------------------------------------------------------------
@@ -655,6 +678,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if not out_parent.exists():
                 raise ValueError(f"output directory {out_parent} does not exist")
             _check_writable(out_parent)
+    if args.journal and args.resume and args.journal != args.resume:
+        raise ValueError(
+            "--journal and --resume point at different files; give only one"
+        )
+    if args.resume and not Path(args.resume).exists():
+        raise ValueError(f"cannot resume: no journal at {args.resume}")
+    journal_path = args.resume or args.journal
+    if journal_path:
+        _check_writable(Path(journal_path).parent)
     if args.preset == "lambda-downtime":
         preset_kwargs = {}
         if downtimes is not None:
@@ -684,17 +716,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             label="campaign",
             shard=shard,
         )
-    with _managed_cache(args) as cache:
-        result = run_campaign(
-            scenarios,
-            seeds=seeds,
-            search_mode=args.search_mode,
-            max_candidates=args.max_candidates,
-            jobs=args.jobs,
-            cache=cache,
-            progress=args.progress or None,
-            backend=args.backend,
-        )
+    journal = CampaignJournal(journal_path) if journal_path else None
+    try:
+        with _managed_cache(args) as cache:
+            result = run_campaign(
+                scenarios,
+                seeds=seeds,
+                search_mode=args.search_mode,
+                max_candidates=args.max_candidates,
+                jobs=args.jobs,
+                cache=cache,
+                progress=args.progress or None,
+                backend=args.backend,
+                journal=journal,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                unit_timeout=args.unit_timeout,
+                # A poison unit is reported below instead of sinking the
+                # whole campaign.
+                quarantine=True,
+            )
+    except KeyboardInterrupt:
+        # Everything completed so far is already fsync'd (journal) and/or
+        # committed (cache) — tell the user how to pick it back up.
+        print(file=sys.stderr)
+        if journal is not None:
+            print(
+                f"interrupted — {len(journal)} completed unit(s) are safe in "
+                f"{journal_path}; resume with: repro campaign ... --resume "
+                f"{journal_path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted — re-run with --journal PATH to make interrupted "
+                "campaigns resumable",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
     print(result.render())
     _print_cache_summary(cache)
     if args.output:
@@ -704,6 +766,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         path = Path(args.report)
         path.write_text(result.render() + "\n")
         print(f"wrote {path}")
+    if result.failures:
+        print(
+            f"warning: {len(result.failures)} unit(s) quarantined after repeated "
+            "failures (their rows are absent above):",
+            file=sys.stderr,
+        )
+        for failure in result.failures:
+            print(f"  - {failure.describe()}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -783,6 +854,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_window=args.batch_window,
         queue_max=args.queue_max,
+        request_timeout=args.request_timeout,
+        group_retries=args.group_retries,
     )
     return run_server(
         config,
@@ -844,6 +917,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = _COMMANDS[args.command]
     try:
         return handler(args)
+    except KeyboardInterrupt:
+        # Sub-commands with state to save (campaign) handle the interrupt
+        # themselves; this is the fallback for everything else.  130 is the
+        # conventional 128+SIGINT exit code.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     except (ValueError, OSError, sqlite3.DatabaseError) as exc:
         # Routine bad input (unknown family/heuristic, empty seed list,
         # missing/corrupt/unwritable file) gets a one-line message, not a

@@ -49,10 +49,18 @@ class AggregatedResult:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """All rows of a campaign plus their per-heuristic aggregation."""
+    """All rows of a campaign plus their per-heuristic aggregation.
+
+    ``failures`` lists quarantined units (as
+    :class:`~repro.runtime.runner.UnitFailure`) when the campaign ran with
+    quarantining enabled; it stays out of :meth:`render` so the report of a
+    clean run — including a crash-then-resume run — is byte-identical
+    regardless of supervision settings.
+    """
 
     rows: tuple[ResultRow, ...]
     aggregated: tuple[AggregatedResult, ...]
+    failures: tuple[Any, ...] = ()
 
     @classmethod
     def from_rows(cls, rows: Sequence[ResultRow]) -> "CampaignResult":
@@ -204,6 +212,11 @@ def run_campaign(
     cache: Any = None,
     progress: Any = None,
     backend: str | None = None,
+    journal: Any = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    unit_timeout: float | None = None,
+    quarantine: bool = False,
 ) -> CampaignResult:
     """Run every scenario once per seed and aggregate the results.
 
@@ -218,6 +231,13 @@ def run_campaign(
     free.  Because every work unit draws from its own seed-derived random
     stream, the aggregates of a parallel run are identical to the serial
     ones.
+
+    The crash-safety knobs are forwarded likewise: ``journal`` (a
+    :class:`~repro.runtime.journal.CampaignJournal` or a path) makes every
+    completed unit durable and replays it on the next run; ``max_retries``,
+    ``retry_backoff`` and ``unit_timeout`` configure worker supervision; and
+    ``quarantine=True`` lets a poison unit be reported in
+    :attr:`CampaignResult.failures` instead of aborting the rest.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
@@ -232,6 +252,14 @@ def run_campaign(
         max_candidates=max_candidates,
         progress=progress,
         backend=backend,
+        journal=journal,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        unit_timeout=unit_timeout,
+        quarantine=quarantine,
     ) as runner:
         rows = runner.run_rows(scenarios, seeds=seeds)
-    return CampaignResult(rows=tuple(rows), aggregated=aggregate_rows(rows))
+        failures = tuple(runner.failures)
+    return CampaignResult(
+        rows=tuple(rows), aggregated=aggregate_rows(rows), failures=failures
+    )

@@ -34,30 +34,50 @@ from .keys import (
     stable_seed_words,
     workflow_fingerprint,
 )
-from .parallel import deterministic_chunksize, parallel_map, resolve_jobs
+from .faults import FAULTS_ENV, active_faults, fault_fired, fault_point, parse_faults
+from .journal import JOURNAL_VERSION, CampaignJournal
+from .parallel import (
+    QUARANTINED,
+    WorkerFailure,
+    deterministic_chunksize,
+    dispose_executor,
+    parallel_map,
+    resolve_jobs,
+)
 from .progress import ConsoleProgress, NullProgress, coerce_progress
 
 __all__ = [
     "ALGO_VERSION",
     "CacheStats",
+    "CampaignJournal",
     "CampaignRunner",
     "ConsoleProgress",
     "DiskCache",
+    "FAULTS_ENV",
+    "JOURNAL_VERSION",
     "KEY_VERSION",
     "LRUCache",
     "MC_RNG_SCHEME",
     "MonteCarloUnit",
     "NullProgress",
+    "QUARANTINED",
     "ResultCache",
+    "UnitFailure",
     "WorkUnit",
+    "WorkerFailure",
+    "active_faults",
     "canonical_json",
     "coerce_progress",
     "deterministic_chunksize",
     "digest",
+    "dispose_executor",
     "evaluation_key",
     "evaluate_schedule_cached",
     "expand_work_units",
+    "fault_fired",
+    "fault_point",
     "monte_carlo_key",
+    "parse_faults",
     "robustness_unit_key",
     "run_monte_carlo_cached",
     "parallel_map",
@@ -73,6 +93,7 @@ __all__ = [
 _RUNNER_EXPORTS = {
     "CampaignRunner",
     "MonteCarloUnit",
+    "UnitFailure",
     "WorkUnit",
     "expand_work_units",
     "evaluate_schedule_cached",

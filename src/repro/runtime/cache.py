@@ -25,6 +25,7 @@ hit/miss counters sit behind locks.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -36,6 +37,9 @@ from urllib.parse import quote
 import sqlite3
 
 from ..core.hashing import canonical_json
+from .faults import fault_point
+
+logger = logging.getLogger("repro.runtime.cache")
 
 __all__ = [
     "CacheStats",
@@ -170,13 +174,22 @@ class DiskCache:
         self._local = threading.local()
         self._connections: list[sqlite3.Connection] = []
         self._closed = False
+        # Bumped whenever a corrupt file is quarantined and rebuilt; threads
+        # holding a connection to the quarantined file reconnect lazily.
+        self._generation = 0
         # The first connection skips the pragmas until the file is validated:
         # even PRAGMA journal_mode=WAL rewrites a foreign database's header.
         conn = self._connect(apply_pragmas=False)
         # Refuse to adopt a foreign database: switching its journal mode and
         # injecting our tables would corrupt-by-surprise whatever application
-        # owns it.  An empty or repro-owned file proceeds.
+        # owns it.  An empty or repro-owned file proceeds.  A file sqlite
+        # cannot even read is different: that is *our* cache gone bad (a
+        # torn write, a half-copied file), and a bad cache must never kill a
+        # campaign — quarantine it and start fresh.
         try:
+            fault_point(
+                "cache_open", default="raise=DatabaseError", path=str(self.path)
+            )
             tables = {
                 row[0]
                 for row in conn.execute(
@@ -196,10 +209,8 @@ class DiskCache:
                     }
                     foreign = columns != {"key", "value", "created"}
         except sqlite3.DatabaseError as exc:
-            self.close()
-            raise ValueError(
-                f"{self.path} is not a repro result cache ({exc})"
-            ) from exc
+            conn = self._quarantine_and_rebuild(exc)
+            foreign = False
         if foreign:
             self.close()
             raise ValueError(f"{self.path} exists and is not a repro result cache")
@@ -208,6 +219,10 @@ class DiskCache:
         # from paying a full fsync each (safe: worst case on power loss is a
         # recomputable cache entry).
         self._apply_pragmas(conn)
+        self._create_tables(conn)
+
+    @staticmethod
+    def _create_tables(conn: sqlite3.Connection) -> None:
         with conn:
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
@@ -216,6 +231,69 @@ class DiskCache:
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
             )
+
+    def _quarantine_and_rebuild(
+        self, exc: BaseException, *, generation: int | None = None
+    ) -> sqlite3.Connection:
+        """Move the unreadable cache file aside and start an empty one.
+
+        Returns the calling thread's connection to the fresh file.  Safe to
+        call from any thread at any time: ``generation`` (captured before
+        the failing operation) guards the rename, so two threads tripping
+        over the same corruption rebuild once, and every other thread
+        reconnects lazily through :attr:`_conn`.
+        """
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                stale = False  # another thread already rebuilt
+            else:
+                stale = True
+                self._generation += 1
+                connections, self._connections = self._connections, []
+        if not stale:
+            return self._conn
+        for conn in connections:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._local = threading.local()
+        if self.path.exists():
+            stamp = int(time.time())
+            quarantined = self.path.with_name(f"{self.path.name}.corrupt-{stamp}")
+            suffix = 0
+            while quarantined.exists():
+                suffix += 1
+                quarantined = self.path.with_name(
+                    f"{self.path.name}.corrupt-{stamp}.{suffix}"
+                )
+            self.path.rename(quarantined)
+            # WAL sidecars belong to the quarantined file; left behind they
+            # would poison the rebuilt database.
+            for sidecar in ("-wal", "-shm"):
+                sidecar_path = self.path.with_name(self.path.name + sidecar)
+                if sidecar_path.exists():
+                    sidecar_path.rename(
+                        quarantined.with_name(quarantined.name + sidecar)
+                    )
+            logger.warning(
+                "result cache %s is corrupt (%s); quarantined it as %s and "
+                "starting an empty cache — cached results will be recomputed",
+                self.path,
+                exc,
+                quarantined.name,
+            )
+        else:  # pragma: no cover - corruption without a file is exotic
+            logger.warning(
+                "result cache %s is unreadable (%s); starting an empty cache",
+                self.path,
+                exc,
+            )
+        with self._lock:
+            self._pending = _empty_counters()
+        conn = self._connect()
+        self._create_tables(conn)
+        return conn
 
     @staticmethod
     def _apply_pragmas(conn: sqlite3.Connection) -> None:
@@ -237,14 +315,19 @@ class DiskCache:
                 conn.close()
                 raise ValueError(f"cache {self.path} is closed")
             self._connections.append(conn)
+            self._local.generation = self._generation
         self._local.conn = conn
         return conn
 
     @property
     def _conn(self) -> sqlite3.Connection:
-        """The calling thread's connection, opened on first use."""
+        """The calling thread's connection, opened on first use.
+
+        A thread whose connection predates a corruption rebuild (its
+        generation is stale) transparently reconnects to the fresh file.
+        """
         conn = getattr(self._local, "conn", None)
-        if conn is None:
+        if conn is None or getattr(self._local, "generation", -1) != self._generation:
             conn = self._connect()
         return conn
 
@@ -253,9 +336,17 @@ class DiskCache:
         return int(row[0])
 
     def get(self, key: str) -> Any | None:
-        row = self._conn.execute(
-            "SELECT value FROM entries WHERE key = ?", (key,)
-        ).fetchone()
+        generation = self._generation
+        try:
+            fault_point("cache_read", default="raise=DatabaseError", key=key)
+            row = self._conn.execute(
+                "SELECT value FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            # Mid-session corruption (torn page, truncated file): quarantine
+            # and report a miss — the unit recomputes, the campaign lives.
+            self._quarantine_and_rebuild(exc, generation=generation)
+            row = None
         with self._lock:
             if row is None:
                 self._pending["misses"] += 1
@@ -265,14 +356,24 @@ class DiskCache:
 
     def put(self, key: str, value: Any) -> None:
         payload = canonical_json(value)
-        conn = self._conn
+        generation = self._generation
+        try:
+            self._store(self._conn, key, payload)
+        except sqlite3.DatabaseError as exc:
+            # Retry once into the rebuilt cache: the freshly computed result
+            # should not be lost to a corrupt file.
+            conn = self._quarantine_and_rebuild(exc, generation=generation)
+            self._store(conn, key, payload)
+        with self._lock:
+            self._pending["puts"] += 1
+
+    @staticmethod
+    def _store(conn: sqlite3.Connection, key: str, payload: str) -> None:
         with conn:
             conn.execute(
                 "INSERT OR REPLACE INTO entries (key, value, created) VALUES (?, ?, ?)",
                 (key, payload, time.time()),
             )
-        with self._lock:
-            self._pending["puts"] += 1
 
     def count_hit(self) -> None:
         """Record a lookup answered by a faster layer on top of this one.
@@ -340,6 +441,12 @@ class DiskCache:
             # after it ran.
         try:
             self._flush_counters()
+        except sqlite3.DatabaseError as exc:
+            # Counters are best-effort bookkeeping; a cache gone bad right
+            # at shutdown must not turn a successful campaign into a crash.
+            logger.warning(
+                "could not persist cache counters for %s (%s)", self.path, exc
+            )
         finally:
             with self._lock:
                 self._closed = True

@@ -40,13 +40,16 @@ from ..experiments.scenarios import Scenario, build_workflow
 from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heuristic
 from ..heuristics.search import SEARCH_MODES, candidate_counts
 from .cache import LRUCache, ResultCache
+from .faults import fault_point
+from .journal import CampaignJournal
 from .keys import evaluation_key, monte_carlo_key, robustness_unit_key, scenario_unit_key
-from .parallel import parallel_map, resolve_jobs
+from .parallel import WorkerFailure, dispose_executor, parallel_map, resolve_jobs
 from .progress import coerce_progress
 
 __all__ = [
     "WorkUnit",
     "MonteCarloUnit",
+    "UnitFailure",
     "CampaignRunner",
     "expand_work_units",
     "evaluate_schedule_cached",
@@ -105,6 +108,29 @@ class MonteCarloUnit:
         from ..simulation.failures import failure_model_for
 
         return failure_model_for(self.scenario.platform).spec()
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One quarantined work unit: which unit, and how it kept failing."""
+
+    unit: Any
+    failure: WorkerFailure
+
+    def describe(self) -> str:
+        scenario = getattr(self.unit, "scenario", None)
+        if scenario is not None:
+            heuristic = getattr(self.unit, "heuristic", "?")
+            what = (
+                f"{scenario.family} n={scenario.n_tasks} seed={scenario.seed} "
+                f"{heuristic}"
+            )
+        else:  # pragma: no cover - units always carry a scenario today
+            what = repr(self.unit)
+        return (
+            f"{what}: {self.failure.kind} after {self.failure.attempts} "
+            f"attempt(s) — {self.failure.cause_type}: {self.failure.cause_message}"
+        )
 
 
 #: Fields of a ResultRow that are computed (and therefore cached); the
@@ -354,6 +380,23 @@ class CampaignRunner:
     progress:
         ``None`` (silent), ``True`` (console reporter) or any object with
         ``start/update/finish``.
+    journal:
+        Optional :class:`~repro.runtime.journal.CampaignJournal` (or a path
+        to one).  Completed unit outcomes are appended durably as they land
+        and consulted *before* the cache on the next run, so an interrupted
+        campaign resumes without recomputing — even with no cache at all.
+    max_retries, retry_backoff, unit_timeout:
+        Worker-supervision knobs forwarded to
+        :func:`~repro.runtime.parallel.parallel_map`: pool-level retries per
+        chunk, the exponential-backoff base between pool resets, and the
+        optional per-unit wall-clock budget.
+    quarantine:
+        When true, a unit that keeps killing its worker (or times out, or
+        raises) is quarantined instead of aborting the run: the remaining
+        units complete, the failure lands in :attr:`failures` (and the
+        journal), and the unit's row is simply absent from the output.
+        Off by default — drivers that ``zip`` rows back onto their unit
+        list need the one-row-per-unit invariant.
 
     The worker pool is created lazily on the first parallel batch and reused
     for the runner's lifetime, so a driver that issues several sweeps (e.g.
@@ -370,6 +413,11 @@ class CampaignRunner:
         max_candidates: int = 30,
         progress: Any = None,
         backend: str | None = None,
+        journal: CampaignJournal | str | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        unit_timeout: float | None = None,
+        quarantine: bool = False,
     ) -> None:
         # Resolve (and thereby validate) the worker count and backend name
         # eagerly so that a bad --jobs / --backend value fails identically
@@ -381,18 +429,36 @@ class CampaignRunner:
         self.max_candidates = max_candidates
         self.backend = backend
         self.progress = coerce_progress(progress)
+        self._owns_journal = journal is not None and not isinstance(
+            journal, CampaignJournal
+        )
+        self.journal = CampaignJournal(journal) if self._owns_journal else journal
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.unit_timeout = unit_timeout if unit_timeout is None else float(unit_timeout)
+        self.quarantine = bool(quarantine)
+        #: Quarantined units, accumulated across this runner's sweeps.
+        self.failures: list[UnitFailure] = []
         self._pool: Any = None
 
     def close(self) -> None:
-        """Shut down the worker pool (if one was started)."""
+        """Shut down the worker pool (and a journal this runner opened)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
 
     def _reset_pool(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            dispose_executor(self._pool)
             self._pool = None
+
+    def _executor_factory(self, reset: bool) -> Any:
+        """Pool accessor handed to :func:`parallel_map` for supervision."""
+        if reset:
+            self._reset_pool()
+        return self._executor()
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -479,24 +545,42 @@ class CampaignRunner:
         picklable), ``decode_fn`` rebuilds a result from a cached outcome,
         and ``encode_fn`` extracts the cache payload from a fresh result.
         Results come back in unit order; every fresh result is persisted the
-        moment the parent receives it, so an interrupted or partially failed
-        sweep keeps everything it already paid for.
+        moment the parent receives it — journal first (durable), cache
+        second — so an interrupted or partially failed sweep keeps
+        everything it already paid for.  The journal is consulted *before*
+        the cache: it is the authoritative record of this campaign, valid
+        even when no cache is configured.
         """
         rows: list[Any] = [None] * len(units)
         pending: list[int] = []
         keys: dict[int, str] = {}
+        dropped: set[int] = set()
 
         self.progress.start(len(units))
         try:
             done = 0
-            if self.cache is not None:
+            use_keys = self.cache is not None or self.journal is not None
+            if use_keys:
                 for index, unit in enumerate(units):
                     key = key_fn(unit)
                     keys[index] = key
-                    outcome = self.cache.get(key)
+                    outcome = self.journal.get(key) if self.journal is not None else None
+                    from_journal = outcome is not None
+                    if outcome is None and self.cache is not None:
+                        outcome = self.cache.get(key)
                     if outcome is not None:
                         rows[index] = decode_fn(unit, outcome)
+                        if self.journal is not None and not from_journal:
+                            # A cache hit still belongs in this campaign's
+                            # durable record: resume must not depend on the
+                            # cache file's continued existence.
+                            self.journal.record(key, outcome)
+                        if self.cache is not None and from_journal:
+                            # And a journal replay warms the cache, so later
+                            # campaigns benefit from the resumed work too.
+                            self.cache.put(key, outcome)
                         done += 1
+                        fault_point("campaign_unit", default="exit=137", unit=index)
                     else:
                         pending.append(index)
                 self.progress.update(done, self._progress_info())
@@ -511,8 +595,35 @@ class CampaignRunner:
                     nonlocal completed
                     index = pending[position]
                     rows[index] = row
-                    if self.cache is not None:
-                        self.cache.put(keys[index], encode_fn(row))
+                    if use_keys:
+                        outcome = encode_fn(row)
+                        if self.journal is not None:
+                            self.journal.record(keys[index], outcome)
+                        if self.cache is not None:
+                            self.cache.put(keys[index], outcome)
+                    completed += 1
+                    self.progress.update(done_base + completed, self._progress_info())
+                    # The deterministic kill switch of the CI kill-resume
+                    # gate: by default this exits hard (SIGKILL-alike),
+                    # *after* the journal write — exactly the crash the
+                    # journal exists to survive.
+                    fault_point("campaign_unit", default="exit=137", unit=index)
+
+                def on_failure(failure: WorkerFailure) -> None:
+                    nonlocal completed
+                    index = pending[failure.unit_index]
+                    dropped.add(index)
+                    self.failures.append(UnitFailure(unit=units[index], failure=failure))
+                    if self.journal is not None:
+                        self.journal.record_failure(
+                            keys[index],
+                            {
+                                "kind": failure.kind,
+                                "attempts": failure.attempts,
+                                "cause_type": failure.cause_type,
+                                "cause_message": failure.cause_message,
+                            },
+                        )
                     completed += 1
                     self.progress.update(done_base + completed, self._progress_info())
 
@@ -522,9 +633,14 @@ class CampaignRunner:
                         [units[index] for index in pending],
                         jobs=self.jobs,
                         on_result=on_result,
-                        # A single pending unit runs serially in-parent
-                        # anyway; don't spawn a worker pool for it.
-                        executor=self._executor() if len(pending) > 1 else None,
+                        on_failure=on_failure,
+                        quarantine=self.quarantine,
+                        max_retries=self.max_retries,
+                        retry_backoff=self.retry_backoff,
+                        unit_timeout=self.unit_timeout,
+                        executor_factory=(
+                            self._executor_factory if self.jobs > 1 else None
+                        ),
                     )
                 except BaseException:
                     # A worker crash (e.g. BrokenProcessPool) can leave the
@@ -536,7 +652,9 @@ class CampaignRunner:
             # Always terminate the progress line, so an error message that
             # follows starts on a clean line.
             self.progress.finish()
-        assert all(row is not None for row in rows)
+        assert all(rows[i] is not None for i in range(len(units)) if i not in dropped)
+        if dropped:
+            return [rows[i] for i in range(len(units)) if i not in dropped]
         return rows
 
     # ------------------------------------------------------------------

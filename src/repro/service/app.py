@@ -69,6 +69,8 @@ class ServiceConfig:
     batch_window: float = 0.0
     queue_max: int = 256
     max_batch: int = 64
+    request_timeout: float | None = None
+    group_retries: int = 1
 
 
 class ServiceServer:
@@ -81,7 +83,10 @@ class ServiceServer:
             maxsize=config.cache_memory, path=config.cache_path
         )
         self.planner = ServicePlanner(
-            cache=self.cache, registry=self.registry, jobs=config.jobs
+            cache=self.cache,
+            registry=self.registry,
+            jobs=config.jobs,
+            group_retries=config.group_retries,
         )
         self.batcher = RequestBatcher(
             self.planner,
@@ -231,22 +236,26 @@ class ServiceServer:
                 if payload.get("async") is True:
                     job = self._spawn_job(request)
                     return self._finish(endpoint, start, 202, job)
-                result = await self.batcher.submit(request)
+                result = await self._with_timeout(self.batcher.submit(request))
                 return self._finish(endpoint, start, 200, result)
             if path == "/v1/evaluate" and method == "POST":
                 request = self._default_backend(
                     parse_evaluate_request(_parse_body(body))
                 )
-                result = await asyncio.get_running_loop().run_in_executor(
-                    None, self.planner.evaluate, request
+                result = await self._with_timeout(
+                    asyncio.get_running_loop().run_in_executor(
+                        None, self.planner.evaluate, request
+                    )
                 )
                 return self._finish(endpoint, start, 200, result)
             if path == "/v1/analyse" and method == "POST":
                 request = self._default_backend(
                     parse_analyse_request(_parse_body(body))
                 )
-                result = await asyncio.get_running_loop().run_in_executor(
-                    None, self.planner.analyse, request
+                result = await self._with_timeout(
+                    asyncio.get_running_loop().run_in_executor(
+                        None, self.planner.analyse, request
+                    )
                 )
                 return self._finish(endpoint, start, 200, result)
             if path.startswith("/v1/jobs/") and method == "GET":
@@ -281,6 +290,26 @@ class ServiceServer:
             return replace(request, backend=self.config.backend)
         return request
 
+    async def _with_timeout(self, awaitable: Any) -> Any:
+        """Bound one request by ``--request-timeout`` (None = unbounded).
+
+        A timeout is reported as a retryable 503: the computation budget was
+        exhausted *now*, but the same request may well fit once the queue
+        drains or the worker pool has healed.
+        """
+        timeout = self.config.request_timeout
+        if timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout)
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            self.registry.get("repro_solve_timeouts_total").inc()
+            raise ServiceError(
+                f"request exceeded the {timeout:g}s budget",
+                status=503,
+                code="timeout",
+            ) from exc
+
     def _finish(
         self, endpoint: str, start: float, status: int, payload: Any
     ) -> tuple[str, int, Any, str | None]:
@@ -309,10 +338,15 @@ class ServiceServer:
             content = (json.dumps(payload) + "\n").encode("utf-8")
             content_type = "application/json; charset=utf-8"
         reason = _REASONS.get(status, "OK")
+        # Every 503 here is transient by construction (full queue, crashed
+        # pool mid-heal, per-request budget): tell well-behaved clients when
+        # to come back instead of letting them hammer the recovering server.
+        retry_after = "Retry-After: 1\r\n" if status == 503 else ""
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(content)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )

@@ -455,6 +455,19 @@ def build_service_registry(
     registry.counter(
         "repro_solve_errors_total", "Solve computations that raised an error."
     )
+    registry.counter(
+        "repro_pool_crashes_total",
+        "Times the solve worker pool broke (crashed / killed worker) and "
+        "was disposed for healing.",
+    )
+    registry.counter(
+        "repro_solve_retries_total",
+        "Solve groups re-submitted after a worker-pool crash.",
+    )
+    registry.counter(
+        "repro_solve_timeouts_total",
+        "Requests rejected with 503 for exceeding --request-timeout.",
+    )
     registry.gauge(
         "repro_queue_depth",
         "Solve requests currently waiting in the batcher queue.",

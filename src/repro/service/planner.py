@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -40,8 +41,9 @@ from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heu
 from ..heuristics.linearization import linearize
 from ..heuristics.search import candidate_counts
 from ..runtime.cache import LRUCache, ResultCache
+from ..runtime.faults import fault_point
 from ..runtime.keys import platform_fingerprint, scenario_unit_key
-from ..runtime.parallel import resolve_jobs
+from ..runtime.parallel import dispose_executor, resolve_jobs
 from ..runtime.runner import _memoized_instance, _normalized_search
 from .metrics import MetricsRegistry
 from .schema import ScheduleRequest, ServiceError, SolveRequest
@@ -92,7 +94,9 @@ class _PlannedUnit:
     strategy: str
 
 
-def _solve_group(units: Sequence[_PlannedUnit]) -> list[dict[str, Any]]:
+def _solve_group(
+    units: Sequence[_PlannedUnit], attempt: int = 1
+) -> list[dict[str, Any]]:
     """Compute one family group (module-level, hence picklable for jobs>1).
 
     All units share workflow content, platform content, linearization and
@@ -100,7 +104,10 @@ def _solve_group(units: Sequence[_PlannedUnit]) -> list[dict[str, Any]]:
     :class:`SharedSweepScorer`.  Returns, per unit, the cacheable outcome
     payload, the schedule (order + checkpoint set) and the group's share of
     the sweep-pass / evaluation counters (stamped on the first entry).
+    ``attempt`` exists so fault specs can target only the first try of a
+    group (``service_group:attempt=1``) and let the retry succeed.
     """
+    fault_point("service_group", default="raise=RuntimeError", attempt=attempt)
     first = units[0].request
     workflow, _ = _memoized_instance(first.scenario)
     platform = first.scenario.platform
@@ -185,6 +192,12 @@ class ServicePlanner:
     jobs:
         Worker processes for computing groups (``1`` = in-thread, the
         reference path).
+    group_retries:
+        How many times a group is re-submitted after the worker pool
+        breaks underneath it (crashed / OOM-killed worker).  Each break
+        disposes and recreates the pool; once the budget is exhausted the
+        affected requests fail with a retryable 503 (``pool-crashed``)
+        while every other group's results are delivered normally.
     schedule_memory:
         Bound of the in-memory schedule LRU.  Outcomes persist to the disk
         cache, but schedules (order + checkpoint set) are only kept here:
@@ -197,11 +210,13 @@ class ServicePlanner:
         cache: ResultCache | None = None,
         registry: MetricsRegistry | None = None,
         jobs: int | None = 1,
+        group_retries: int = 1,
         schedule_memory: int = 512,
     ) -> None:
         self.cache = cache
         self.registry = registry
         self.jobs = resolve_jobs(jobs)
+        self.group_retries = max(0, int(group_retries))
         self._schedules = LRUCache(maxsize=schedule_memory)
         self._inflight: dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
@@ -376,20 +391,60 @@ class ServicePlanner:
             (indices, tuple(planned[i] for i in indices))
             for indices in groups.values()
         ]
-        executor = self._executor() if len(items) > 1 else None
-        if executor is None:
-            computed = [
-                self._safe_solve_group(units) for _, units in items
-            ]
-        else:
-            futures = [executor.submit(_solve_group, units) for _, units in items]
-            computed = []
-            for future in futures:
-                try:
-                    computed.append(future.result())
-                except Exception as exc:  # noqa: BLE001 - reported per unit
-                    computed.append(exc)
-        for (indices, units), group_result in zip(items, computed):
+        computed: dict[int, Any] = {}
+        remaining = list(range(len(items)))
+        attempt = 1
+        while remaining:
+            # Re-acquire each round: a broken pool is disposed below, so the
+            # retry round gets a freshly forked set of workers.
+            executor = self._executor() if len(items) > 1 else None
+            broken: list[int] = []
+            crash: BaseException | None = None
+            if executor is None:
+                for item_index in remaining:
+                    try:
+                        computed[item_index] = _solve_group(
+                            items[item_index][1], attempt
+                        )
+                    except BrokenProcessPool as exc:
+                        broken.append(item_index)
+                        crash = exc
+                    except Exception as exc:  # noqa: BLE001 - reported per unit
+                        computed[item_index] = exc
+            else:
+                futures = {
+                    item_index: executor.submit(
+                        _solve_group, items[item_index][1], attempt
+                    )
+                    for item_index in remaining
+                }
+                for item_index, future in futures.items():
+                    try:
+                        computed[item_index] = future.result()
+                    except BrokenProcessPool as exc:
+                        broken.append(item_index)
+                        crash = exc
+                    except Exception as exc:  # noqa: BLE001 - reported per unit
+                        computed[item_index] = exc
+            if not broken:
+                break
+            self._inc("repro_pool_crashes_total")
+            self._heal_pool()
+            if attempt > self.group_retries:
+                error = ServiceError(
+                    "solve worker pool crashed; retry shortly",
+                    status=503,
+                    code="pool-crashed",
+                )
+                error.__cause__ = crash
+                for item_index in broken:
+                    computed[item_index] = error
+                break
+            self._inc("repro_solve_retries_total", len(broken))
+            remaining = broken
+            attempt += 1
+        for item_index, (indices, units) in enumerate(items):
+            group_result = computed[item_index]
             if isinstance(group_result, Exception):
                 self._inc("repro_solve_errors_total", len(indices))
                 for index, unit in zip(indices, units):
@@ -410,12 +465,6 @@ class ServicePlanner:
                 results[index] = self._response(
                     unit.request, unit, outcome, schedule, source="computed"
                 )
-
-    def _safe_solve_group(self, units: Sequence[_PlannedUnit]):
-        try:
-            return _solve_group(units)
-        except Exception as exc:  # noqa: BLE001 - reported per unit
-            return exc
 
     def _resolve_inflight(
         self, key: str, *, value: Any = None, error: Exception | None = None
@@ -535,6 +584,17 @@ class ServicePlanner:
 
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
             return self._pool
+
+    def _heal_pool(self) -> None:
+        """Dispose a (possibly broken) pool so the next round forks anew.
+
+        ``dispose_executor`` also terminates worker processes outright —
+        ``shutdown`` alone would hang on a wedged worker.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            dispose_executor(pool)
 
     def close(self) -> None:
         """Shut down the worker pool (if one was started)."""

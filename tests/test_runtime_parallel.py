@@ -7,7 +7,12 @@ import os
 
 import pytest
 
-from repro.runtime import deterministic_chunksize, parallel_map, resolve_jobs
+from repro.runtime import (
+    WorkerFailure,
+    deterministic_chunksize,
+    parallel_map,
+    resolve_jobs,
+)
 
 
 class TestResolveJobs:
@@ -67,10 +72,21 @@ class TestParallelMap:
         # A failing unit must not discard sibling results: every non-failing
         # chunk is gathered (and reported) before the error propagates.
         seen = []
-        with pytest.raises(TypeError):
+        with pytest.raises(WorkerFailure) as excinfo:
             parallel_map(math.sqrt, [4.0, "x", 16.0, 25.0], jobs=2,
                          chunksize=1, on_result=lambda i, r: seen.append(i))
         assert sorted(seen) == [0, 2, 3]
+        failure = excinfo.value
+        assert failure.unit_index == 1
+        assert failure.kind == "error"
+        assert failure.attempts == 1
+        assert isinstance(failure.__cause__, TypeError)
+
+    def test_serial_failure_raises_the_original_exception(self):
+        # jobs=1 is the reference path: no supervision wrapper, the unit's
+        # own exception propagates unchanged.
+        with pytest.raises(TypeError):
+            parallel_map(math.sqrt, [4.0, "x"], jobs=1)
 
     def test_empty_input(self):
         assert parallel_map(str.upper, [], jobs=4) == []

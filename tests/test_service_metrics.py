@@ -194,6 +194,9 @@ class TestServiceRegistry:
         "repro_solve_evaluations_total",
         "repro_solve_batches_total",
         "repro_solve_errors_total",
+        "repro_pool_crashes_total",
+        "repro_solve_retries_total",
+        "repro_solve_timeouts_total",
         "repro_queue_depth",
         "repro_cache_hit_rate",
         "repro_solve_latency_seconds",
