@@ -34,6 +34,7 @@ from pathlib import Path
 import pytest
 
 from repro import Platform, Schedule, evaluate_schedule
+from repro.core.evaluator_native import native_available
 from repro.heuristics import linearize
 from repro.workflows import generators, pegasus
 
@@ -82,11 +83,13 @@ def test_evaluator_scaling_chain(benchmark, n_tasks, preset):
     )
 
 
-@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize("backend", ["python", "numpy", "native"])
 @pytest.mark.parametrize("n_tasks", [100, 400])
 def test_evaluator_backend_cybershake(benchmark, backend, n_tasks, preset):
     if preset == "smoke" and n_tasks > 200:
         pytest.skip("large sizes only at REPRO_BENCH_PRESET=paper")
+    if backend == "native" and not native_available():
+        pytest.skip("no C toolchain: native backend unavailable")
     schedule = _cybershake_schedule(n_tasks)
     evaluation = benchmark(lambda: evaluate_schedule(schedule, PLATFORM, backend=backend))
     assert evaluation.expected_makespan > 0
@@ -177,18 +180,104 @@ def test_backend_comparison_json():
     assert report["families"]["cybershake"]["500"]["speedup"] >= 2.0
 
 
+# ----------------------------------------------------------------------
+# Native kernel comparison (numpy vs the compiled C backend)
+# ----------------------------------------------------------------------
+def native_comparison(
+    sizes=COMPARISON_SIZES, *, repeats: int = 3, check_agreement: bool = True
+) -> dict:
+    """Time one evaluation per (family, size) on numpy vs native.
+
+    The ``speedup`` leaves are numpy-seconds over native-seconds — a
+    same-run relative measurement like the python/numpy report, so the
+    regression gate is robust to slow or fast CI runners.  Requires a C
+    toolchain (callers should check :func:`native_available` first).
+    """
+    report = report_scaffold(
+        "evaluator_native", platform_rate=PLATFORM.failure_rate, sizes=list(sizes)
+    )
+    report["families"] = {}
+    for family, build in _FAMILIES.items():
+        series = {}
+        for n_tasks in sizes:
+            schedule = build(n_tasks)
+            if check_agreement:
+                np_ = evaluate_schedule(schedule, PLATFORM, backend="numpy")
+                nat = evaluate_schedule(schedule, PLATFORM, backend="native")
+                ref = np_.expected_makespan
+                assert abs(nat.expected_makespan - ref) <= 1e-9 * max(1.0, abs(ref)), (
+                    family,
+                    n_tasks,
+                )
+            timings = {
+                backend: _best_of(
+                    lambda b=backend: evaluate_schedule(schedule, PLATFORM, backend=b),
+                    repeats,
+                )
+                for backend in ("numpy", "native")
+            }
+            series[str(n_tasks)] = {
+                "numpy_seconds": timings["numpy"],
+                "native_seconds": timings["native"],
+                "speedup": timings["numpy"] / timings["native"],
+            }
+        report["families"][family] = series
+    return report
+
+
+def _native_json_path() -> Path:
+    return Path(
+        os.environ.get(
+            "REPRO_BENCH_NATIVE_JSON", "benchmark_results/evaluator_native.json"
+        )
+    )
+
+
+def test_native_comparison_json():
+    """The compiled kernel beats numpy >= 5x on cybershake at n=500."""
+    if not native_available():
+        pytest.skip("no C toolchain: native backend unavailable")
+    report = native_comparison(repeats=5)
+    path = write_json_report(report, _native_json_path())
+    print(f"\nwrote {path}")
+    for family, series in report["families"].items():
+        for size, entry in series.items():
+            print(
+                f"{family:<11} n={size:<4} numpy {entry['numpy_seconds'] * 1e3:7.2f}ms  "
+                f"native {entry['native_seconds'] * 1e3:7.2f}ms  ({entry['speedup']:.1f}x)"
+            )
+    # The traversal-bound cybershake instance is where the C loss fill pays
+    # off most; the recursion-bound chain must still win clearly.
+    assert report["families"]["cybershake"]["500"]["speedup"] >= 5.0
+    assert report["families"]["chain"]["500"]["speedup"] >= 2.0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Compare the python and numpy evaluation backends."
+        description="Compare the python, numpy and native evaluation backends."
     )
     parser.add_argument("--sizes", type=int, nargs="+", default=list(COMPARISON_SIZES))
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--native",
+        action="store_true",
+        help="compare numpy vs the compiled native kernel instead of python vs numpy",
+    )
     add_output_argument(parser)
     args = parser.parse_args(argv)
-    report = backend_comparison(tuple(args.sizes), repeats=args.repeats)
-    path = write_backend_comparison(
-        report, Path(args.output) if args.output else None
-    )
+    if args.native:
+        if not native_available():
+            print("error: native backend unavailable (no C toolchain)")
+            return 1
+        report = native_comparison(tuple(args.sizes), repeats=args.repeats)
+        path = write_json_report(
+            report, Path(args.output) if args.output else _native_json_path()
+        )
+    else:
+        report = backend_comparison(tuple(args.sizes), repeats=args.repeats)
+        path = write_backend_comparison(
+            report, Path(args.output) if args.output else None
+        )
     print(json.dumps(report, indent=2))
     print(f"wrote {path}")
     return 0

@@ -40,6 +40,7 @@ import os
 from pathlib import Path
 
 from repro import Platform
+from repro.core.evaluator_native import native_available
 from repro.core.evaluator_np import _candidate_lists, _theorem3_kernel
 from repro.core.lost_work import _position_tables
 from repro.core.sweep import SweepState
@@ -147,12 +148,12 @@ def eager_batch_makespans(workflow, order, sets, platform) -> list[float]:
     return makespans
 
 
-def _time_sweep(workflow, order, sets, platform):
+def _time_sweep(workflow, order, sets, platform, *, backend="numpy"):
     """Time the incremental sweep end to end (state construction included)."""
     import time
 
     start = time.perf_counter()
-    state = SweepState(workflow, order, platform, backend="numpy", profile=True)
+    state = SweepState(workflow, order, platform, backend=backend, profile=True)
     makespans = [
         state.evaluate(selected, keep_task_times=False).expected_makespan
         for selected in sets
@@ -200,7 +201,7 @@ def sweep_comparison(sizes=COMPARISON_SIZES, *, check_agreement: bool = True) ->
             overhead = max(
                 0.0, incr_seconds - stats.fill_seconds - stats.kernel_seconds
             )
-            report["sweeps"][name][str(n_tasks)] = {
+            entry = {
                 "candidates": len(sets),
                 "eager_seconds": eager_seconds,
                 "incremental_seconds": incr_seconds,
@@ -215,6 +216,21 @@ def sweep_comparison(sizes=COMPARISON_SIZES, *, check_agreement: bool = True) ->
                 "rows_skipped": stats.rows_skipped,
                 "kernel_positions": stats.kernel_positions,
             }
+            if native_available():
+                native_seconds, native_values, _ = _time_sweep(
+                    workflow, order, sets, PLATFORM, backend="native"
+                )
+                if check_agreement:
+                    for got, ref in zip(native_values, eager_values):
+                        assert abs(got - ref) <= 1e-9 * max(1.0, abs(ref)), (
+                            name,
+                            n_tasks,
+                        )
+                # Informational columns, deliberately not named "speedup":
+                # the native regression gate lives in evaluator_native.json.
+                entry["native_seconds"] = native_seconds
+                entry["native_vs_numpy"] = incr_seconds / native_seconds
+            report["sweeps"][name][str(n_tasks)] = entry
     return report
 
 
@@ -228,12 +244,18 @@ def _print_report(report: dict) -> None:
     for name, series in report["sweeps"].items():
         for size, entry in series.items():
             phases = entry["phases"]
+            native = (
+                f"  native {entry['native_seconds']:6.2f}s "
+                f"({entry['native_vs_numpy']:.2f}x over numpy)"
+                if "native_seconds" in entry
+                else ""
+            )
             print(
                 f"{name:<18} n={size:<4} eager {entry['eager_seconds']:6.2f}s  "
                 f"incremental {entry['incremental_seconds']:6.2f}s  "
                 f"({entry['speedup']:.2f}x; fill {phases['loss_fill_seconds']:.2f}s "
                 f"kernel {phases['kernel_seconds']:.2f}s "
-                f"overhead {phases['overhead_seconds']:.2f}s)"
+                f"overhead {phases['overhead_seconds']:.2f}s){native}"
             )
 
 

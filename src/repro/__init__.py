@@ -33,7 +33,11 @@ True
 """
 
 from .core import (
+    BACKEND_REGISTRY,
     EVAL_BACKENDS,
+    Backend,
+    BackendRegistry,
+    BackendSpec,
     CycleError,
     LostWork,
     MakespanEvaluation,
@@ -74,6 +78,10 @@ except Exception:  # pragma: no cover - uninstalled source tree
     __version__ = "1.3.0"
 
 __all__ = [
+    "BACKEND_REGISTRY",
+    "Backend",
+    "BackendRegistry",
+    "BackendSpec",
     "CycleError",
     "EVAL_BACKENDS",
     "HEURISTIC_NAMES",

@@ -59,7 +59,7 @@ from typing import Sequence
 
 from . import __version__
 from .analysis import analyse_schedule, checkpoint_utilities
-from .core.backend import EVAL_BACKENDS
+from .core.backend import BACKEND_REGISTRY
 from .core.evaluator import evaluate_schedule
 from .core.platform import Platform, PlatformSpec
 from .experiments import (
@@ -315,6 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "answering 503 (default 1)")
     _add_backend_argument(serve)
 
+    # backends ----------------------------------------------------------
+    backends = subparsers.add_parser(
+        "backends",
+        help="list evaluation backends, availability and auto resolution",
+    )
+    backends.add_argument(
+        "--tasks", type=int, default=None, metavar="N",
+        help="also report what 'auto' resolves to for an N-task instance",
+    )
+    backends.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="emit the registry listing as a JSON object on stdout",
+    )
+
     # cache -------------------------------------------------------------
     cache = subparsers.add_parser("cache", help="inspect the persistent result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -341,9 +355,11 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     """``--backend`` shared by every evaluation-heavy sub-command."""
-    parser.add_argument("--backend", choices=EVAL_BACKENDS, default=None,
+    parser.add_argument("--backend", choices=BACKEND_REGISTRY.choices(),
+                        default=None,
                         help="Theorem-3 evaluation backend (default: auto, "
-                             "or the REPRO_EVAL_BACKEND environment variable)")
+                             "or the REPRO_EVAL_BACKEND environment variable; "
+                             "see 'repro backends' for availability)")
 
 
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
@@ -886,6 +902,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List registered evaluation backends (the registry's describe rows)."""
+    rows = BACKEND_REGISTRY.describe(n_tasks=args.tasks)
+    resolved: str | None = None
+    resolve_error: str | None = None
+    try:
+        resolved = BACKEND_REGISTRY.resolve("auto", n_tasks=args.tasks).name
+    except ValueError as exc:  # no available backend at all
+        resolve_error = str(exc)
+    if args.json_output:
+        payload: dict = {"backends": rows}
+        if args.tasks is not None:
+            payload["n_tasks"] = args.tasks
+        if resolved is not None:
+            payload["auto"] = resolved
+        else:
+            # The same {"error": {"code", "message"}} shape --json error
+            # reporting uses, nested so the listing still comes through.
+            payload["auto"] = None
+            payload["error"] = {"code": "no-backend", "message": resolve_error}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    name_width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        status = "available" if row["available"] else "unavailable"
+        line = (
+            f"{row['name']:<{name_width}}  {status:<11}  "
+            f"priority={row['priority']:<3} "
+            f"min_auto_tasks={row['min_auto_tasks']:<3} "
+            f"capabilities={','.join(row['capabilities'])}"
+        )
+        print(line)
+        if not row["available"]:
+            print(f"{'':<{name_width}}  reason: {row['unavailable_reason']}")
+    if resolved is not None:
+        suffix = f" for n_tasks={args.tasks}" if args.tasks is not None else ""
+        print(f"auto resolves to: {resolved}{suffix}")
+    else:
+        print(f"auto resolves to: error ({resolve_error})")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -896,6 +954,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "backends": _cmd_backends,
     "cache": _cmd_cache,
 }
 

@@ -6,7 +6,15 @@ expectation of Equation (1), the lost-work arrays of Algorithm 1, and the
 polynomial-time expected-makespan evaluator of Theorem 3.
 """
 
-from .backend import EVAL_BACKENDS, numpy_available, resolve_backend
+from .backend import (
+    BACKEND_REGISTRY,
+    EVAL_BACKENDS,
+    Backend,
+    BackendRegistry,
+    BackendSpec,
+    numpy_available,
+    resolve_backend,
+)
 from .dag import CycleError, Workflow, WorkflowStructure
 from .evaluator import MakespanEvaluation, evaluate_schedule, expected_makespan
 from .evaluator_np import batch_evaluate
@@ -23,6 +31,10 @@ from .sweep import SweepState, SweepStats
 from .task import Task
 
 __all__ = [
+    "BACKEND_REGISTRY",
+    "Backend",
+    "BackendRegistry",
+    "BackendSpec",
     "CycleError",
     "EVAL_BACKENDS",
     "LostWork",

@@ -1,45 +1,83 @@
-"""Evaluation-backend selection: pure-Python reference vs NumPy fast path.
+"""Pluggable evaluation-backend registry.
 
-The Theorem-3 evaluator exists in two implementations that compute the same
-quantity:
+The Theorem-3 evaluator exists in three implementations that compute the
+same quantity:
 
 * ``"python"`` — the always-available reference loop of
   :mod:`repro.core.evaluator`, kept deliberately close to the paper's
   notation;
-* ``"numpy"`` — the vectorized kernel of :mod:`repro.core.evaluator_np`,
-  which replaces the interpreted inner loops by array operations and is the
-  production path for large instances.
+* ``"numpy"`` — the vectorized kernel of :mod:`repro.core.evaluator_np`;
+* ``"native"`` — the compiled C kernel of
+  :mod:`repro.core.evaluator_native`, built on first use when a C
+  toolchain is present.
 
-Both saturate overflows at the same :data:`repro.core.expectation.OVERFLOW_EXPONENT`
-and agree within floating-point noise (the property tests pin a 1e-9 relative
-bound), so callers may treat the backend as a pure performance knob: cache
-keys deliberately exclude it, and a cache warmed by one backend serves the
-other.
+All of them saturate overflows at the same
+:data:`repro.core.expectation.OVERFLOW_EXPONENT` and agree within
+floating-point noise (the property tests pin a 1e-9 relative bound), so
+callers may treat the backend as a pure performance knob: cache keys
+deliberately exclude it, and a cache warmed by one backend serves the
+others.
+
+Backends are :class:`Backend` objects registered in a process-wide
+:class:`BackendRegistry` (:data:`BACKEND_REGISTRY`).  Each carries:
+
+* ``capabilities`` — which entry points it implements (``"evaluate"``,
+  ``"batch_evaluate"``, ``"sweep"``, ``"monte_carlo"``); resolution is
+  capability-aware, so e.g. the Monte-Carlo engine can never be handed the
+  native kernel (which has no simulation path);
+* ``priority`` — the ``"auto"`` preference order (higher wins);
+* ``min_auto_tasks`` — the instance size below which ``"auto"`` skips it
+  (per-call setup would exceed what the fast path saves);
+* ``available()`` — a lazy, memoized probe (numpy importable? C toolchain
+  present?).
+
+Third-party backends plug in either programmatically
+(``BACKEND_REGISTRY.register(Backend(...))``) or through the
+``repro.backends`` entry-point group: each entry point must resolve to a
+:class:`Backend` instance or a zero-argument callable returning one, and is
+loaded lazily on first resolution.
 
 Selection rules, in decreasing precedence:
 
-1. an explicit ``backend="python"`` / ``backend="numpy"`` argument;
+1. an explicit ``backend="python"`` / ``"numpy"`` / ``"native"`` argument
+   (or a :class:`BackendSpec` carrying one);
 2. the ``REPRO_EVAL_BACKEND`` environment variable (consulted when the
    argument is omitted or ``"auto"``);
-3. ``"auto"`` — NumPy when it is importable and the instance is large enough
-   for vectorization to pay off (:data:`AUTO_NUMPY_MIN_TASKS` tasks), the
-   Python reference otherwise.
+3. ``"auto"`` — the highest-priority backend that is available, implements
+   the required capability, and considers the instance large enough.
+
+A named backend that exists but lacks the *required capability* falls back
+to the automatic choice among capable backends (so ``backend="native"``
+keeps working on a Monte-Carlo call instead of erroring); a named backend
+that is *unavailable* on this machine raises a clear :class:`ValueError`.
+
+:func:`resolve_backend` and :data:`EVAL_BACKENDS` are kept as thin
+deprecated shims over the registry so pre-registry call sites (and cached
+campaign configurations naming a backend) keep working unchanged.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .evaluator import MakespanEvaluation
+    from .platform import Platform
+    from .schedule import Schedule
 
 __all__ = [
     "AUTO_NUMPY_MIN_TASKS",
     "BACKEND_ENV_VAR",
+    "BACKEND_REGISTRY",
+    "Backend",
+    "BackendRegistry",
+    "BackendSpec",
     "EVAL_BACKENDS",
     "numpy_available",
     "resolve_backend",
 ]
-
-#: Accepted values of every ``backend=`` parameter (and of the CLI flag).
-EVAL_BACKENDS: tuple[str, ...] = ("auto", "python", "numpy")
 
 #: Environment variable overriding the default backend choice.  It applies
 #: wherever the backend is left unspecified (or explicitly ``"auto"``), which
@@ -48,9 +86,14 @@ EVAL_BACKENDS: tuple[str, ...] = ("auto", "python", "numpy")
 BACKEND_ENV_VAR = "REPRO_EVAL_BACKEND"
 
 #: Below this many scheduled tasks, ``"auto"`` keeps the Python reference:
-#: the per-call overhead of assembling NumPy arrays exceeds what
-#: vectorization saves on tiny instances.
+#: the per-call overhead of assembling NumPy arrays (or crossing the ctypes
+#: boundary) exceeds what vectorization saves on tiny instances.  Kept under
+#: its historical name as the default ``min_auto_tasks`` of the array-based
+#: backends.
 AUTO_NUMPY_MIN_TASKS = 32
+
+#: Entry-point group scanned for third-party backends.
+ENTRY_POINT_GROUP = "repro.backends"
 
 _NUMPY_AVAILABLE: bool | None = None
 
@@ -68,42 +111,445 @@ def numpy_available() -> bool:
     return _NUMPY_AVAILABLE
 
 
-def resolve_backend(backend: str | None = None, *, n_tasks: int | None = None) -> str:
-    """Resolve a backend request to a concrete ``"python"`` / ``"numpy"``.
+# ----------------------------------------------------------------------
+# Backend objects
+# ----------------------------------------------------------------------
+class Backend:
+    """One evaluation backend: capabilities, availability and entry points.
 
     Parameters
     ----------
-    backend:
-        ``"python"``, ``"numpy"``, ``"auto"`` or ``None``.  ``None`` and
-        ``"auto"`` defer to :data:`BACKEND_ENV_VAR`, then to the automatic
-        choice.
-    n_tasks:
-        Size of the instance about to be evaluated, if known; lets ``"auto"``
-        keep tiny instances on the reference path.  ``None`` means "assume
-        large" (used when validating a backend name before any instance
-        exists).
-
-    Raises
-    ------
-    ValueError
-        For an unknown backend name, or when ``"numpy"`` is requested
-        explicitly but NumPy is not importable.
+    name:
+        Registry key (the value callers pass as ``backend="..."``).
+    capabilities:
+        Entry points this backend implements, from ``{"evaluate",
+        "batch_evaluate", "sweep", "monte_carlo"}`` (free-form strings are
+        allowed for third-party capabilities).
+    priority:
+        ``"auto"`` preference (higher wins among available backends).
+    min_auto_tasks:
+        Instance size below which ``"auto"`` passes this backend over.
+        Explicit requests ignore it.
+    available:
+        Zero-argument availability probe (default: always available).  The
+        registry calls it lazily — an expensive probe (e.g. the native
+        backend's first-use compilation) should memoize internally.
+    unavailable_reason:
+        Zero-argument callable returning a human-readable reason when the
+        probe fails (used by diagnostics such as ``repro backends``).
+    evaluate:
+        ``(schedule, platform, *, lost_work=None, keep_probabilities=False)
+        -> MakespanEvaluation``; required for the ``"evaluate"`` capability.
+        Looked up lazily so registering a backend never imports its
+        implementation module.
+    sweep_kernels:
+        Zero-argument callable returning the backend's compiled sweep hooks
+        (see :class:`repro.core.sweep.SweepState`); only meaningful for
+        backends whose sweep phases live outside the shared numpy engine.
     """
-    if backend is None or backend == "auto":
-        env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
-        backend = env if env and env != "auto" else "auto"
-    if backend == "auto":
-        if not numpy_available():
-            return "python"
-        if n_tasks is not None and n_tasks < AUTO_NUMPY_MIN_TASKS:
-            return "python"
-        return "numpy"
-    if backend not in ("python", "numpy"):
-        raise ValueError(
-            f"unknown evaluation backend {backend!r}; expected one of {EVAL_BACKENDS}"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        capabilities: Iterable[str],
+        priority: int = 0,
+        min_auto_tasks: int = 0,
+        available: Callable[[], bool] | None = None,
+        unavailable_reason: Callable[[], str | None] | None = None,
+        evaluate: Callable[..., "MakespanEvaluation"] | None = None,
+        sweep_kernels: Callable[[], Any] | None = None,
+    ) -> None:
+        self.name = str(name)
+        self.capabilities = frozenset(capabilities)
+        self.priority = int(priority)
+        self.min_auto_tasks = int(min_auto_tasks)
+        self._available = available
+        self._unavailable_reason = unavailable_reason
+        self._evaluate = evaluate
+        self._sweep_kernels = sweep_kernels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Backend({self.name!r}, capabilities={sorted(self.capabilities)})"
+
+    def available(self) -> bool:
+        """Whether this backend can run in this process (lazy probe)."""
+        return True if self._available is None else bool(self._available())
+
+    def unavailable_reason(self) -> str | None:
+        """Human-readable availability diagnosis (``None`` when available)."""
+        if self.available():
+            return None
+        if self._unavailable_reason is not None:
+            return self._unavailable_reason()
+        return f"the {self.name} backend is not available in this process"
+
+    def evaluate(
+        self,
+        schedule: "Schedule",
+        platform: "Platform",
+        *,
+        lost_work: Any = None,
+        keep_probabilities: bool = False,
+    ) -> "MakespanEvaluation":
+        """One-shot Theorem-3 evaluation through this backend."""
+        if self._evaluate is None:
+            raise ValueError(
+                f"backend {self.name!r} does not implement 'evaluate'"
+            )
+        return self._evaluate(
+            schedule,
+            platform,
+            lost_work=lost_work,
+            keep_probabilities=keep_probabilities,
         )
-    if backend == "numpy" and not numpy_available():
-        raise ValueError(
-            "the numpy evaluation backend was requested but numpy is not importable"
+
+    def batch_evaluate(
+        self,
+        workflow,
+        order: Sequence[int],
+        checkpoint_sets: Iterable[Iterable[int]],
+        platform: "Platform",
+        *,
+        keep_task_times: bool = True,
+    ) -> list["MakespanEvaluation"]:
+        """Score many checkpoint sets over one linearization.
+
+        Default implementation: the shared incremental sweep engine pinned
+        to this backend (which is how all built-in backends batch).
+        """
+        from .evaluator_np import batch_evaluate as _batch
+
+        return _batch(
+            workflow,
+            order,
+            checkpoint_sets,
+            platform,
+            backend=self.name,
+            keep_task_times=keep_task_times,
         )
-    return backend
+
+    def sweep_kernels(self) -> Any:
+        """Compiled sweep hooks, or ``None`` when the shared engine's own
+        phases serve this backend."""
+        return None if self._sweep_kernels is None else self._sweep_kernels()
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One resolved backend request, threaded through the solver layers.
+
+    Collapses what used to travel as parallel ``backend=`` /
+    ``evaluator=`` / ``sweep_evaluator=`` keyword arguments into a single
+    value: the *backend name* every evaluation of a solve should use, plus
+    (optionally) a shared candidate-set ``evaluator`` that replaces the
+    private sweep of a checkpoint-count search (the service layer's
+    cross-request batching hook — see
+    :class:`repro.service.planner.SharedSweepScorer`).
+
+    Every solver entry point that used to take ``backend: str | None``
+    accepts a :class:`BackendSpec` in the same position; plain strings and
+    ``None`` keep working via :meth:`coerce`.  Cache keys stay
+    backend-agnostic exactly as before — a spec never enters a key.
+    """
+
+    backend: str | None = None
+    evaluator: Callable[[frozenset[int]], "MakespanEvaluation"] | None = None
+
+    @classmethod
+    def coerce(cls, value: "BackendSpec | str | None") -> "BackendSpec":
+        """Normalize a ``backend=`` argument (name, ``None`` or spec)."""
+        if isinstance(value, cls):
+            return value
+        if value is None or isinstance(value, str):
+            return cls(backend=value)
+        raise TypeError(
+            f"backend must be a backend name, None or BackendSpec, "
+            f"got {type(value).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class BackendRegistry:
+    """Process-wide table of :class:`Backend` objects with resolution rules.
+
+    Use the module-level :data:`BACKEND_REGISTRY` instance; constructing
+    private registries is supported for tests.
+    """
+
+    def __init__(self) -> None:
+        self._backends: dict[str, Backend] = {}
+        self._entry_points_loaded = False
+
+    # -- registration ---------------------------------------------------
+    def register(self, backend: Backend, *, replace: bool = False) -> Backend:
+        """Add ``backend`` under its name; ``replace=True`` overrides."""
+        name = backend.name
+        if name == "auto":
+            raise ValueError("'auto' is reserved for automatic resolution")
+        if not replace and name in self._backends:
+            raise ValueError(f"backend {name!r} is already registered")
+        self._backends[name] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered backend (primarily a test hook)."""
+        self._backends.pop(name, None)
+
+    def _load_entry_points(self) -> None:
+        if self._entry_points_loaded:
+            return
+        self._entry_points_loaded = True
+        try:
+            from importlib.metadata import entry_points
+
+            for ep in entry_points(group=ENTRY_POINT_GROUP):
+                try:
+                    obj = ep.load()
+                    backend = obj() if callable(obj) and not isinstance(obj, Backend) else obj
+                    if isinstance(backend, Backend) and backend.name not in self._backends:
+                        self.register(backend)
+                except Exception:  # pragma: no cover - third-party failure
+                    continue  # a broken plugin must not break resolution
+        except Exception:  # pragma: no cover - metadata machinery missing
+            pass
+
+    # -- introspection --------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Registered backend names, in ``"auto"`` preference order."""
+        self._load_entry_points()
+        ordered = sorted(
+            self._backends.values(), key=lambda b: (b.priority, b.name)
+        )
+        return tuple(b.name for b in ordered)
+
+    def choices(self) -> tuple[str, ...]:
+        """Valid ``backend=`` values: ``"auto"`` plus every registered name
+        (what CLI flags and request validators should accept)."""
+        return ("auto", *self.names())
+
+    def get(self, name: str) -> Backend:
+        """The backend registered under ``name`` (:class:`ValueError` if
+        unknown — with the historical message, so error-matching callers
+        and tests keep working)."""
+        self._load_entry_points()
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown evaluation backend {name!r}; "
+                f"expected one of {self.choices()}"
+            ) from None
+
+    # -- resolution -----------------------------------------------------
+    def resolve(
+        self,
+        spec: "BackendSpec | str | None" = None,
+        *,
+        n_tasks: int | None = None,
+        require: str = "evaluate",
+    ) -> Backend:
+        """Resolve a backend request to a concrete :class:`Backend`.
+
+        Parameters
+        ----------
+        spec:
+            A backend name, ``None``, or a :class:`BackendSpec`.  ``None``
+            and ``"auto"`` defer to :data:`BACKEND_ENV_VAR`, then to the
+            automatic choice.
+        n_tasks:
+            Size of the instance about to be evaluated, if known; lets
+            ``"auto"`` keep tiny instances on low-overhead backends.
+            ``None`` means "assume large" (used when validating a backend
+            name before any instance exists).
+        require:
+            Capability the caller is about to use.  A *named* backend
+            lacking it falls back to the automatic choice among capable
+            backends; ``"auto"`` only ever considers capable ones.
+
+        Raises
+        ------
+        ValueError
+            For an unknown backend name, or when a named backend is not
+            available on this machine (no numpy / no C toolchain).
+        """
+        if isinstance(spec, BackendSpec):
+            spec = spec.backend
+        name = spec
+        if name is None or name == "auto":
+            env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+            name = env if env and env != "auto" else "auto"
+        if name != "auto":
+            backend = self.get(name)
+            if require not in backend.capabilities:
+                # E.g. backend="native" on a Monte-Carlo call: the kernel
+                # has no simulation path, so the request degrades to the
+                # automatic choice instead of erroring out mid-campaign.
+                return self._auto(n_tasks, require)
+            if not backend.available():
+                raise ValueError(
+                    f"the {name} evaluation backend was requested but is "
+                    f"not available: {backend.unavailable_reason()}"
+                )
+            return backend
+        return self._auto(n_tasks, require)
+
+    def _auto(self, n_tasks: int | None, require: str) -> Backend:
+        self._load_entry_points()
+        fallback: Backend | None = None
+        for backend in sorted(
+            self._backends.values(),
+            key=lambda b: (-b.priority, b.name),
+        ):
+            if require not in backend.capabilities:
+                continue
+            if not backend.available():
+                continue
+            if fallback is None or backend.min_auto_tasks == 0:
+                fallback = fallback or backend
+            if n_tasks is not None and n_tasks < backend.min_auto_tasks:
+                continue
+            return backend
+        if fallback is not None:
+            return fallback
+        raise ValueError(
+            f"no available evaluation backend implements {require!r}"
+        )
+
+    def describe(self, *, n_tasks: int | None = None) -> list[dict[str, Any]]:
+        """Machine-readable registry listing (the ``repro backends`` data).
+
+        One mapping per backend: name, priority, ``min_auto_tasks``, sorted
+        capabilities, availability and — when unavailable — the reason.
+        """
+        rows: list[dict[str, Any]] = []
+        for name in self.names():
+            backend = self.get(name)
+            available = backend.available()
+            row: dict[str, Any] = {
+                "name": backend.name,
+                "priority": backend.priority,
+                "min_auto_tasks": backend.min_auto_tasks,
+                "capabilities": sorted(backend.capabilities),
+                "available": available,
+            }
+            if not available:
+                row["unavailable_reason"] = backend.unavailable_reason()
+            rows.append(row)
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+def _python_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+    from .evaluator import evaluate_schedule
+
+    return evaluate_schedule(
+        schedule,
+        platform,
+        lost_work=lost_work,
+        keep_probabilities=keep_probabilities,
+        backend="python",
+    )
+
+
+def _numpy_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+    from .evaluator_np import evaluate_schedule_numpy
+
+    return evaluate_schedule_numpy(
+        schedule,
+        platform,
+        lost_work=lost_work,
+        keep_probabilities=keep_probabilities,
+    )
+
+
+def _native_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+    from .evaluator_native import evaluate_schedule_native
+
+    return evaluate_schedule_native(
+        schedule,
+        platform,
+        lost_work=lost_work,
+        keep_probabilities=keep_probabilities,
+    )
+
+
+def _native_ok() -> bool:
+    from .evaluator_native import native_available
+
+    return native_available()
+
+
+def _native_reason() -> str | None:
+    from .evaluator_native import native_unavailable_reason
+
+    return native_unavailable_reason()
+
+
+def _native_kernels():
+    from .evaluator_native import load_kernels
+
+    return load_kernels()
+
+
+BACKEND_REGISTRY = BackendRegistry()
+BACKEND_REGISTRY.register(
+    Backend(
+        "python",
+        capabilities=("evaluate", "batch_evaluate", "sweep", "monte_carlo"),
+        priority=0,
+        min_auto_tasks=0,
+        evaluate=_python_evaluate,
+    )
+)
+BACKEND_REGISTRY.register(
+    Backend(
+        "numpy",
+        capabilities=("evaluate", "batch_evaluate", "sweep", "monte_carlo"),
+        priority=10,
+        min_auto_tasks=AUTO_NUMPY_MIN_TASKS,
+        available=numpy_available,
+        unavailable_reason=lambda: "numpy is not importable",
+        evaluate=_numpy_evaluate,
+    )
+)
+BACKEND_REGISTRY.register(
+    Backend(
+        "native",
+        capabilities=("evaluate", "batch_evaluate", "sweep"),
+        priority=20,
+        min_auto_tasks=AUTO_NUMPY_MIN_TASKS,
+        available=_native_ok,
+        unavailable_reason=_native_reason,
+        evaluate=_native_evaluate,
+        sweep_kernels=_native_kernels,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims (pre-registry API)
+# ----------------------------------------------------------------------
+#: Deprecated: the built-in ``backend=`` values, frozen at import time.
+#: Prefer ``BACKEND_REGISTRY.choices()``, which also reflects backends
+#: registered later (entry points, tests, plugins).
+EVAL_BACKENDS: tuple[str, ...] = ("auto", "python", "numpy", "native")
+
+
+def resolve_backend(
+    backend: "BackendSpec | str | None" = None, *, n_tasks: int | None = None
+) -> str:
+    """Deprecated shim: resolve a backend request to a concrete *name*.
+
+    Pre-registry call sites used the returned string to pick an
+    implementation by hand; new code should call
+    ``BACKEND_REGISTRY.resolve(...)`` and use the returned
+    :class:`Backend` object directly.  Kept because the name is also a
+    convenient validator (campaign runners resolve eagerly so a typoed
+    ``--backend`` fails before any cache lookup).
+    """
+    return BACKEND_REGISTRY.resolve(backend, n_tasks=n_tasks).name

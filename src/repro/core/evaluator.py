@@ -39,7 +39,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .backend import resolve_backend
+from .backend import BACKEND_REGISTRY, BackendSpec
 from .expectation import OVERFLOW_EXPONENT, expected_execution_time
 from .lost_work import LostWork, compute_lost_work
 from .platform import Platform
@@ -102,7 +102,7 @@ def evaluate_schedule(
     *,
     lost_work: LostWork | None = None,
     keep_probabilities: bool = False,
-    backend: str | None = None,
+    backend: str | BackendSpec | None = None,
 ) -> MakespanEvaluation:
     """Compute the expected makespan of ``schedule`` on ``platform``.
 
@@ -119,9 +119,11 @@ def evaluate_schedule(
         When true, the full :math:`P(Z^i_k)` table is attached to the result
         (quadratic memory).
     backend:
-        ``"auto"`` (default), ``"python"`` or ``"numpy"`` — see
-        :func:`repro.core.backend.resolve_backend`.  Both backends compute
-        the same quantity; the choice is a pure performance knob.
+        A registered backend name (``"auto"`` / ``"python"`` / ``"numpy"``
+        / ``"native"`` / ...), a :class:`~repro.core.backend.BackendSpec`,
+        or ``None`` for ``"auto"`` — see
+        :meth:`repro.core.backend.BackendRegistry.resolve`.  All backends
+        compute the same quantity; the choice is a pure performance knob.
 
     Returns
     -------
@@ -133,18 +135,18 @@ def evaluate_schedule(
     lam = platform.failure_rate
     downtime = platform.downtime
 
-    # The trivial cases below are shared bookkeeping, so both backends are
+    # The trivial cases below are shared bookkeeping, so all backends are
     # bit-for-bit identical there; the recursion is where they diverge
     # (within floating-point noise — the property tests pin the bound).
-    if n > 0 and lam != 0.0 and resolve_backend(backend, n_tasks=n) == "numpy":
-        from .evaluator_np import evaluate_schedule_numpy
-
-        return evaluate_schedule_numpy(
-            schedule,
-            platform,
-            lost_work=lost_work,
-            keep_probabilities=keep_probabilities,
-        )
+    if n > 0 and lam != 0.0:
+        resolved = BACKEND_REGISTRY.resolve(backend, n_tasks=n)
+        if resolved.name != "python":
+            return resolved.evaluate(
+                schedule,
+                platform,
+                lost_work=lost_work,
+                keep_probabilities=keep_probabilities,
+            )
 
     weights = [workflow.task(t).weight for t in order]
     ckpt_costs = [

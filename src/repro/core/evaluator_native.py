@@ -1,0 +1,351 @@
+"""Native (compiled C) backend for the Theorem-3 / Algorithm-1 kernels.
+
+The two hot loops of the evaluation pipeline — the Algorithm-1 lost-work
+fill and the sequential Theorem-3 recursion — are implemented once more in
+plain C (``_theorem3.c``, shipped next to this module) and compiled **on
+first use** with whatever C compiler the machine has (``cc``/``gcc``/
+``clang``; no ``Python.h`` needed, the library is loaded through
+:mod:`ctypes`).  Compiled objects are cached on disk keyed by a hash of the
+source, compiler and flags, so every later process start is a plain
+``dlopen``.
+
+Why compile at runtime instead of requiring numba/Cython at install time:
+the package stays a pure-Python install, machines without a toolchain
+degrade silently (``backend="auto"`` keeps the numpy path — see
+:func:`repro.core.backend.resolve_backend`), and the kernel is compiled
+with ``-O3 -march=native`` for the actual CPU it runs on.
+
+Entry points
+------------
+* :func:`native_available` / :func:`native_unavailable_reason` — probe (and
+  memoize) whether the kernel can be built and loaded here;
+* :func:`load_kernels` — the ctypes bindings used by
+  :class:`repro.core.sweep.SweepState` for its native fill / kernel phases;
+* :func:`evaluate_schedule_native` — one-shot evaluation, routed through a
+  fresh sweep state so one-shot and sweep results are bit-for-bit identical
+  by construction.
+
+Environment knobs
+-----------------
+``REPRO_NATIVE_CC``
+    Compiler executable (default: ``cc``, then ``gcc``, then ``clang`` —
+    first one found on ``PATH``).
+``REPRO_NATIVE_CFLAGS``
+    Optimization flags (default ``-O3 -march=native``); OpenMP is probed
+    separately and dropped when unsupported.
+``REPRO_NATIVE_CACHE``
+    Directory for compiled objects (default
+    ``~/.cache/repro-workflows/native``).
+``REPRO_NATIVE_DISABLE``
+    Any non-empty value marks the backend unavailable (useful to pin the
+    numpy path, and to exercise the fallback in tests).
+``REPRO_NATIVE_THREADS``
+    Worker threads for bulk row fills (default: the CPU count; fills of a
+    few rows always stay serial).  Thread count can never change a value —
+    rows are priced independently.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform as _platform
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from .lost_work import LostWork
+from .platform import Platform
+from .schedule import Schedule
+
+__all__ = [
+    "NativeBuildError",
+    "evaluate_schedule_native",
+    "load_kernels",
+    "native_available",
+    "native_unavailable_reason",
+]
+
+#: ABI version this module expects; must match ``repro_abi_version()`` in
+#: the C source (bumped together whenever an exported signature changes).
+_ABI_VERSION = 1
+
+_SOURCE_PATH = Path(__file__).with_name("_theorem3.c")
+
+#: Memoized build outcome: ``None`` = not probed yet, otherwise a tuple of
+#: (kernels-or-None, failure-reason-or-None).
+_STATE: tuple["NativeKernels | None", str | None] | None = None
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernel could not be compiled or loaded on this machine."""
+
+
+class NativeKernels:
+    """ctypes bindings of the compiled kernel library.
+
+    ``fill_rows`` and ``theorem3_kernel`` mirror the C signatures; callers
+    pass raw data pointers (``ndarray.ctypes.data``) of C-contiguous arrays
+    they own for the duration of the call.
+    """
+
+    def __init__(self, lib: ctypes.CDLL, path: Path, openmp: bool) -> None:
+        self.path = path
+        self.openmp = openmp
+        self.fill_rows = lib.repro_fill_rows
+        self.fill_rows.restype = None
+        self.fill_rows.argtypes = (
+            [ctypes.c_int64, ctypes.c_void_p, ctypes.c_int64]
+            + [ctypes.c_void_p] * 8  # fwords..charges, loss_t
+            + [ctypes.c_int64]  # n1
+            + [ctypes.c_void_p] * 4  # out_cols, out_vals, out_off, out_counts
+            + [ctypes.c_int64]  # threads
+        )
+        self.theorem3_kernel = lib.repro_theorem3_kernel
+        self.theorem3_kernel.restype = None
+        self.theorem3_kernel.argtypes = [
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_void_p,
+            ctypes.c_int64,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+        ]
+        self.fill_threads = _fill_threads()
+
+
+def _fill_threads() -> int:
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _compiler() -> str | None:
+    override = os.environ.get("REPRO_NATIVE_CC", "").strip()
+    if override:
+        return override if shutil.which(override) else None
+    for cc in ("cc", "gcc", "clang"):
+        if shutil.which(cc):
+            return cc
+    return None
+
+
+def _cflags() -> list[str]:
+    raw = os.environ.get("REPRO_NATIVE_CFLAGS", "").strip()
+    return raw.split() if raw else ["-O3", "-march=native"]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-workflows" / "native"
+
+
+def _build_key(cc: str, flags: list[str], source: bytes) -> str:
+    payload = "\0".join(
+        [cc, " ".join(flags), _platform.machine(), str(_ABI_VERSION)]
+    ).encode() + source
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _compile(cc: str, flags: list[str], output: Path) -> bool:
+    """Compile the kernel to ``output``; returns whether OpenMP was linked.
+
+    The OpenMP variant is tried first and silently dropped when the
+    toolchain rejects ``-fopenmp`` — the parallel pragma compiles away and
+    fills run serially, with identical values.  Concurrent builders (e.g.
+    campaign workers on a cold cache) race benignly: each compiles to its
+    own temporary file and the ``os.replace`` into place is atomic.
+    """
+    output.parent.mkdir(parents=True, exist_ok=True)
+    base = ["-shared", "-fPIC", str(_SOURCE_PATH), "-lm"]
+    for openmp in (True, False):
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=output.parent)
+        os.close(fd)
+        cmd = [cc, *flags, *(["-fopenmp"] if openmp else []), *base, "-o", tmp]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            os.unlink(tmp)
+            raise NativeBuildError(f"compiler invocation failed: {exc}") from exc
+        if proc.returncode == 0:
+            os.replace(tmp, output)
+            return openmp
+        os.unlink(tmp)
+        if not openmp:
+            raise NativeBuildError(
+                f"compilation failed ({' '.join(cmd[:-2])}): "
+                f"{proc.stderr.strip()[:500]}"
+            )
+    raise NativeBuildError("unreachable")  # pragma: no cover
+
+
+def _build_and_load() -> NativeKernels:
+    if os.environ.get("REPRO_NATIVE_DISABLE", "").strip():
+        raise NativeBuildError(
+            "native backend disabled via REPRO_NATIVE_DISABLE"
+        )
+    cc = _compiler()
+    if cc is None:
+        raise NativeBuildError(
+            "no C compiler found (looked for cc/gcc/clang on PATH; "
+            "set REPRO_NATIVE_CC to override)"
+        )
+    if not _SOURCE_PATH.is_file():
+        raise NativeBuildError(f"kernel source missing: {_SOURCE_PATH}")
+    source = _SOURCE_PATH.read_bytes()
+    flags = _cflags()
+    try:
+        cache = _cache_dir()
+        cache.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        cache = Path(tempfile.gettempdir()) / "repro-native"
+    lib_path = cache / f"theorem3-{_build_key(cc, flags, source)}.so"
+
+    openmp = True  # unknown for cache hits; reprobed below via omp symbol
+    if not lib_path.is_file():
+        openmp = _compile(cc, flags, lib_path)
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError:
+        # Stale or truncated cache entry (e.g. built by an incompatible
+        # toolchain): rebuild once from scratch.
+        try:
+            lib_path.unlink()
+        except OSError:
+            pass
+        openmp = _compile(cc, flags, lib_path)
+        try:
+            lib = ctypes.CDLL(str(lib_path))
+        except OSError as exc:
+            raise NativeBuildError(f"compiled kernel failed to load: {exc}") from exc
+
+    abi = lib.repro_abi_version
+    abi.restype = ctypes.c_int64
+    if int(abi()) != _ABI_VERSION:
+        # A cache entry from an older source revision whose hash collided
+        # (practically impossible) or a hand-placed library: reject it.
+        raise NativeBuildError(
+            f"cached kernel has ABI {int(abi())}, expected {_ABI_VERSION}"
+        )
+    selftest = lib.repro_native_selftest
+    selftest.restype = ctypes.c_double
+    error = float(selftest())
+    if not error < 1e-12:
+        raise NativeBuildError(
+            f"kernel self-test failed (max transcendental error {error:g})"
+        )
+    return NativeKernels(lib, lib_path, openmp)
+
+
+def _probe() -> tuple[NativeKernels | None, str | None]:
+    global _STATE
+    if _STATE is None:
+        try:
+            import numpy  # noqa: F401  (the native path drives numpy buffers)
+        except Exception:  # pragma: no cover - exercised only without numpy
+            _STATE = (None, "numpy is required to drive the native kernels")
+            return _STATE
+        try:
+            _STATE = (_build_and_load(), None)
+        except NativeBuildError as exc:
+            _STATE = (None, str(exc))
+    return _STATE
+
+
+def invalidate_probe_cache() -> None:
+    """Forget the memoized build outcome (test hook: environment changes
+    such as ``REPRO_NATIVE_DISABLE`` are only seen by the next probe)."""
+    global _STATE
+    _STATE = None
+
+
+def native_available() -> bool:
+    """Whether the native backend can be compiled and loaded here.
+
+    The first call on a cold cache pays one compiler invocation (~a second);
+    every later call in the process is a memo read, and later processes
+    reuse the on-disk object.
+    """
+    return _probe()[0] is not None
+
+
+def native_unavailable_reason() -> str | None:
+    """Why :func:`native_available` is false (``None`` when available)."""
+    return _probe()[1]
+
+
+def load_kernels() -> NativeKernels:
+    """The compiled kernel bindings; raises :class:`NativeBuildError` with
+    the build failure when the backend is unavailable."""
+    kernels, reason = _probe()
+    if kernels is None:
+        raise NativeBuildError(reason or "native backend unavailable")
+    return kernels
+
+
+def evaluate_schedule_native(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    lost_work: LostWork | None = None,
+    keep_probabilities: bool = False,
+):
+    """Native implementation of :func:`repro.core.evaluator.evaluate_schedule`.
+
+    The ranking path (no precomputed lost work, no probability table) runs a
+    fresh :class:`~repro.core.sweep.SweepState` on the native backend — a
+    one-shot evaluation is a sweep of length one, so one-shot and sweep
+    results are **bit-for-bit identical by construction** (the contract the
+    search and refinement layers rely on when they re-evaluate a sweep
+    winner through the one-shot entry point).
+
+    The diagnostic paths — ``keep_probabilities=True`` or a precomputed
+    ``lost_work`` — are served by the numpy canon instead: they are rare,
+    off the hot loops, and the two backends agree within the 1e-9
+    equivalence bound the property suite pins.  The trivial ``n = 0`` /
+    ``lambda = 0`` cases delegate to the shared reference bookkeeping,
+    exactly like the numpy entry point.
+    """
+    from .evaluator import evaluate_schedule
+
+    n = schedule.n_tasks
+    lam = platform.failure_rate
+    if n == 0 or lam == 0.0:
+        return evaluate_schedule(
+            schedule, platform, lost_work=lost_work,
+            keep_probabilities=keep_probabilities, backend="python",
+        )
+    if lost_work is not None or keep_probabilities:
+        from .evaluator_np import evaluate_schedule_numpy
+
+        return evaluate_schedule_numpy(
+            schedule, platform, lost_work=lost_work,
+            keep_probabilities=keep_probabilities,
+        )
+
+    from dataclasses import replace as _replace
+
+    from .sweep import SweepState
+
+    state = SweepState(schedule.workflow, schedule.order, platform, backend="native")
+    evaluation = state.evaluate(schedule.checkpointed)
+    return _replace(
+        evaluation, failure_free_makespan=schedule.failure_free_makespan
+    )

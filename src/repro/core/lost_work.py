@@ -139,12 +139,18 @@ def _position_tables(
     weight = [0.0] * (n + 1)
     recovery_cost = [0.0] * (n + 1)
     predecessors: list[tuple[int, ...]] = [()] * (n + 1)
+    # Indexed reads instead of the task()/predecessors() accessors: callers
+    # hand in validated orders (Schedule / SweepState check them first), and
+    # the per-index validation is measurable at the rate batch evaluation
+    # constructs these tables.
+    tasks = workflow.tasks
+    preds = workflow._pred
     for pos_zero, task_index in enumerate(order):
         pos = pos_zero + 1
-        task = workflow.task(task_index)
+        task = tasks[task_index]
         weight[pos] = task.weight
         recovery_cost[pos] = task.recovery_cost
-        predecessors[pos] = tuple(position[p] for p in workflow.predecessors(task_index))
+        predecessors[pos] = tuple(position[p] for p in preds[task_index])
     return position, weight, recovery_cost, predecessors
 
 

@@ -46,9 +46,10 @@ import math
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, replace
+from itertools import chain
 from typing import Any, Iterable, Sequence
 
-from .backend import resolve_backend
+from .backend import BACKEND_REGISTRY, resolve_backend
 from .evaluator import MakespanEvaluation
 from .evaluator_np import _SMALL_EXPOSURE
 from .expectation import OVERFLOW_EXPONENT
@@ -69,6 +70,260 @@ _FILL_CHUNK_BYTES = 32 * 1024 * 1024
 #: to base" refills with a copy instead of a recompute; add-one sweeps never
 #: revisit a configuration and simply pay one dict miss per refill.
 _ROW_CACHE_ENTRIES = 4
+
+#: Shared per-(workflow, order) table entries reused across
+#: :class:`SweepState` constructions.  One-shot evaluation paths
+#: (``evaluate_schedule`` on the numpy and native backends) build a fresh
+#: state per call, so repeated evaluations of one instance would otherwise
+#: re-validate the linearization and rebuild every position/candidate/mask
+#: table each time.  Keyed by ``(id(workflow), order)``; each entry keeps a
+#: strong reference to its workflow, so an ``id`` cannot be recycled while
+#: its entry is alive.  Bounded LRU.
+_TABLES_LRU_ENTRIES = 8
+_TABLES_CACHE: dict[tuple[int, tuple[int, ...]], "_InstanceTables"] = {}
+
+#: The 256 x 8 little-endian bit-expansion table used by the numpy charge
+#: LUT; a pure constant, built once per process.
+_BYTE_BITS = None
+
+
+def _byte_bit_table(np):
+    global _BYTE_BITS
+    if _BYTE_BITS is None:
+        _BYTE_BITS = np.unpackbits(
+            np.arange(256, dtype=np.uint8)[:, None], axis=1, bitorder="little"
+        )
+    return _BYTE_BITS
+
+
+class _InstanceTables:
+    """Backend-independent tables of one (workflow, order) instance.
+
+    Everything here is a pure function of the workflow and its linearization
+    — never of the checkpoint configuration — and is treated as read-only
+    after construction, so any number of :class:`SweepState` instances (and
+    both the numpy and native backends) can share one entry.  The
+    fill-variant sections (padded candidate matrix for the numpy fill, CSR
+    mirrors for the C fill) and the delta tables are built lazily by the
+    first state that needs them; rebuilds are idempotent, so a racing
+    duplicate build is wasteful but never wrong.
+    """
+
+    __slots__ = (
+        "workflow",
+        "order",
+        "n",
+        "position",
+        "weight",
+        "recovery_cost",
+        "predecessors",
+        "candidates",
+        "cand_len",
+        "m_max",
+        "mask_bytes",
+        "mask_words",
+        "weights",
+        "raw_ckpt_costs",
+        "charge_template",
+        "charge_positive",
+        "pfbase",
+        "pred_arrays",
+        "pf_rows",
+        "cand_pad",
+        "trunc_dst",
+        "trunc_src",
+        "cand_ptr",
+        "cand_idx",
+        "pred_ptr",
+        "pred_idx",
+        "cand_total",
+        "row_reach",
+        "desc",
+    )
+
+    def __init__(self, workflow, order: tuple[int, ...], np) -> None:
+        from .evaluator_np import _candidate_lists
+
+        self.workflow = workflow
+        self.order = order
+        n = len(order)
+        self.n = n
+        position, weight, recovery_cost, predecessors = _position_tables(
+            workflow, order
+        )
+        predecessors = [tuple(sorted(p)) for p in predecessors]
+        self.position = position
+        self.weight = weight
+        self.recovery_cost = recovery_cost
+        self.predecessors = predecessors
+        self.candidates = _candidate_lists(n, predecessors)
+        self.cand_len = np.asarray([len(c) for c in self.candidates], dtype=np.intp)
+        self.m_max = max((len(c) for c in self.candidates), default=0)
+        # Masks are padded to whole 64-bit words: the bitwise pipeline runs
+        # on uint64 matrices (8x fewer elements than bytes), and the width
+        # matches the one-shot fill of ``evaluate_schedule_numpy`` so the
+        # shared value canon sees identical rows.
+        self.mask_bytes = ((n + 64) // 64) * 8
+        self.mask_words = self.mask_bytes // 8
+        self.weights = np.asarray(weight[1:], dtype=np.float64)
+        tasks = workflow.tasks
+        self.raw_ckpt_costs = np.fromiter(
+            (tasks[t].checkpoint_cost for t in order), dtype=np.float64, count=n
+        )
+        charge = np.zeros(8 * self.mask_bytes)
+        charge[1 : n + 1] = weight[1:]
+        self.charge_template = charge
+        # All-positive charges mean a non-empty visited set can never sum to
+        # zero, so the refill can skip the structural-zero filter.
+        self.charge_positive = (
+            min(weight[1:], default=1.0) > 0.0
+            and min(recovery_cost[1:], default=1.0) > 0.0
+        )
+        # Candidates whose predecessor list straddles k need their frontier
+        # truncated below k at fill time; multi-predecessor positions get a
+        # block of prefix-closure rows in the per-state flat table.
+        pfbase = [-1] * (n + 1)
+        pf_rows = 0
+        pred_arrays: dict[int, Any] = {}
+        for i in range(1, n + 1):
+            preds = predecessors[i]
+            if len(preds) >= 2:
+                pfbase[i] = pf_rows
+                pf_rows += len(preds)
+                pred_arrays[i] = np.asarray(preds, dtype=np.intp)
+        self.pfbase = pfbase
+        self.pred_arrays = pred_arrays
+        self.pf_rows = pf_rows
+        self.cand_pad = None
+        self.trunc_dst = None
+        self.trunc_src = None
+        self.cand_ptr = None
+        self.cand_idx = None
+        self.pred_ptr = None
+        self.pred_idx = None
+        self.cand_total = 0
+        self.row_reach = None
+        self.desc = None
+
+    def ensure_numpy_fill(self, np) -> None:
+        """Build the padded-candidate / truncation tables the numpy fill reads."""
+        if self.cand_pad is not None:
+            return
+        n = self.n
+        cand_pad = np.zeros((n + 2, self.m_max), dtype=np.intp)
+        for k in range(1, n + 1):
+            row = self.candidates[k]
+            if row:
+                cand_pad[k, : len(row)] = row
+        trunc_dst: list[Any] = [None] * (n + 1)
+        trunc_src: list[Any] = [None] * (n + 1)
+        pfbase = self.pfbase
+        for k in range(1, n + 1):
+            dst: list[int] = []
+            src: list[int] = []
+            for slot, i in enumerate(self.candidates[k]):
+                preds = self.predecessors[i]
+                if preds[-1] >= k:
+                    dst.append(slot)
+                    src.append(pfbase[i] + bisect_left(preds, k) - 1)
+            if dst:
+                trunc_dst[k] = np.asarray(dst, dtype=np.intp)
+                trunc_src[k] = np.asarray(src, dtype=np.intp)
+        self.trunc_dst = trunc_dst
+        self.trunc_src = trunc_src
+        self.cand_pad = cand_pad
+
+    def ensure_native_fill(self, np) -> None:
+        """Build the CSR candidate / predecessor mirrors the C fill reads."""
+        if self.cand_ptr is not None:
+            return
+        n = self.n
+        cand_ptr = np.zeros(len(self.candidates) + 1, dtype=np.int64)
+        np.cumsum(self.cand_len, out=cand_ptr[1:])
+        total = int(cand_ptr[-1])
+        cand_idx = np.fromiter(
+            chain.from_iterable(self.candidates), dtype=np.int64, count=total
+        )
+        pred_len = np.asarray([len(p) for p in self.predecessors], dtype=np.int64)
+        pred_ptr = np.zeros(n + 2, dtype=np.int64)
+        np.cumsum(pred_len, out=pred_ptr[1:])
+        pred_idx = np.fromiter(
+            chain.from_iterable(self.predecessors),
+            dtype=np.int64,
+            count=int(pred_ptr[-1]),
+        )
+        self.cand_idx = cand_idx
+        self.pred_ptr = pred_ptr
+        self.pred_idx = pred_idx
+        self.cand_total = total
+        self.cand_ptr = cand_ptr
+
+    def ensure_delta(self) -> None:
+        """Build the ancestor / reachability / descendant delta tables.
+
+        Ancestor bitmasks per position, their transpose (descendants — the
+        set whose closures a toggle invalidates), and per-row reachability
+        (the positions any Algorithm-1 traversal of row ``k`` could ever
+        visit under *any* configuration: the union of the candidates'
+        ancestors below ``k``).  A toggle at a position outside
+        ``row_reach[k]`` provably cannot change row ``k``.  Python big-int
+        bitsets keep this ``O(n * |E| / 64)``; one-shot evaluations skip it
+        entirely.
+        """
+        if self.row_reach is not None:
+            return
+        n = self.n
+        predecessors = self.predecessors
+        anc = [0] * (n + 1)
+        for i in range(1, n + 1):
+            mask = 0
+            for j in predecessors[i]:
+                mask |= anc[j] | (1 << j)
+            anc[i] = mask
+        reach = [0] * (n + 1)
+        for k in range(1, n + 1):
+            row = 0
+            for i in self.candidates[k]:
+                row |= anc[i]
+            reach[k] = row & ((1 << k) - 1)
+        succs: list[list[int]] = [[] for _ in range(n + 1)]
+        for i in range(1, n + 1):
+            for j in predecessors[i]:
+                succs[j].append(i)
+        desc = [0] * (n + 1)
+        for c in range(n, 0, -1):
+            mask = 0
+            for s in succs[c]:
+                mask |= desc[s] | (1 << s)
+            desc[c] = mask
+        self.desc = desc
+        self.row_reach = reach
+
+
+def _instance_tables(workflow, order: tuple[int, ...], np) -> _InstanceTables:
+    """Return the (cached) shared tables of one validated (workflow, order).
+
+    Validation runs on cache misses only: an entry can only have entered the
+    cache through a successful validation of the identical workflow object
+    and order tuple.
+    """
+    key = (id(workflow), order)
+    entry = _TABLES_CACHE.get(key)
+    if entry is not None and entry.workflow is workflow:
+        _TABLES_CACHE[key] = _TABLES_CACHE.pop(key)
+        return entry
+    # Validate once what Schedule would have validated per candidate.
+    if sorted(order) != list(range(workflow.n_tasks)):
+        raise ValueError(
+            f"order must be a permutation of all task indices 0..{workflow.n_tasks - 1}"
+        )
+    if not workflow.is_linearization(order):
+        raise ValueError("order violates a dependency edge of the workflow")
+    entry = _InstanceTables(workflow, order, np)
+    while len(_TABLES_CACHE) >= _TABLES_LRU_ENTRIES:
+        _TABLES_CACHE.pop(next(iter(_TABLES_CACHE)))
+    _TABLES_CACHE[key] = entry
+    return entry
 
 
 @dataclass
@@ -102,11 +357,16 @@ class SweepState:
         The instance; ``order`` must be a valid linearization of ``workflow``
         (validated once, not per candidate).
     backend:
-        ``"auto"`` / ``"python"`` / ``"numpy"``; see
-        :func:`repro.core.backend.resolve_backend`.  The python resolution
-        (and the trivial ``n = 0`` / ``lambda = 0`` cases) evaluate each set
-        eagerly through the pure-Python reference — exactly what
-        ``batch_evaluate`` always did on that path.
+        ``"auto"`` / ``"python"`` / ``"numpy"`` / ``"native"`` (or any
+        registered backend name); see
+        :meth:`repro.core.backend.BackendRegistry.resolve`.  The python
+        resolution (and the trivial ``n = 0`` / ``lambda = 0`` cases)
+        evaluate each set eagerly through the pure-Python reference —
+        exactly what ``batch_evaluate`` always did on that path.  The
+        native resolution swaps the Algorithm-1 fill and the Theorem-3
+        recursion for the compiled kernels of
+        :mod:`repro.core.evaluator_native` while sharing all mask
+        maintenance and delta bookkeeping with the numpy engine.
     profile:
         Record wall-clock phase timings in :attr:`stats` (adds two
         ``perf_counter`` calls per evaluation phase; off by default).
@@ -143,133 +403,101 @@ class SweepState:
         if self._eager:
             return
 
-        # Validate once what Schedule would have validated per candidate.
-        if sorted(self.order) != list(range(workflow.n_tasks)):
-            raise ValueError(
-                f"order must be a permutation of all task indices 0..{workflow.n_tasks - 1}"
-            )
-        if not workflow.is_linearization(self.order):
-            raise ValueError("order violates a dependency edge of the workflow")
-
         import numpy as np
 
-        from .evaluator_np import (
-            _candidate_lists,
-            _charge_lut,
-            _iter_bits,
-            _mask_charges,
-        )
+        from .evaluator_np import _charge_lut, _iter_bits, _mask_charges
 
         self._np = np
         self._iter_bits = _iter_bits
         self._mask_charges = _mask_charges
+        # Compiled fill/kernel bindings when the resolved backend provides
+        # them (the native backend); None keeps the numpy phases.
+        self._kernels = BACKEND_REGISTRY.get(self.backend).sweep_kernels()
         self._lam = lam
         self._downtime = platform.downtime
         self._failure_free_work = workflow.total_weight
 
-        position, weight, recovery_cost, predecessors = _position_tables(
-            workflow, self.order
-        )
-        predecessors = [tuple(sorted(p)) for p in predecessors]
-        self._position = position
-        self._weight = weight
-        self._recovery_cost = recovery_cost
-        self._predecessors = predecessors
-        self._candidates = _candidate_lists(n, predecessors)
+        # Shared, backend-independent instance tables — validated and built
+        # once per (workflow, order), cached across SweepState constructions
+        # so one-shot evaluation loops pay only for per-state mutable
+        # buffers.  Everything taken from the entry is read-only here.
+        tables = _instance_tables(workflow, self.order, np)
+        self._tables = tables
+        self._position = tables.position
+        self._weight = tables.weight
+        self._recovery_cost = tables.recovery_cost
+        self._predecessors = tables.predecessors
+        self._candidates = tables.candidates
+        self._weights = tables.weights
+        self._raw_ckpt_costs = tables.raw_ckpt_costs
+        self._mask_bytes = tables.mask_bytes
+        self._mask_words = tables.mask_words
+        self._m_max = tables.m_max
+        self._cand_len = tables.cand_len
+        self._charge_positive = tables.charge_positive
+        self._pfbase = tables.pfbase
+        self._pred_arrays = tables.pred_arrays
 
         # The delta-only tables (ancestor / reachability / descendant
         # bitmasks and the row-content cache) are built lazily on the first
         # *incremental* evaluation — a one-shot evaluation (the
-        # ``evaluate_schedule_numpy`` fast path) never needs them.
-        self._row_reach: list[int] | None = None
-        self._desc: list[int] | None = None
+        # ``evaluate_schedule_numpy`` fast path) never needs them.  They may
+        # already exist on the shared entry from an earlier state.
+        self._row_reach: list[int] | None = tables.row_reach
+        self._desc: list[int] | None = tables.desc
 
-        tasks = workflow.tasks
-        self._weights = np.asarray(weight[1:], dtype=np.float64)
-        self._raw_ckpt_costs = np.fromiter(
-            (tasks[t].checkpoint_cost for t in self.order), dtype=np.float64, count=n
-        )
         self._ckpt_costs = np.zeros(n)
         self._checkpointed = bytearray(n + 1)
         self._ckpt_bits = 0
-        # Masks are padded to whole 64-bit words: the bitwise pipeline runs
-        # on uint64 matrices (8x fewer elements than bytes), and the width
-        # matches the one-shot fill of ``evaluate_schedule_numpy`` so the
-        # shared value canon sees identical rows.
-        self._mask_bytes = ((n + 64) // 64) * 8
-        self._mask_words = self._mask_bytes // 8
-        self._charge_bits = np.zeros(8 * self._mask_bytes)
-        self._charge_bits[1 : n + 1] = weight[1:]
-        self._byte_bits = np.unpackbits(
-            np.arange(256, dtype=np.uint8)[:, None], axis=1, bitorder="little"
-        )
-        self._charge_lut = _charge_lut(np, self._charge_bits)
-
-        # Byte-matrix mirrors of the traversal masks, which turn the refill
-        # of all invalidated rows of one evaluation into a handful of vector
-        # operations: gather every row's candidate frontiers into one 3-D
-        # block, prefix-OR each row (``accumulate`` along the candidate
-        # axis), and read each candidate's freshly visited set as the XOR of
-        # consecutive prefix rows — exactly the sequential
-        # ``F_i & ~regenerated`` recurrence of Algorithm 1.  Rows are padded
-        # to a common width with position 0, whose frontier is the empty
-        # mask, so padding slots stay structurally invisible.
-        m_max = max((len(c) for c in self._candidates), default=0)
-        self._m_max = m_max
-        self._cand_len = np.asarray(
-            [len(c) for c in self._candidates], dtype=np.intp
-        )
-        self._cand_pad = np.zeros((n + 2, m_max), dtype=np.intp)
-        for k in range(1, n + 1):
-            row = self._candidates[k]
-            if row:
-                self._cand_pad[k, : len(row)] = row
+        self._charge_bits = tables.charge_template.copy()
+        if self._kernels is None:
+            # Byte-matrix machinery of the numpy fill: the refill gathers
+            # every row's candidate frontiers into one 3-D block, patches
+            # truncated slots from the prefix-closure table, prefix-ORs
+            # along the candidate axis and reads each candidate's freshly
+            # visited set as the XOR of consecutive prefix rows — exactly
+            # the sequential ``F_i & ~regenerated`` recurrence of
+            # Algorithm 1.  Rows are padded to a common width with position
+            # 0, whose frontier is the empty mask, so padding slots stay
+            # structurally invisible.
+            tables.ensure_numpy_fill(np)
+            self._byte_bits = _byte_bit_table(np)
+            self._charge_lut = _charge_lut(np, self._charge_bits)
+            self._cand_pad = tables.cand_pad
+            self._trunc_dst = tables.trunc_dst
+            self._trunc_src = tables.trunc_src
+        else:
+            # The C fill prices visited bits straight off _charge_bits and
+            # re-derives truncated frontiers from the predecessor closures,
+            # so the byte-LUT and scatter machinery is numpy-only.  What it
+            # does need are CSR mirrors of the candidate / predecessor lists
+            # plus per-row compaction buffers (sized for a full fill).
+            tables.ensure_native_fill(np)
+            self._byte_bits = None
+            self._charge_lut = None
+            self._cand_pad = None
+            self._trunc_dst = None
+            self._trunc_src = None
+            self._cand_ptr = tables.cand_ptr
+            self._cand_idx = tables.cand_idx
+            self._pred_ptr = tables.pred_ptr
+            self._pred_idx = tables.pred_idx
+            total = tables.cand_total
+            self._out_cols = np.empty(max(total, 1), dtype=np.int64)
+            self._out_vals = np.empty(max(total, 1))
+            self._out_off = np.empty(n + 1, dtype=np.int64)
+            self._out_counts = np.empty(n + 1, dtype=np.int64)
+            self._rows_buf = np.empty(n + 1, dtype=np.int64)
         self._fwords = np.zeros((n + 1, self._mask_words), dtype=np.uint64)
         self._cwords = np.zeros((n + 1, self._mask_words), dtype=np.uint64)
         # Fill scratch, grown lazily to the largest chunk actually needed
         # (never the n * m_max worst case — see _refill_rows' chunking).
         self._f3_buf: Any = None
         self._v3_buf: Any = None
-        # All-positive charges mean a non-empty visited set can never sum to
-        # zero, so the refill can skip the structural-zero filter.
-        self._charge_positive = (
-            min(weight[1:], default=1.0) > 0.0
-            and min(recovery_cost[1:], default=1.0) > 0.0
-        )
-
-        # Candidates whose predecessor list straddles k need their frontier
-        # truncated below k at fill time.  Their truncated frontiers are the
-        # prefix-ORs of their predecessors' closures, kept as rows of one
-        # flat byte table; which prefix each (row, slot) pair reads is fixed
-        # by the linearization, so the refill scatter indices are
-        # precomputed and a whole row's truncations cost one gather.
-        pfbase = [-1] * (n + 1)
-        pf_rows = 0
-        pred_arrays: dict[int, Any] = {}
-        for i in range(1, n + 1):
-            preds = predecessors[i]
-            if len(preds) >= 2:
-                pfbase[i] = pf_rows
-                pf_rows += len(preds)
-                pred_arrays[i] = np.asarray(preds, dtype=np.intp)
-        self._pfbase = pfbase
-        self._pred_arrays = pred_arrays
-        self._pf_flat = np.zeros((pf_rows, self._mask_words), dtype=np.uint64)
-        trunc_dst: list[Any] = [None] * (n + 1)
-        trunc_src: list[Any] = [None] * (n + 1)
-        for k in range(1, n + 1):
-            dst: list[int] = []
-            src: list[int] = []
-            for slot, i in enumerate(self._candidates[k]):
-                preds = predecessors[i]
-                if preds[-1] >= k:
-                    dst.append(slot)
-                    src.append(pfbase[i] + bisect_left(preds, k) - 1)
-            if dst:
-                trunc_dst[k] = np.asarray(dst, dtype=np.intp)
-                trunc_src[k] = np.asarray(src, dtype=np.intp)
-        self._trunc_dst = trunc_dst
-        self._trunc_src = trunc_src
+        # Per-state prefix-closure rows (config-dependent content; the
+        # layout — which block belongs to which position — is fixed by the
+        # shared ``pfbase`` / ``pred_arrays``).
+        self._pf_flat = np.zeros((tables.pf_rows, self._mask_words), dtype=np.uint64)
 
         # Traversal masks (big-int mirrors drive the incremental updates);
         # populated for the actual configuration by the first evaluation.
@@ -285,19 +513,29 @@ class SweepState:
         # k that the row can actually see), so probe sweeps restore
         # oscillating rows by copy.
         self._loss_t = np.zeros((n + 1, n + 1))
-        # -lam-scaled mirror of loss_t: the Theorem-3 recursion accumulates
-        # pre-scaled running sums (one np.exp per position, no per-iteration
-        # multiply), exactly like the one-shot kernel.
-        self._neg_loss_t = np.zeros((n + 1, n + 1))
+        # -lam-scaled mirror of loss_t: the numpy Theorem-3 recursion
+        # accumulates pre-scaled running sums (one np.exp per position, no
+        # per-iteration multiply), exactly like the one-shot kernel.  The C
+        # kernel rescales inline, so the mirror is numpy-only.
+        self._neg_loss_t = (
+            np.zeros((n + 1, n + 1)) if self._kernels is None else None
+        )
         self._written: list[Any] = [[] for _ in range(n + 1)]
         self._row_cache: list[dict[int, tuple[Any, Any]]] = [
             {} for _ in range(n + 1)
         ]
 
         # values_t[i-1, k] = E[X_i | Z^i_k]; col_inf flags saturated columns
-        # so the global saturation test stays O(n) per evaluation.
-        self._values_t = np.zeros((n, n + 1))
-        self._col_inf = np.zeros(n, dtype=bool)
+        # so the global saturation test stays O(n) per evaluation.  The C
+        # kernel computes conditional expectations inline per position (one
+        # values-vector scratch, no slab), so both are numpy-only.
+        if self._kernels is None:
+            self._values_t = np.zeros((n, n + 1))
+            self._col_inf = np.zeros(n, dtype=bool)
+        else:
+            self._values_t = None
+            self._col_inf = None
+            self._values_buf = np.empty(n)
 
         # running_hist[i] is the running-prefix-sum vector *after* kernel
         # iteration i (row 0 = the initial zeros).  Writing each iteration's
@@ -307,7 +545,12 @@ class SweepState:
         self._running_hist = np.zeros((n + 1, n + 1))
         self._base = np.zeros(n)
         self._base[0] = 1.0
-        self._expected_times: list[float] = [0.0] * n
+        # The numpy recursion assigns python floats one position at a time;
+        # the C kernel writes straight into a float64 vector.  _result treats
+        # both uniformly.
+        self._expected_times: Any = (
+            [0.0] * n if self._kernels is None else np.zeros(n)
+        )
         self._probs_buf = np.empty(n)
         self._last_saturated = False
 
@@ -397,13 +640,15 @@ class SweepState:
                 self._recovery_cost[c] if now_on else self._weight[c]
             )
         # Rebuild the charge-LUT rows of the touched byte positions with the
-        # exact expression of ``_charge_lut`` (bit-identical tables).
-        byte_bits = self._byte_bits
-        charge_bits = self._charge_bits
-        for b in {c >> 3 for c in toggled}:
-            self._charge_lut[b] = (
-                byte_bits * charge_bits[8 * b : 8 * b + 8]
-            ).sum(axis=1)
+        # exact expression of ``_charge_lut`` (bit-identical tables); the
+        # native fill prices off _charge_bits directly and keeps no LUT.
+        if self._charge_lut is not None:
+            byte_bits = self._byte_bits
+            charge_bits = self._charge_bits
+            for b in {c >> 3 for c in toggled}:
+                self._charge_lut[b] = (
+                    byte_bits * charge_bits[8 * b : 8 * b + 8]
+                ).sum(axis=1)
         if refill_all:
             # First evaluation: derive every traversal mask for the actual
             # configuration in one bulk pass (no descendant tables needed —
@@ -527,6 +772,13 @@ class SweepState:
             self._cwords[1:] = np.frombuffer(
                 bytes(c_bytes), dtype=np.uint64
             ).reshape(n, words)
+        if self._kernels is not None:
+            # The prefix-closure table is only read by the numpy fill's
+            # truncation gather (the C fill re-derives truncations from
+            # cwords) and by _update_masks, which rewrites any block it
+            # reads from the current cwords first — so the bulk rebuild is
+            # skipped on the native path.
+            return
         cwords = self._cwords
         pf_flat = self._pf_flat
         pfbase = self._pfbase
@@ -536,45 +788,20 @@ class SweepState:
             np.bitwise_or.accumulate(block, axis=0, out=block)
 
     def _ensure_delta_tables(self) -> None:
-        """Build the tables only incremental (delta) evaluations need.
+        """Build (or adopt) the tables only incremental evaluations need.
 
-        Ancestor bitmasks per position, their transpose (descendants — the
-        set whose closures a toggle invalidates), and per-row reachability
-        (the positions any Algorithm-1 traversal of row ``k`` could ever
-        visit under *any* configuration: the union of the candidates'
-        ancestors below ``k``).  A toggle at a position outside
-        ``row_reach[k]`` provably cannot change row ``k``.  Python big-int
-        bitsets keep this ``O(n * |E| / 64)``; one-shot evaluations skip it
+        The tables are a pure function of the instance, so they live on the
+        shared :class:`_InstanceTables` entry (see
+        :meth:`_InstanceTables.ensure_delta`) and are adopted by every state
+        that evaluates incrementally; one-shot evaluations skip them
         entirely.
         """
         if self._row_reach is not None:
             return
-        n = self._n
-        predecessors = self._predecessors
-        anc = [0] * (n + 1)
-        for i in range(1, n + 1):
-            mask = 0
-            for j in predecessors[i]:
-                mask |= anc[j] | (1 << j)
-            anc[i] = mask
-        reach = [0] * (n + 1)
-        for k in range(1, n + 1):
-            row = 0
-            for i in self._candidates[k]:
-                row |= anc[i]
-            reach[k] = row & ((1 << k) - 1)
-        self._row_reach = reach
-        succs: list[list[int]] = [[] for _ in range(n + 1)]
-        for i in range(1, n + 1):
-            for j in predecessors[i]:
-                succs[j].append(i)
-        desc = [0] * (n + 1)
-        for c in range(n, 0, -1):
-            mask = 0
-            for s in succs[c]:
-                mask |= desc[s] | (1 << s)
-            desc[c] = mask
-        self._desc = desc
+        tables = self._tables
+        tables.ensure_delta()
+        self._row_reach = tables.row_reach
+        self._desc = tables.desc
 
     def _reset_configuration(self) -> None:
         """Return to the pristine empty-set state after an aborted evaluation.
@@ -594,9 +821,11 @@ class SweepState:
         self._ckpt_costs[:] = 0.0
         self._charge_bits[:] = 0.0
         self._charge_bits[1 : n + 1] = self._weight[1:]
-        self._charge_lut = _charge_lut(self._np, self._charge_bits)
+        if self._kernels is None:
+            self._charge_lut = _charge_lut(self._np, self._charge_bits)
         self._loss_t[:] = 0.0
-        self._neg_loss_t[:] = 0.0
+        if self._neg_loss_t is not None:
+            self._neg_loss_t[:] = 0.0
         self._written = [[] for _ in range(n + 1)]
         self._current = frozenset()
 
@@ -677,7 +906,8 @@ class SweepState:
                 np.asarray(stale_lens, dtype=np.intp),
             )
             loss_t[cat, rep] = 0.0
-            neg_loss_t[cat, rep] = 0.0
+            if neg_loss_t is not None:
+                neg_loss_t[cat, rep] = 0.0
         if hit_cols:
             cat = np.concatenate(hit_cols)
             rep = np.repeat(
@@ -686,7 +916,8 @@ class SweepState:
             )
             vals = np.concatenate(hit_vals)
             loss_t[cat, rep] = vals
-            neg_loss_t[cat, rep] = vals * -self._lam
+            if neg_loss_t is not None:
+                neg_loss_t[cat, rep] = vals * -self._lam
         self.stats.rows_restored += len(rows) - len(miss_rows)
         self.stats.rows_refilled += len(miss_rows)
         if not miss_rows:
@@ -696,6 +927,11 @@ class SweepState:
             empty = np.asarray([], dtype=np.intp)
             for k, cfg in zip(miss_rows, miss_cfgs):
                 self._store_row(k, cfg, empty, None)
+            return
+        if self._kernels is not None:
+            # The C fill streams row by row with O(mask) scratch — no
+            # chunking needed.
+            self._fill_miss_rows_native(miss_rows, miss_cfgs)
             return
         # Bound the scratch footprint: high-fan-out instances can have
         # candidate widths near n, so one monolithic (R, M, words) block
@@ -779,6 +1015,71 @@ class SweepState:
             for k, cfg in zip(miss_rows, miss_cfgs):
                 self._store_row(k, cfg, empty, None)
 
+    def _fill_miss_rows_native(
+        self, miss_rows: list[int], miss_cfgs: list[int | None]
+    ) -> None:
+        """Recompute cache-missed rows through the compiled Algorithm-1 fill.
+
+        The C routine walks the same closure/frontier words as the numpy
+        fill (truncated frontiers are re-derived as the OR of the
+        predecessors' closures below the row — exactly the prefix the flat
+        table stores), prices visited bits in ascending position order off
+        ``_charge_bits``, writes nonzero values into ``loss_t`` and compacts
+        them into per-row output slices for the shared row bookkeeping.
+        Rows are priced independently, so the multithreaded split of large
+        fills cannot change any value.
+        """
+        np = self._np
+        kernels = self._kernels
+        n_rows = len(miss_rows)
+        rows = self._rows_buf[:n_rows]
+        rows[:] = miss_rows
+        off = self._out_off[:n_rows]
+        off[0] = 0
+        if n_rows > 1:
+            np.cumsum(self._cand_len[rows[:-1]], out=off[1:])
+        counts = self._out_counts[:n_rows]
+        threads = kernels.fill_threads if n_rows >= 128 else 1
+        kernels.fill_rows(
+            n_rows,
+            rows.ctypes.data,
+            self._mask_words,
+            self._fwords.ctypes.data,
+            self._cwords.ctypes.data,
+            self._cand_ptr.ctypes.data,
+            self._cand_idx.ctypes.data,
+            self._pred_ptr.ctypes.data,
+            self._pred_idx.ctypes.data,
+            self._charge_bits.ctypes.data,
+            self._loss_t.ctypes.data,
+            self._n + 1,
+            self._out_cols.ctypes.data,
+            self._out_vals.ctypes.data,
+            off.ctypes.data,
+            counts.ctypes.data,
+            threads,
+        )
+        # Same bookkeeping _store_row does, inlined to copy each compacted
+        # slice exactly once (the shared output buffers are reused by the
+        # next fill, so views must not escape).
+        out_cols = self._out_cols
+        out_vals = self._out_vals
+        written = self._written
+        caches = self._row_cache
+        off_list = off.tolist()
+        count_list = counts.tolist()
+        for r, (k, cfg) in enumerate(zip(miss_rows, miss_cfgs)):
+            lo = off_list[r]
+            hi = lo + count_list[r]
+            cols = out_cols[lo:hi].copy()
+            written[k] = cols
+            if cfg is None:
+                continue
+            cache = caches[k]
+            if len(cache) >= _ROW_CACHE_ENTRIES:
+                cache.pop(next(iter(cache)))
+            cache[cfg] = (cols, out_vals[lo:hi].copy())
+
     def _store_row(self, k: int, cfg: int | None, cols, vals) -> None:
         """Record a freshly computed row in ``written`` and the row cache.
 
@@ -804,6 +1105,9 @@ class SweepState:
     # Theorem-3 kernel: Equation-(1) slab + recursion resumed at the pivot
     # ------------------------------------------------------------------
     def _run_kernel(self, pivot: int) -> None:
+        if self._kernels is not None:
+            self._run_kernel_native(pivot)
+            return
         np = self._np
         n = self._n
         lam = self._lam
@@ -904,11 +1208,43 @@ class SweepState:
         if self._profile:
             self.stats.kernel_seconds += time.perf_counter() - began
 
+    def _run_kernel_native(self, pivot: int) -> None:
+        """Resume the compiled Theorem-3 recursion at the pivot.
+
+        The C kernel always skips zero-probability events in its dot
+        products — bit-identical to summing their ``+0.0`` contributions
+        when unsaturated, and exactly the masked sum when saturated — so
+        unlike the numpy kernel there is no saturated-regime restart: the
+        stored running-sum prefix is resumable unconditionally.
+        """
+        n = self._n
+        began = time.perf_counter() if self._profile else 0.0
+        self._kernels.theorem3_kernel(
+            n,
+            pivot,
+            self._loss_t.ctypes.data,
+            n + 1,
+            self._weights.ctypes.data,
+            self._ckpt_costs.ctypes.data,
+            self._lam,
+            self._downtime,
+            self._running_hist.ctypes.data,
+            self._base.ctypes.data,
+            self._expected_times.ctypes.data,
+            self._probs_buf.ctypes.data,
+            self._values_buf.ctypes.data,
+        )
+        self.stats.kernel_positions += n + 1 - pivot
+        if self._profile:
+            self.stats.kernel_seconds += time.perf_counter() - began
+
     def _result(self, keep_task_times: bool) -> MakespanEvaluation:
         expected_times = self._expected_times
         return MakespanEvaluation(
             expected_makespan=math.fsum(expected_times),
-            expected_task_times=tuple(expected_times) if keep_task_times else (),
+            expected_task_times=(
+                tuple(map(float, expected_times)) if keep_task_times else ()
+            ),
             failure_free_makespan=(
                 self._failure_free_work + float(self._ckpt_costs.sum())
             ),

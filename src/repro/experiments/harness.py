@@ -93,8 +93,9 @@ def run_heuristic(
     scenario.  The heuristic's random stream is derived from
     ``(scenario.seed, heuristic)`` alone, so the result does not depend on
     what else runs in the same process.  ``backend`` selects the evaluation
-    backend (``"auto"`` / ``"python"`` / ``"numpy"``); both backends produce
-    rows that agree within floating-point noise, so cache keys ignore it.
+    backend (any registered name or a
+    :class:`~repro.core.backend.BackendSpec`); all backends produce rows
+    that agree within floating-point noise, so cache keys ignore it.
     """
     # Validate eagerly: CkptNvr/CkptAlws never consume the candidate counts,
     # but a typoed search_mode must not pass silently (nor reach cache keys).

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.backend import BackendSpec
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
 from ..core.platform import Platform
@@ -145,7 +146,7 @@ def greedy_checkpoint_selection(
     *,
     max_checkpoints: int | None = None,
     candidates: Sequence[int] | None = None,
-    backend: str | None = None,
+    backend: "str | BackendSpec | None" = None,
 ) -> RefinementResult:
     """Greedy marginal-gain construction of a checkpoint set.
 
@@ -162,13 +163,15 @@ def greedy_checkpoint_selection(
     candidates:
         Optional subset of tasks allowed to be checkpointed.
     backend:
-        Evaluation backend for the toggle sweeps (see
-        :func:`repro.core.backend.resolve_backend`).
+        Backend name or :class:`~repro.core.backend.BackendSpec` for the
+        toggle sweeps (see
+        :meth:`repro.core.backend.BackendRegistry.resolve`).
 
     Returns
     -------
     RefinementResult
     """
+    backend = BackendSpec.coerce(backend).backend
     order = tuple(order)
     current: frozenset[int] = frozenset()
     schedule = Schedule(workflow, order, current)
@@ -216,7 +219,7 @@ def local_search_checkpoints(
     *,
     max_steps: int | None = None,
     candidates: Sequence[int] | None = None,
-    backend: str | None = None,
+    backend: "str | BackendSpec | None" = None,
 ) -> RefinementResult:
     """Hill-climb on the checkpoint set by single add/remove moves.
 
@@ -230,6 +233,7 @@ def local_search_checkpoints(
     RefinementResult
         Never worse than the input schedule.
     """
+    backend = BackendSpec.coerce(backend).backend
     workflow = schedule.workflow
     order = schedule.order
     current = schedule.checkpointed
@@ -273,7 +277,7 @@ def refine_schedule(
     platform: Platform,
     *,
     max_steps: int | None = None,
-    backend: str | None = None,
+    backend: "str | BackendSpec | None" = None,
 ) -> Schedule:
     """Convenience wrapper returning only the locally improved schedule."""
     return local_search_checkpoints(

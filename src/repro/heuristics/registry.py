@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import BackendSpec
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
 from ..core.platform import Platform
@@ -117,7 +118,7 @@ def solve_heuristic(
     *,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
-    backend: str | None = None,
+    backend: str | BackendSpec | None = None,
     sweep_evaluator=None,
 ) -> HeuristicResult:
     """Run one named heuristic end to end.
@@ -142,19 +143,26 @@ def solve_heuristic(
         Candidate checkpoint counts for the parameterised strategies;
         defaults to the paper's exhaustive ``1 .. n-1`` search.
     backend:
-        Evaluation backend (``"auto"`` / ``"python"`` / ``"numpy"``) for
+        Backend name (``"auto"`` / ``"python"`` / ``"numpy"`` /
+        ``"native"``) or :class:`~repro.core.backend.BackendSpec` used for
         every schedule scoring; see
-        :func:`repro.core.backend.resolve_backend`.
+        :meth:`repro.core.backend.BackendRegistry.resolve`.
     sweep_evaluator:
         Optional shared candidate-set evaluator forwarded to
         :func:`~repro.heuristics.search.search_checkpoint_count` (the
         service layer's cross-request batching hook).  Ignored by the
-        search-free strategies ``CkptNvr`` / ``CkptAlws``.
+        search-free strategies ``CkptNvr`` / ``CkptAlws``.  Equivalent to
+        the ``evaluator`` field of a :class:`BackendSpec` passed as
+        ``backend`` (the explicit argument wins when both are given).
 
     Returns
     -------
     HeuristicResult
     """
+    spec = BackendSpec.coerce(backend)
+    if sweep_evaluator is None:
+        sweep_evaluator = spec.evaluator
+    backend = spec.backend
     linearization, strategy = parse_heuristic_name(heuristic)
     if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
         rng = heuristic_rng(int(rng), heuristic)
@@ -199,7 +207,7 @@ def solve_all_heuristics(
     heuristics: "tuple[str, ...] | list[str] | None" = None,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
-    backend: str | None = None,
+    backend: str | BackendSpec | None = None,
 ) -> dict[str, HeuristicResult]:
     """Run several heuristics and return their results keyed by name.
 
@@ -237,7 +245,7 @@ def best_heuristic(
     heuristics: "tuple[str, ...] | list[str] | None" = None,
     rng: np.random.Generator | int | None = None,
     counts: "list[int] | tuple[int, ...] | None" = None,
-    backend: str | None = None,
+    backend: str | BackendSpec | None = None,
 ) -> HeuristicResult:
     """Run several heuristics and return the one with the lowest expected makespan."""
     results = solve_all_heuristics(

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..core.backend import BackendSpec
 from ..core.dag import Workflow
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
 from ..core.platform import Platform
@@ -112,7 +113,7 @@ def search_checkpoint_count(
     *,
     counts: Iterable[int] | None = None,
     include_zero: bool = True,
-    backend: str | None = None,
+    backend: str | BackendSpec | None = None,
     evaluator: "Callable[[frozenset[int]], MakespanEvaluation] | None" = None,
 ) -> CheckpointCountSearch:
     """Find the checkpoint count minimising the expected makespan.
@@ -131,11 +132,13 @@ def search_checkpoint_count(
         degrade gracefully on failure-free platforms; it adds a single extra
         evaluation.
     backend:
-        Evaluation backend for the :class:`~repro.core.sweep.SweepState`
-        that scores all distinct candidate sets over the shared
-        linearization in one incremental sweep (the selectors' top-``N``
-        sets are nested, so consecutive candidates differ by single
-        checkpoint additions and only the invalidated suffix is recomputed).
+        Backend name or :class:`~repro.core.backend.BackendSpec` for the
+        :class:`~repro.core.sweep.SweepState` that scores all distinct
+        candidate sets over the shared linearization in one incremental
+        sweep (the selectors' top-``N`` sets are nested, so consecutive
+        candidates differ by single checkpoint additions and only the
+        invalidated suffix is recomputed).  A spec's ``evaluator`` field
+        plays the same role as the ``evaluator`` argument below.
     evaluator:
         Optional replacement for the private sweep: a callable
         ``frozenset -> MakespanEvaluation`` scoring a checkpoint set over
@@ -145,12 +148,18 @@ def search_checkpoint_count(
         :class:`~repro.core.sweep.SweepState` (sweep evaluations are
         order-independent, so sharing cannot change any value).  When the
         callable exposes an ``order`` attribute it must match this search's
-        linearization.
+        linearization.  Equivalent to passing
+        ``BackendSpec(evaluator=...)`` as ``backend`` (the explicit
+        argument wins when both are given).
 
     Returns
     -------
     CheckpointCountSearch
     """
+    spec = BackendSpec.coerce(backend)
+    if evaluator is None:
+        evaluator = spec.evaluator
+    backend = spec.backend
     order = tuple(order)
     if evaluator is not None:
         evaluator_order = getattr(evaluator, "order", None)

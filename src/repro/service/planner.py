@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..analysis import analyse_schedule, checkpoint_utilities
+from ..core.backend import BackendSpec
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
 from ..core.sweep import SweepState
 from ..heuristics.registry import heuristic_rng, parse_heuristic_name, solve_heuristic
@@ -62,8 +63,16 @@ class SharedSweepScorer:
     verify the scorer matches its linearization.
     """
 
-    def __init__(self, workflow, order, platform, *, backend: str | None = None):
+    def __init__(
+        self,
+        workflow,
+        order,
+        platform,
+        *,
+        backend: "str | BackendSpec | None" = None,
+    ):
         self.order = tuple(order)
+        backend = BackendSpec.coerce(backend).backend
         self._sweep = SweepState(workflow, self.order, platform, backend=backend)
         self._memo: dict[frozenset[int], MakespanEvaluation] = {}
         #: Underlying sweep evaluations (memo misses) performed so far.
@@ -140,14 +149,15 @@ def _solve_group(
                     )
                     passes += 1
                 evaluator = scorer
+        # One spec carries both the backend name and the shared scorer —
+        # what used to travel as parallel backend= / sweep_evaluator= kwargs.
         result = solve_heuristic(
             workflow,
             platform,
             request.heuristic,
             rng=heuristic_rng(request.scenario.seed, request.heuristic),
             counts=unit.counts,
-            backend=request.backend,
-            sweep_evaluator=evaluator,
+            backend=BackendSpec(backend=request.backend, evaluator=evaluator),
         )
         if evaluator is not None:
             evaluator.searches += 1

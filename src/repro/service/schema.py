@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from ..core.backend import EVAL_BACKENDS
+from ..core.backend import BACKEND_REGISTRY
 from ..core.platform import Platform, PlatformSpec
 from ..core.schedule import Schedule
 from ..experiments.scenarios import DEFAULT_FAILURE_RATES, Scenario
@@ -138,9 +138,13 @@ def _validated_backend(payload: Mapping[str, Any]) -> str | None:
     backend = payload.get("backend")
     if backend is None:
         return None
-    if backend not in EVAL_BACKENDS:
+    # Validate against the live registry (entry-point backends included),
+    # names only: whether the backend is *available* in this process is a
+    # solve-time concern with its own structured error.
+    choices = BACKEND_REGISTRY.choices()
+    if backend not in choices:
         raise ServiceError(
-            f"unknown backend {backend!r}; expected one of {EVAL_BACKENDS}"
+            f"unknown backend {backend!r}; expected one of {choices}"
         )
     return str(backend)
 

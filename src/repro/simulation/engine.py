@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.backend import resolve_backend
+from ..core.backend import BACKEND_REGISTRY
 from ..core.lost_work import lost_and_needed_tasks
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -331,8 +331,11 @@ def run_monte_carlo(
         :func:`simulate_schedule`; ``"numpy"`` simulates all replicas at
         once (:mod:`repro.simulation.engine_np`); ``"auto"``/``None`` picks
         NumPy for batches large enough to amortize the attempt-matrix
-        precomputation.  Both engines produce bit-for-bit identical samples
-        for the same ``rng``, so the backend is a pure performance knob.
+        precomputation.  Resolution requires the ``monte_carlo``
+        capability, so backends without a simulator (e.g. ``native``)
+        fall back to the best capable one instead of erroring.  Both
+        engines produce bit-for-bit identical samples for the same
+        ``rng``, so the backend is a pure performance knob.
 
     Returns
     -------
@@ -342,7 +345,9 @@ def run_monte_carlo(
         raise ValueError("n_runs must be positive")
     # The "instance size" that decides whether vectorization pays off is the
     # replica count, so it (not the task count) feeds the auto rule.
-    resolved = resolve_backend(backend, n_tasks=n_runs)
+    resolved = BACKEND_REGISTRY.resolve(
+        backend, n_tasks=n_runs, require="monte_carlo"
+    ).name
     generators = replica_generators(rng, n_runs)
 
     if resolved == "numpy":
