@@ -329,6 +329,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the registry listing as a JSON object on stdout",
     )
 
+    # lint --------------------------------------------------------------
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the determinism / cache-key invariant checker",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro under the repo root)",
+    )
+    lint.add_argument(
+        "--repo-root", default=".", metavar="DIR",
+        help="repository root for cross-file registries (default: cwd)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the stable CI artifact shape)",
+    )
+    lint.add_argument(
+        "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and their invariants, then exit",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file of grandfathered finding fingerprints",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather every current finding into --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--key-lock", metavar="PATH",
+        help="key-schema lock file (default: <repo-root>/.reprolint-keys.json)",
+    )
+    lint.add_argument(
+        "--write-key-lock", action="store_true",
+        help="record the current key payload schema as the accepted one",
+    )
+
     # cache -------------------------------------------------------------
     cache = subparsers.add_parser("cache", help="inspect the persistent result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -944,6 +990,93 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint.  Exit codes: 0 clean, 1 findings, 2 usage/internal."""
+    # Lazy import: devtools is contributor/CI tooling and must not tax the
+    # startup of every other subcommand.
+    from .devtools import reprolint as rl
+    from .devtools.reprolint.rules.cache_keys import compute_lock_for_paths
+
+    try:
+        if args.list_rules:
+            for rule_id in sorted(rl.RULES):
+                rule = rl.RULES[rule_id]
+                print(f"{rule_id}  {rule.name} [{rule.scope}]")
+                print(f"       {rule.invariant}")
+            return 0
+
+        repo_root = Path(args.repo_root).resolve()
+        paths = [Path(p) for p in args.paths]
+        if not paths:
+            default = repo_root / "src" / "repro"
+            if not default.is_dir():
+                raise rl.LintError(
+                    f"no paths given and {default} does not exist; pass the "
+                    f"directories to lint explicitly"
+                )
+            paths = [default]
+
+        if args.write_key_lock:
+            ctx, schema = compute_lock_for_paths(
+                paths, repo_root, key_lock_path_override=args.key_lock
+            )
+            if schema is None:
+                raise rl.LintError(
+                    "the linted tree has no runtime/keys.py; cannot lock a "
+                    "key schema"
+                )
+            target = rl.write_key_lock(
+                ctx, Path(args.key_lock) if args.key_lock else None
+            )
+            print(f"key schema locked in {target}")
+            return 0
+
+        config: dict[str, object] = {}
+        if args.key_lock:
+            config["key_lock_path"] = args.key_lock
+        # When (re)writing the baseline, the file is allowed not to exist
+        # yet; in read mode a missing path is a hard error (typo guard).
+        baseline = None
+        if args.baseline and not args.write_baseline:
+            baseline = rl.load_baseline(Path(args.baseline))
+        only_rules = (
+            [r.strip() for r in args.rules.split(",") if r.strip()]
+            if args.rules
+            else None
+        )
+        result = rl.run_lint(
+            paths,
+            repo_root=repo_root,
+            baseline=baseline,
+            only_rules=only_rules,
+            config=config,
+        )
+
+        if args.write_baseline:
+            if not args.baseline:
+                raise rl.LintError("--write-baseline requires --baseline PATH")
+            rl.write_baseline(Path(args.baseline), result)
+            print(
+                f"baseline written to {args.baseline} "
+                f"({len(result.findings)} finding(s) grandfathered)"
+            )
+            return 0
+
+        report = (
+            rl.render_json(result)
+            if args.format == "json"
+            else rl.render_text(result)
+        )
+        if args.output:
+            Path(args.output).write_text(report, encoding="utf-8")
+        else:
+            sys.stdout.write(report)
+        return 0 if result.clean else 1
+    except rl.LintError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -955,6 +1088,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
     "backends": _cmd_backends,
+    "lint": _cmd_lint,
     "cache": _cmd_cache,
 }
 

@@ -64,8 +64,11 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .evaluator import MakespanEvaluation
+    from .evaluator_native import NativeKernels
+    from .lost_work import LostWork
     from .platform import Platform
     from .schedule import Schedule
+    from .dag import Workflow
 
 __all__ = [
     "AUTO_NUMPY_MIN_TASKS",
@@ -206,7 +209,7 @@ class Backend:
 
     def batch_evaluate(
         self,
-        workflow,
+        workflow: "Workflow",
         order: Sequence[int],
         checkpoint_sets: Iterable[Iterable[int]],
         platform: "Platform",
@@ -444,7 +447,13 @@ class BackendRegistry:
 # ----------------------------------------------------------------------
 # Built-in backends
 # ----------------------------------------------------------------------
-def _python_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+def _python_evaluate(
+    schedule: "Schedule",
+    platform: "Platform",
+    *,
+    lost_work: "LostWork | None" = None,
+    keep_probabilities: bool = False,
+) -> "MakespanEvaluation":
     from .evaluator import evaluate_schedule
 
     return evaluate_schedule(
@@ -456,7 +465,13 @@ def _python_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=F
     )
 
 
-def _numpy_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+def _numpy_evaluate(
+    schedule: "Schedule",
+    platform: "Platform",
+    *,
+    lost_work: "LostWork | None" = None,
+    keep_probabilities: bool = False,
+) -> "MakespanEvaluation":
     from .evaluator_np import evaluate_schedule_numpy
 
     return evaluate_schedule_numpy(
@@ -467,7 +482,13 @@ def _numpy_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=Fa
     )
 
 
-def _native_evaluate(schedule, platform, *, lost_work=None, keep_probabilities=False):
+def _native_evaluate(
+    schedule: "Schedule",
+    platform: "Platform",
+    *,
+    lost_work: "LostWork | None" = None,
+    keep_probabilities: bool = False,
+) -> "MakespanEvaluation":
     from .evaluator_native import evaluate_schedule_native
 
     return evaluate_schedule_native(
@@ -490,7 +511,7 @@ def _native_reason() -> str | None:
     return native_unavailable_reason()
 
 
-def _native_kernels():
+def _native_kernels() -> "NativeKernels":
     from .evaluator_native import load_kernels
 
     return load_kernels()

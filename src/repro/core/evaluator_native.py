@@ -43,6 +43,18 @@ Environment knobs
     Worker threads for bulk row fills (default: the CPU count; fills of a
     few rows always stay serial).  Thread count can never change a value —
     rows are priced independently.
+``REPRO_NATIVE_SANITIZE``
+    Comma-separated sanitizers to compile the kernel with: ``asan``,
+    ``ubsan``, ``tsan`` (CI hardening; see the ``native-sanitize`` job).
+    The sanitizer set is part of the object-cache key, so sanitized and
+    plain builds never collide.  Caveats: an ASan-instrumented library
+    only loads into CPython when the ASan runtime is preloaded
+    (``LD_PRELOAD=$(cc -print-file-name=libasan.so)`` plus
+    ``ASAN_OPTIONS=detect_leaks=0`` — CPython itself "leaks" arenas at
+    exit); TSan's runtime cannot be preloaded into CPython at all, so
+    thread-race coverage runs through a standalone compiled driver (see
+    ``tests/test_native_sanitize.py``), not through ctypes.  ``asan`` and
+    ``tsan`` are mutually exclusive.
 """
 
 from __future__ import annotations
@@ -56,9 +68,14 @@ import subprocess
 import tempfile
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from .lost_work import LostWork
 from .platform import Platform
 from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .evaluator import MakespanEvaluation
 
 __all__ = [
     "NativeBuildError",
@@ -91,9 +108,16 @@ class NativeKernels:
     they own for the duration of the call.
     """
 
-    def __init__(self, lib: ctypes.CDLL, path: Path, openmp: bool) -> None:
+    def __init__(
+        self,
+        lib: ctypes.CDLL,
+        path: Path,
+        openmp: bool,
+        sanitizers: tuple[str, ...] = (),
+    ) -> None:
         self.path = path
         self.openmp = openmp
+        self.sanitizers = sanitizers
         self.fill_rows = lib.repro_fill_rows
         self.fill_rows.restype = None
         self.fill_rows.argtypes = (
@@ -148,6 +172,60 @@ def _cflags() -> list[str]:
     return raw.split() if raw else ["-O3", "-march=native"]
 
 
+#: Sanitizer name -> compile/link flags.  ``-fno-sanitize-recover`` turns
+#: every UBSan diagnostic into an abort so CI cannot scroll past one.
+_SANITIZER_FLAGS: dict[str, tuple[str, ...]] = {
+    "asan": ("-fsanitize=address",),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=undefined"),
+    "tsan": ("-fsanitize=thread",),
+}
+
+
+def _sanitizers() -> tuple[str, ...]:
+    """The validated ``REPRO_NATIVE_SANITIZE`` set (sorted, deduplicated)."""
+    raw = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip()
+    if not raw:
+        return ()
+    names = sorted({part.strip().lower() for part in raw.split(",") if part.strip()})
+    unknown = [name for name in names if name not in _SANITIZER_FLAGS]
+    if unknown:
+        known = ", ".join(sorted(_SANITIZER_FLAGS))
+        raise NativeBuildError(
+            f"REPRO_NATIVE_SANITIZE names unknown sanitizer(s) "
+            f"{', '.join(unknown)}; known: {known}"
+        )
+    if "asan" in names and "tsan" in names:
+        raise NativeBuildError(
+            "REPRO_NATIVE_SANITIZE: asan and tsan cannot be combined "
+            "(their runtimes are mutually exclusive)"
+        )
+    return tuple(names)
+
+
+def _sanitizer_flags(sanitizers: tuple[str, ...]) -> list[str]:
+    flags: list[str] = []
+    for name in sanitizers:
+        flags.extend(_SANITIZER_FLAGS[name])
+    if sanitizers:
+        flags.append("-g")  # line numbers in sanitizer reports
+    return flags
+
+
+def _asan_runtime_loaded() -> bool:
+    """Whether the ASan runtime is already in this process.
+
+    dlopen'ing an ASan-instrumented library without the runtime preloaded
+    does not fail with a catchable ``OSError`` — the runtime's init
+    *aborts the process*.  So the probe must refuse up front.
+    """
+    try:
+        if "libasan" in Path("/proc/self/maps").read_text():
+            return True
+    except OSError:
+        pass
+    return "asan" in os.environ.get("LD_PRELOAD", "")
+
+
 def _cache_dir() -> Path:
     override = os.environ.get("REPRO_NATIVE_CACHE", "").strip()
     if override:
@@ -155,9 +233,17 @@ def _cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-workflows" / "native"
 
 
-def _build_key(cc: str, flags: list[str], source: bytes) -> str:
+def _build_key(
+    cc: str, flags: list[str], source: bytes, sanitizers: tuple[str, ...] = ()
+) -> str:
     payload = "\0".join(
-        [cc, " ".join(flags), _platform.machine(), str(_ABI_VERSION)]
+        [
+            cc,
+            " ".join(flags),
+            ",".join(sanitizers),
+            _platform.machine(),
+            str(_ABI_VERSION),
+        ]
     ).encode() + source
     return hashlib.sha256(payload).hexdigest()[:16]
 
@@ -210,13 +296,28 @@ def _build_and_load() -> NativeKernels:
     if not _SOURCE_PATH.is_file():
         raise NativeBuildError(f"kernel source missing: {_SOURCE_PATH}")
     source = _SOURCE_PATH.read_bytes()
-    flags = _cflags()
+    sanitizers = _sanitizers()
+    if "tsan" in sanitizers:
+        raise NativeBuildError(
+            "REPRO_NATIVE_SANITIZE=tsan: a TSan-instrumented kernel cannot "
+            "be loaded into CPython (the TSan runtime must own the main "
+            "executable); ThreadSanitizer coverage of the OpenMP fill runs "
+            "through the standalone driver in tests/test_native_sanitize.py"
+        )
+    if "asan" in sanitizers and not _asan_runtime_loaded():
+        raise NativeBuildError(
+            "REPRO_NATIVE_SANITIZE=asan requires the ASan runtime to be "
+            "preloaded (dlopen of an instrumented kernel aborts otherwise): "
+            "run under LD_PRELOAD=$(cc -print-file-name=libasan.so) with "
+            "ASAN_OPTIONS=detect_leaks=0"
+        )
+    flags = _cflags() + _sanitizer_flags(sanitizers)
     try:
         cache = _cache_dir()
         cache.mkdir(parents=True, exist_ok=True)
     except OSError:
         cache = Path(tempfile.gettempdir()) / "repro-native"
-    lib_path = cache / f"theorem3-{_build_key(cc, flags, source)}.so"
+    lib_path = cache / f"theorem3-{_build_key(cc, flags, source, sanitizers)}.so"
 
     openmp = True  # unknown for cache hits; reprobed below via omp symbol
     if not lib_path.is_file():
@@ -251,7 +352,7 @@ def _build_and_load() -> NativeKernels:
         raise NativeBuildError(
             f"kernel self-test failed (max transcendental error {error:g})"
         )
-    return NativeKernels(lib, lib_path, openmp)
+    return NativeKernels(lib, lib_path, openmp, sanitizers)
 
 
 def _probe() -> tuple[NativeKernels | None, str | None]:
@@ -306,7 +407,7 @@ def evaluate_schedule_native(
     *,
     lost_work: LostWork | None = None,
     keep_probabilities: bool = False,
-):
+) -> "MakespanEvaluation":
     """Native implementation of :func:`repro.core.evaluator.evaluate_schedule`.
 
     The ranking path (no precomputed lost work, no probability table) runs a

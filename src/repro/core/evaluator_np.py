@@ -52,8 +52,9 @@ routes here when NumPy is missing.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
+from .dag import Workflow
 from .evaluator import MakespanEvaluation
 from .expectation import OVERFLOW_EXPONENT
 from .lost_work import LostWork, _position_tables
@@ -117,7 +118,7 @@ def _closure_masks(
     return closures, frontiers
 
 
-def _iter_bits(mask: int):
+def _iter_bits(mask: int) -> Iterator[int]:
     """Yield the set bit positions of ``mask`` in ascending order."""
     while mask:
         low = mask & -mask
@@ -125,7 +126,7 @@ def _iter_bits(mask: int):
         mask ^= low
 
 
-def _charge_lut(np, charge_bits):
+def _charge_lut(np: Any, charge_bits: Any) -> Any:
     """Per-byte charge lookup table — the first half of the value canon.
 
     ``charge_bits`` holds one charge per bit position (zero-padded to
@@ -143,7 +144,7 @@ def _charge_lut(np, charge_bits):
     return (byte_bits * charge_bits.reshape(mask_bytes, 1, 8)).sum(axis=2)
 
 
-def _mask_charges(np, mask_rows, charge_lut):
+def _mask_charges(np: Any, mask_rows: Any, charge_lut: Any) -> Any:
     """Charge sums of visited-set bitmask rows (the shared value canon).
 
     ``mask_rows`` is a ``(m, mask_bytes)`` uint8 matrix of little-endian
@@ -163,15 +164,15 @@ def _mask_charges(np, mask_rows, charge_lut):
 
 
 def _row_loss_values(
-    np,
+    np: Any,
     k: int,
     candidates_k: Sequence[int],
     predecessors: Sequence[tuple[int, ...]],
     closures: Sequence[int],
     frontiers: Sequence[int],
-    charge_lut,
+    charge_lut: Any,
     mask_bytes: int,
-):
+) -> tuple[Any, Any]:
     """Nonzero ``(i, W^i_k + R^i_k)`` entries of row ``k`` as ``(cols, vals)``.
 
     The closure-mask shortcut is exact because the regenerated set is closed
@@ -229,14 +230,14 @@ def _row_loss_values(
 # Theorem-3 kernel
 # ----------------------------------------------------------------------
 def _theorem3_kernel(
-    np,
-    weights,
-    ckpt_costs,
-    loss,
+    np: Any,
+    weights: Any,
+    ckpt_costs: Any,
+    loss: Any,
     lam: float,
     downtime: float,
     keep_probabilities: bool,
-):
+) -> tuple[list[float], list[tuple[float, ...]] | None]:
     """Vectorized Theorem-3 recursion.
 
     Parameters
@@ -466,7 +467,7 @@ def evaluate_schedule_numpy(
 
 
 def batch_evaluate(
-    workflow,
+    workflow: Workflow,
     order: Sequence[int],
     checkpoint_sets: Iterable[Iterable[int]],
     platform: Platform,

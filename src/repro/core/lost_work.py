@@ -48,8 +48,9 @@ contiguous float64 matrices via :attr:`LostWork.work_array` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
+from .dag import Workflow
 from .schedule import Schedule
 
 __all__ = ["LostWork", "compute_lost_work", "lost_and_needed_tasks"]
@@ -103,16 +104,16 @@ class LostWork:
     # NumPy views (lazy, cached on the instance)
     # ------------------------------------------------------------------
     @property
-    def work_array(self):
+    def work_array(self) -> Any:
         """``work`` as a contiguous ``(n+1, n+1)`` float64 NumPy matrix."""
         return self._arrays()[0]
 
     @property
-    def recovery_array(self):
+    def recovery_array(self) -> Any:
         """``recovery`` as a contiguous ``(n+1, n+1)`` float64 NumPy matrix."""
         return self._arrays()[1]
 
-    def _arrays(self):
+    def _arrays(self) -> tuple[Any, Any]:
         cache = self.__dict__.get("_array_cache")
         if cache is None:
             import numpy as np
@@ -126,7 +127,7 @@ class LostWork:
 
 
 def _position_tables(
-    workflow, order: Sequence[int]
+    workflow: Workflow, order: Sequence[int]
 ) -> tuple[dict[int, int], list[float], list[float], list[tuple[int, ...]]]:
     """Per-position weight / recovery-cost / predecessor tables (1-based).
 
@@ -160,9 +161,9 @@ def _fill_rows(
     recovery_cost: Sequence[float],
     checkpointed: Sequence[bool],
     predecessors: Sequence[tuple[int, ...]],
-    work_rows,
-    recovery_rows,
-    member_rows=None,
+    work_rows: Any,
+    recovery_rows: Any,
+    member_rows: Any = None,
 ) -> None:
     """Algorithm-1 fill of ``work_rows[k][i]`` / ``recovery_rows[k][i]``.
 

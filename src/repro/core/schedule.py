@@ -59,7 +59,9 @@ class Schedule:
         if not workflow.is_linearization(order_tuple):
             raise ValueError("order violates a dependency edge of the workflow")
         ckpt = frozenset(int(i) for i in checkpointed)
-        invalid = [i for i in ckpt if not 0 <= i < workflow.n_tasks]
+        # Order-free: the list only feeds an emptiness test and a sorted()
+        # error message.
+        invalid = [i for i in ckpt if not 0 <= i < workflow.n_tasks]  # reprolint: allow[RL004]
         if invalid:
             raise ValueError(f"checkpointed contains invalid task indices: {sorted(invalid)}")
         object.__setattr__(self, "workflow", workflow)
@@ -135,13 +137,21 @@ class Schedule:
         """Makespan with no failure: all work plus all checkpoints, in sequence."""
         workflow = self.workflow
         total = sum(workflow.task(i).weight for i in self.order)
-        total += sum(workflow.task(i).checkpoint_cost for i in self.checkpointed)
+        # sorted(): float addition is not associative, and frozenset order is
+        # an implementation detail — ascending task index is the canonical
+        # summation order (reprolint RL004).
+        total += sum(
+            workflow.task(i).checkpoint_cost for i in sorted(self.checkpointed)
+        )
         return total
 
     @property
     def total_checkpoint_cost(self) -> float:
         """Sum of the checkpoint costs paid in a failure-free execution."""
-        return sum(self.workflow.task(i).checkpoint_cost for i in self.checkpointed)
+        return sum(
+            self.workflow.task(i).checkpoint_cost
+            for i in sorted(self.checkpointed)
+        )
 
     def completion_times_failure_free(self) -> tuple[float, ...]:
         """Failure-free completion time of each task, following the order.

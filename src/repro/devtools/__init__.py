@@ -1,0 +1,7 @@
+"""Developer tooling shipped with the package.
+
+Nothing under :mod:`repro.devtools` is imported by the library's runtime
+paths: these modules exist for contributors and CI (static analysis,
+invariant checking), and the CLI loads them lazily so ``import repro``
+stays exactly as cheap as before.
+"""

@@ -1,0 +1,54 @@
+"""reprolint — AST invariant checker for determinism & cache-key hygiene.
+
+Run it as ``repro lint [paths...]`` or programmatically::
+
+    from repro.devtools.reprolint import run_lint
+    result = run_lint(["src/repro"], repo_root=".")
+    assert result.clean, result.findings
+
+The engine (:mod:`.engine`) loads and parses files, applies
+``# reprolint: allow[RLxxx]`` pragmas and baseline grandfathering, and
+drives the registered rules (:mod:`.rules`).  Importing this package
+registers every rule.
+"""
+
+from __future__ import annotations
+
+from . import rules  # noqa: F401  (registration side effects)
+from .engine import (
+    Finding,
+    LintContext,
+    LintError,
+    LintResult,
+    SourceFile,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .registry import RULES, Rule
+from .reporters import render_json, render_text
+from .rules.cache_keys import (
+    compute_key_schema,
+    key_lock_path,
+    load_key_lock,
+    write_key_lock,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintError",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "compute_key_schema",
+    "key_lock_path",
+    "load_baseline",
+    "load_key_lock",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+    "write_key_lock",
+]

@@ -1,0 +1,127 @@
+"""Shared AST lookups over the project: dataclass fields, classes, calls.
+
+These helpers keep the rule modules declarative: a rule asks "what are the
+fields of ``Platform``?" or "which ``fault_point`` sites exist?" and gets
+facts extracted from the *linted* tree (never the imported package — the
+linter must be able to analyse a mutated or historical copy of the source
+without importing it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import LintContext, SourceFile
+
+__all__ = [
+    "call_name",
+    "dataclass_fields",
+    "dotted_name",
+    "find_class",
+    "iter_functions",
+    "string_keys",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``None`` for computed callees)."""
+    return dotted_name(node.func)
+
+
+def find_class(src: SourceFile, name: str) -> ast.ClassDef | None:
+    """Top-level class ``name`` in ``src`` (module scope only)."""
+    assert src.tree is not None
+    for node in src.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def dataclass_fields(node: ast.ClassDef) -> list[str]:
+    """Field names of a dataclass definition (annotated class-level names).
+
+    ``ClassVar`` annotations and underscore-private names are excluded;
+    non-dataclasses return their annotated attributes all the same, which
+    is the useful notion of "fields" for ``__init__``-based spec classes.
+    """
+    fields: list[str] = []
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(
+            item.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(item.annotation)
+        if "ClassVar" in annotation:
+            continue
+        name = item.target.id
+        if not name.startswith("_"):
+            fields.append(name)
+    return fields
+
+
+def init_assigned_attrs(node: ast.ClassDef) -> list[str]:
+    """Public ``self.X`` attributes assigned in ``__init__`` (in order)."""
+    names: list[str] = []
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for stmt in ast.walk(item):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [stmt.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("_")
+                        and target.attr not in names
+                    ):
+                        names.append(target.attr)
+    return names
+
+
+def iter_functions(
+    tree: ast.AST, *, nested: bool = True
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in ``tree``."""
+    for node in ast.walk(tree) if nested else ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def string_keys(node: ast.Dict) -> list[str]:
+    """The constant-string keys of a dict literal, in source order."""
+    keys: list[str] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+    return keys
+
+
+def module_path(ctx: LintContext, src: SourceFile) -> str:
+    """Package-relative POSIX path, or the repo-relative one as fallback."""
+    return ctx.package_rel(src) or src.rel

@@ -1,0 +1,55 @@
+"""Rule registry: every reprolint rule self-registers here.
+
+A rule is a small object wrapping a checker callable.  ``scope`` decides
+the calling convention:
+
+* ``"file"`` — ``check(ctx, src)`` is invoked once per parsed source file
+  and yields :class:`~repro.devtools.reprolint.engine.Finding` objects;
+* ``"project"`` — ``check(ctx)`` is invoked once per lint run with the
+  whole :class:`~repro.devtools.reprolint.engine.LintContext` (for
+  cross-module invariants such as cache-key completeness).
+
+Importing :mod:`repro.devtools.reprolint.rules` populates the table; the
+engine and the CLI only ever read :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Rule", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    rule_id: str
+    name: str
+    invariant: str  # one-line statement of the contract being enforced
+    scope: str  # "file" | "project"
+    check: Callable
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, invariant: str, *, scope: str) -> Callable:
+    """Decorator registering a checker under ``rule_id``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
+
+    def decorate(check: Callable) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"rule {rule_id} registered twice")
+        RULES[rule_id] = Rule(
+            rule_id=rule_id,
+            name=name,
+            invariant=invariant,
+            scope=scope,
+            check=check,
+        )
+        return check
+
+    return decorate

@@ -1,0 +1,68 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON document is the CI artifact contract — stable top-level keys
+(``version``, ``clean``, ``files_scanned``, ``rules``, ``findings``,
+``suppressed``, ``baselined``) so downstream tooling can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import Finding, LintResult
+from .registry import RULES
+
+__all__ = ["render_json", "render_text"]
+
+#: Bump when the JSON report shape changes incompatibly.
+REPORT_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "rules": {
+            rule_id: RULES[rule_id].invariant
+            for rule_id in result.rules_run
+            if rule_id in RULES
+        },
+        "findings": [_finding_dict(f) for f in result.findings],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "baselined": [_finding_dict(f) for f in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(result: LintResult) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_scanned} "
+        f"file(s) [rules: {', '.join(result.rules_run)}]"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed by pragma")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} grandfathered by baseline")
+    if extras:
+        summary += f" ({'; '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,123 @@
+"""RL007 — backend keyword arguments are threaded, not dropped.
+
+PR 8 established one convention for selecting an evaluation backend:
+public entry points accept ``backend=`` (a name, spec string, or
+``BackendSpec``) plus optional ``evaluator=``/``sweep_evaluator=``
+overrides, and normalise the combination through ``BackendSpec.coerce``
+before anything is evaluated.  Two drift modes this rule catches:
+
+* a function accepts ``backend`` and never reads it — callers believe
+  they selected the native backend while the python one silently runs
+  (worse than an error: the results are right, the performance claim and
+  any backend-specific coverage are not);
+* a function accepts both ``backend`` and an evaluator override but
+  combines them ad hoc instead of via ``BackendSpec`` — the precedence
+  rules (explicit evaluator beats spec'd backend) then differ between
+  entry points.
+
+Pure pass-through wrappers that forward both keywords to a conforming
+callee in a single call are accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, SourceFile
+from ..projectmodel import iter_functions
+from ..registry import rule
+
+_EVALUATOR_PARAMS = {"evaluator", "sweep_evaluator"}
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    return [
+        a.arg
+        for a in args.posonlyargs + args.args + args.kwonlyargs
+        if a.arg not in ("self", "cls")
+    ]
+
+
+def _is_backend_param(name: str) -> bool:
+    return name == "backend" or name.endswith("_backend")
+
+
+def _names_loaded(func: ast.AST) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(func)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, (ast.Load, ast.Del))
+    }
+
+
+def _forwards_together(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, names: set[str]
+) -> bool:
+    """True if one call in ``func`` receives every name in ``names`` as a
+    keyword (or via ``**kwargs``) — the pass-through wrapper shape."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        passed = {kw.arg for kw in node.keywords if kw.arg is not None}
+        if any(kw.arg is None for kw in node.keywords):
+            return True
+        if names <= passed:
+            return True
+    return False
+
+
+@rule(
+    "RL007",
+    "backend-kwargs-coherence",
+    "backend=/evaluator= kwargs are normalised through BackendSpec, never dropped",
+    scope="file",
+)
+def check_backend_kwargs(ctx: LintContext, src: SourceFile) -> Iterator[Finding]:
+    assert src.tree is not None
+    for func in iter_functions(src.tree):
+        params = _param_names(func)
+        backend_params = [p for p in params if _is_backend_param(p)]
+        if not backend_params:
+            continue
+        loaded = _names_loaded(func)
+        for param in backend_params:
+            if param not in loaded:
+                yield Finding(
+                    rule_id="RL007",
+                    path=src.rel,
+                    line=func.lineno,
+                    col=func.col_offset,
+                    message=(
+                        f"{func.name}() accepts {param!r} but never uses it: "
+                        f"callers select a backend that silently does not "
+                        f"apply"
+                    ),
+                )
+        evaluator_params = [p for p in params if p in _EVALUATOR_PARAMS]
+        if not evaluator_params:
+            continue
+        uses_spec = "BackendSpec" in loaded or any(
+            isinstance(node, ast.Attribute) and node.attr == "coerce"
+            for node in ast.walk(func)
+        )
+        if uses_spec:
+            continue
+        if _forwards_together(
+            func, set(backend_params[:1]) | set(evaluator_params)
+        ):
+            continue
+        yield Finding(
+            rule_id="RL007",
+            path=src.rel,
+            line=func.lineno,
+            col=func.col_offset,
+            message=(
+                f"{func.name}() combines {backend_params[0]!r} with "
+                f"{'/'.join(evaluator_params)} without BackendSpec.coerce: "
+                f"override precedence must be normalised in one place "
+                f"(or forward both kwargs to a conforming callee)"
+            ),
+        )

@@ -1,0 +1,331 @@
+"""RL003 / RL004 — sources of nondeterminism in result-bearing code.
+
+Everything the cache stores and the journal replays is keyed by *inputs*,
+never by *when/where it ran* — so any value that differs between two runs
+with the same inputs poisons both subsystems at once.  Two mechanical ways
+that happens in Python:
+
+* **RL003** — ambient entropy: module-level ``random.*`` (process-seeded),
+  ``numpy.random.*`` legacy global state, wall-clock reads
+  (``time.time``, ``datetime.now``), ``uuid.uuid4``, ``os.urandom``.  In
+  the result-bearing packages (``core/``, ``simulation/``,
+  ``heuristics/``) randomness must come from an explicitly seeded
+  generator threaded through the call (the ``rng``/``seed`` convention)
+  and time must come from the inputs.  Timing for *metrics* is fine — but
+  it lives in ``runtime/``/``service``, not here.
+
+* **RL004** — set iteration order: CPython's set order depends on
+  insertion history and hash randomization for str keys.  Iterating a set
+  into any order-sensitive sink — float accumulation (``sum`` is not
+  associative in floats), ``join``, ``list``/``tuple`` materialisation,
+  plain ``for`` loops that build ordered output — makes results depend on
+  set order.  The fix is always the same: ``sorted(...)`` at the boundary.
+  Membership tests, ``len``/``min``/``max``/``any``/``all`` and
+  set-to-set operations are order-free and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, SourceFile
+from ..projectmodel import call_name, dotted_name, module_path
+from ..registry import rule
+
+#: Packages where RL003 applies: code whose outputs are cached/journaled.
+_RESULT_BEARING = ("core/", "simulation/", "heuristics/")
+
+#: Wall-clock and entropy calls that may never appear in result-bearing code.
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid1": "host/time-derived identifier",
+    "uuid.uuid4": "ambient entropy",
+    "os.urandom": "ambient entropy",
+    "os.getpid": "process-dependent value",
+}
+
+#: ``numpy.random`` members that *construct seeded generators* (allowed);
+#: everything else on the legacy global RandomState is forbidden.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # explicit RandomState(seed) is seeded construction
+}
+
+#: Attributes that are known sets on project types (``Schedule.checkpointed``
+#: is a ``frozenset``; keep this list in sync when new set-typed public
+#: attributes appear).
+_SET_ATTRS = {"checkpointed", "capabilities"}
+
+#: Calls whose result is a set.
+_SET_CALLS = {"set", "frozenset"}
+
+#: Order-sensitive consumers: iterating a set directly into these leaks
+#: set order into an ordered result.
+_ORDERED_CONSUMERS = {
+    "sum": "float accumulation order",
+    "math.fsum": "accumulation order",
+    "list": "materialised order",
+    "tuple": "materialised order",
+    "enumerate": "enumeration order",
+}
+
+
+def _in_result_bearing(ctx: LintContext, src: SourceFile) -> bool:
+    rel = module_path(ctx, src)
+    if ctx.package_root is None:
+        # Fixture trees have no package anchor: apply everywhere so the
+        # rule is testable on synthetic files.
+        return True
+    return rel.startswith(_RESULT_BEARING)
+
+
+@rule(
+    "RL003",
+    "no-ambient-entropy",
+    "result-bearing code takes randomness from seeded rng params and time from inputs",
+    scope="file",
+)
+def check_ambient_entropy(ctx: LintContext, src: SourceFile) -> Iterator[Finding]:
+    if not _in_result_bearing(ctx, src):
+        return
+    assert src.tree is not None
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        reason = _FORBIDDEN_CALLS.get(name)
+        if reason is not None:
+            yield Finding(
+                rule_id="RL003",
+                path=src.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{name}() is a {reason}: result-bearing code must be a "
+                    f"pure function of its inputs (pass timestamps/ids in, "
+                    f"or move the measurement to runtime/)"
+                ),
+            )
+            continue
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in ("Random", "SystemRandom"):
+                yield Finding(
+                    rule_id="RL003",
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{name}() uses the process-seeded global generator: "
+                        f"thread an explicit random.Random(seed) / "
+                        f"numpy Generator through the call instead"
+                    ),
+                )
+        elif (
+            len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _NP_RANDOM_ALLOWED
+        ):
+            yield Finding(
+                rule_id="RL003",
+                path=src.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{name}() draws from numpy's legacy global state: use "
+                    f"numpy.random.default_rng(seed) and pass the generator"
+                ),
+            )
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collects names assigned from statically-known sets, per scope."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.tainted: set[str] = set()  # reassigned from non-set exprs
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_setish_expr(node.value, self.set_names)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.set_names.add(target.id)
+                elif target.id in self.set_names:
+                    self.tainted.add(target.id)
+        self.generic_visit(node)
+
+    # Do not descend into nested function scopes: their assignments
+    # shadow rather than redefine.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+def _is_setish_expr(node: ast.expr, known: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in _SET_CALLS:
+        return True
+    if isinstance(node, ast.Name) and node.id in known:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in _SET_ATTRS:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra preserves set-ness when either side is a set
+        return _is_setish_expr(node.left, known) or _is_setish_expr(
+            node.right, known
+        )
+    return False
+
+
+def _setish_label(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<set expression>"
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@rule(
+    "RL004",
+    "no-set-order-leakage",
+    "sets are sorted before entering ordered output or float accumulation",
+    scope="file",
+)
+def check_set_order(ctx: LintContext, src: SourceFile) -> Iterator[Finding]:
+    assert src.tree is not None
+    for scope in _scopes(src.tree):
+        tracker = _SetTracker()
+        body = scope.body if hasattr(scope, "body") else []
+        for stmt in body:
+            tracker.visit(stmt)
+        known = tracker.set_names - tracker.tainted
+
+        def setish(expr: ast.expr) -> bool:
+            return _is_setish_expr(expr, known)
+
+        for node in _walk_scope(scope):
+            # for x in SETISH: ...
+            if isinstance(node, ast.For) and setish(node.iter):
+                yield _order_finding(
+                    src, node.iter, "a for-loop iterates the set directly"
+                )
+            # comprehensions producing ordered output from a set
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                gen = node.generators[0]
+                if setish(gen.iter) and not _inside_order_free_call(node):
+                    yield _order_finding(
+                        src,
+                        gen.iter,
+                        "a comprehension materialises the set in raw order",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                reason = _ORDERED_CONSUMERS.get(name or "")
+                if reason and node.args and setish(node.args[0]):
+                    yield _order_finding(
+                        src,
+                        node.args[0],
+                        f"{name}() over the set depends on {reason}",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and setish(node.args[0])
+                ):
+                    yield _order_finding(
+                        src, node.args[0], "join() output depends on set order"
+                    )
+
+
+#: Consumers that are order-free even over a generator/list comprehension.
+_ORDER_FREE = {
+    "set",
+    "frozenset",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "sorted",
+    "dict",
+}
+
+
+def _inside_order_free_call(node: ast.AST) -> bool:
+    parent = getattr(node, "_reprolint_parent", None)
+    return (
+        isinstance(parent, ast.Call)
+        and call_name(parent) in _ORDER_FREE
+        and parent.args
+        and parent.args[0] is node
+    )
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function defs, and
+    annotate each node with its parent for context checks."""
+    own_body = scope.body if hasattr(scope, "body") else []
+    stack: list[ast.AST] = list(own_body)
+    for item in stack:
+        item._reprolint_parent = scope  # type: ignore[attr-defined]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.iter_child_nodes(node):
+            child._reprolint_parent = node  # type: ignore[attr-defined]
+            stack.append(child)
+
+
+def _order_finding(src: SourceFile, expr: ast.expr, detail: str) -> Finding:
+    # sorted(SETISH) (or any order-free wrapper) never reaches here because
+    # the *wrapper* call is what the consumers see; but a direct hit on the
+    # iterable means raw set order leaks.
+    return Finding(
+        rule_id="RL004",
+        path=src.rel,
+        line=expr.lineno,
+        col=expr.col_offset,
+        message=(
+            f"set iteration order leaks into results: {detail} "
+            f"({_setish_label(expr)}); wrap it in sorted(...) or restructure "
+            f"into order-free set algebra"
+        ),
+    )

@@ -1,0 +1,211 @@
+"""RL006 — the fault-point site registry is closed and exercised.
+
+``REPRO_FAULTS`` clauses are matched against site names by *string
+equality* at runtime: a typo in a test's spec (``worker_crsh:unit=2``)
+does not error — it silently arms nothing, and the chaos test passes
+while exercising no fault path at all.  The defence is a closed registry:
+``runtime/faults.py`` declares ``KNOWN_FAULT_SITES``, and this rule
+cross-references it three ways:
+
+* every ``fault_point(...)`` call site in the source must use a string
+  literal naming a registered site (literals only — a computed site name
+  cannot be checked statically *or* grepped for by an operator);
+* every registered site must actually be invoked somewhere in the source
+  (a registered-but-dead site documents a fault path that cannot fire);
+* every site named in ``REPRO_FAULTS`` strings / ``active_faults`` /
+  ``fault_fired`` calls under ``tests/`` and ``.github/workflows/`` must
+  be registered (this is what catches the typo'd chaos test).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from ..engine import _PRAGMA_RE, Finding, LintContext
+from ..projectmodel import call_name
+from ..registry import rule
+
+_FAULTS_REL = "runtime/faults.py"
+_REGISTRY_NAME = "KNOWN_FAULT_SITES"
+
+#: Textual fault-spec references in tests and workflow files.
+_SPEC_RE = re.compile(
+    r"""(?:
+        REPRO_FAULTS["']?\s*[:=,]\s*   # setenv("REPRO_FAULTS", "...") / env syntax
+        | active_faults\(\s*
+        | with_faults\(\s*
+        | fault_fired\(\s*
+        | fault_point\(\s*
+    )
+    r?f?["']([^"']+)["']""",
+    re.VERBOSE,
+)
+
+
+def _registry_sites(ctx: LintContext) -> tuple[set[str] | None, object]:
+    """(registered sites, the faults SourceFile) — sites is None if the
+    registry variable is missing or not a literal collection of strings."""
+    src = ctx.package_file(_FAULTS_REL)
+    if src is None or src.tree is None:
+        return None, None
+    for node in src.tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == _REGISTRY_NAME
+            for t in node.targets
+        ):
+            value = node.value
+            if isinstance(value, ast.Call) and call_name(value) in (
+                "frozenset",
+                "set",
+                "tuple",
+            ):
+                value = value.args[0] if value.args else value
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                sites = {
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                }
+                return sites, src
+            return None, src
+    return None, src
+
+
+def _clause_sites(spec: str) -> Iterator[str]:
+    for clause in spec.split(";"):
+        site = clause.strip().split(":", 1)[0].strip()
+        if site and "{" not in site and "$" not in site:
+            yield site
+
+
+@rule(
+    "RL006",
+    "fault-site-registry",
+    "every fault site is registered in runtime/faults.py, invoked, and spelled right",
+    scope="project",
+)
+def check_fault_sites(ctx: LintContext) -> Iterator[Finding]:
+    sites, faults_src = _registry_sites(ctx)
+    if faults_src is None:
+        return  # fixture tree without a faults module: nothing to check
+    if sites is None:
+        yield Finding(
+            rule_id="RL006",
+            path=faults_src.rel,
+            line=1,
+            col=0,
+            message=(
+                f"runtime/faults.py declares no {_REGISTRY_NAME} literal: "
+                f"the fault-site namespace must be a closed, greppable "
+                f"registry"
+            ),
+        )
+        return
+
+    invoked: set[str] = set()
+    for src in ctx.files:
+        if src.tree is None or src is faults_src:
+            continue
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] != "fault_point":
+                continue
+            if not node.args:
+                continue
+            site_arg = node.args[0]
+            if not (
+                isinstance(site_arg, ast.Constant)
+                and isinstance(site_arg.value, str)
+            ):
+                yield Finding(
+                    rule_id="RL006",
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "fault_point() site must be a string literal so the "
+                        "registry cross-check (and operators grepping for a "
+                        "site) can see it"
+                    ),
+                )
+                continue
+            site = site_arg.value
+            invoked.add(site)
+            if site not in sites:
+                yield Finding(
+                    rule_id="RL006",
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"fault site {site!r} is not in {_REGISTRY_NAME}: "
+                        f"register it in runtime/faults.py (and document its "
+                        f"default action)"
+                    ),
+                )
+
+    # Textual references in tests and CI workflows.
+    referenced: set[str] = set()
+    for text_path, rel in _reference_files(ctx):
+        try:
+            text = text_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        text_lines = text.splitlines()
+        for match in _SPEC_RE.finditer(text):
+            line = text[: match.start()].count("\n") + 1
+            # The text scan honours the same per-line pragma as parsed
+            # sources (needed by reprolint's own fixtures, which spell out
+            # deliberately-typo'd sites).
+            pragma = _PRAGMA_RE.search(text_lines[line - 1])
+            if pragma and {"RL006", "*"} & {
+                p.strip() for p in pragma.group(1).split(",")
+            }:
+                continue
+            for site in _clause_sites(match.group(1)):
+                referenced.add(site)
+                if site not in sites:
+                    yield Finding(
+                        rule_id="RL006",
+                        path=rel,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"fault spec names unregistered site {site!r}: "
+                            f"a typo here arms nothing and the chaos test "
+                            f"silently stops testing anything"
+                        ),
+                    )
+
+    # A site is "exercised" if the runtime invokes it or the test suite
+    # drives it directly (synthetic sites such as the fault tests' "demo").
+    for site in sorted(sites - invoked - referenced):
+        yield Finding(
+            rule_id="RL006",
+            path=faults_src.rel,
+            line=1,
+            col=0,
+            message=(
+                f"registered fault site {site!r} has no fault_point() call "
+                f"site: either wire it into the runtime or drop it from "
+                f"{_REGISTRY_NAME}"
+            ),
+        )
+
+
+def _reference_files(ctx: LintContext) -> Iterator[tuple[Path, str]]:
+    root = ctx.repo_root
+    for directory, pattern in (("tests", "*.py"), (".github/workflows", "*.yml")):
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob(pattern)):
+            if "__pycache__" in path.parts:
+                continue
+            yield path, path.relative_to(root).as_posix()

@@ -1,0 +1,80 @@
+"""RL005 — durability discipline on journal/append paths.
+
+The crash-safety story (PR 7) rests on one property: *when the journal
+acknowledges a record, that record survives a crash*.  ``write()`` alone
+leaves the bytes in the userspace buffer; ``flush()`` pushes them to the
+OS; only ``os.fsync()`` makes them durable.  A write that skips either
+step turns every resume test into a lie — the journal would replay a
+prefix that the acknowledged run never persisted.
+
+The rule fires on any function in journal-scoped code (module path
+containing ``journal``) that writes to a file handle without both
+flushing and fsyncing in the same function body.  Writers that hand the
+durability obligation to a helper should route the actual ``write``
+through that helper too (as ``CampaignJournal._append`` does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, SourceFile
+from ..projectmodel import dotted_name, iter_functions, module_path
+from ..registry import rule
+
+
+def _in_scope(ctx: LintContext, src: SourceFile) -> bool:
+    if ctx.package_root is None:
+        return "journal" in src.rel
+    return "journal" in module_path(ctx, src)
+
+
+@rule(
+    "RL005",
+    "fsync-before-ack",
+    "journal writes flush and fsync before the record counts as persisted",
+    scope="file",
+)
+def check_fsync_discipline(ctx: LintContext, src: SourceFile) -> Iterator[Finding]:
+    if not _in_scope(ctx, src):
+        return
+    assert src.tree is not None
+    for func in iter_functions(src.tree):
+        writes: list[ast.Call] = []
+        has_flush = False
+        has_fsync = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                target = dotted_name(node.func.value) or ""
+                if attr == "write" and not target.startswith("sys."):
+                    writes.append(node)
+                elif attr == "flush":
+                    has_flush = True
+                elif attr == "fsync":
+                    has_fsync = True
+            elif isinstance(node.func, ast.Name) and node.func.id == "fsync":
+                has_fsync = True
+        if not writes:
+            continue
+        if has_flush and has_fsync:
+            continue
+        missing = []
+        if not has_flush:
+            missing.append("flush()")
+        if not has_fsync:
+            missing.append("os.fsync()")
+        yield Finding(
+            rule_id="RL005",
+            path=src.rel,
+            line=writes[0].lineno,
+            col=writes[0].col_offset,
+            message=(
+                f"{func.name}() writes to the journal without "
+                f"{' or '.join(missing)}: an acknowledged record could "
+                f"vanish in a crash, breaking journaled resume"
+            ),
+        )

@@ -34,7 +34,14 @@ from .keys import (
     stable_seed_words,
     workflow_fingerprint,
 )
-from .faults import FAULTS_ENV, active_faults, fault_fired, fault_point, parse_faults
+from .faults import (
+    FAULTS_ENV,
+    KNOWN_FAULT_SITES,
+    active_faults,
+    fault_fired,
+    fault_point,
+    parse_faults,
+)
 from .journal import JOURNAL_VERSION, CampaignJournal
 from .parallel import (
     QUARANTINED,
@@ -56,6 +63,7 @@ __all__ = [
     "FAULTS_ENV",
     "JOURNAL_VERSION",
     "KEY_VERSION",
+    "KNOWN_FAULT_SITES",
     "LRUCache",
     "MC_RNG_SCHEME",
     "MonteCarloUnit",
@@ -101,7 +109,7 @@ _RUNNER_EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _RUNNER_EXPORTS:
         from . import runner
 

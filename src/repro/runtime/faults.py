@@ -60,6 +60,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import time
+import warnings
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -67,6 +68,7 @@ from typing import Iterator
 
 __all__ = [
     "FAULTS_ENV",
+    "KNOWN_FAULT_SITES",
     "FaultClause",
     "active_faults",
     "fault_fired",
@@ -90,6 +92,24 @@ _EXCEPTIONS: dict[str, type[BaseException]] = {
 }
 
 _ACTION_KEYS = ("raise", "exit", "sleep")
+
+#: The closed fault-site namespace.  Clauses are matched by string equality,
+#: so a typo'd site arms nothing — cross-checked three ways by reprolint
+#: RL006 (every ``fault_point`` call site, every ``REPRO_FAULTS`` string in
+#: tests/CI, and this registry must agree), and guarded at runtime by
+#: :func:`parse_faults`, which warns on unknown sites.  ``demo`` is reserved
+#: for the fault-injection test suite's synthetic fault point.
+KNOWN_FAULT_SITES = frozenset(
+    {
+        "worker_crash",
+        "chunk_timeout",
+        "cache_open",
+        "cache_read",
+        "campaign_unit",
+        "service_group",
+        "demo",
+    }
+)
 
 
 @dataclass
@@ -131,6 +151,16 @@ def parse_faults(text: str) -> list[FaultClause]:
         site = site.strip()
         if not site:
             raise ValueError(f"fault clause {raw!r} has no site name")
+        if site not in KNOWN_FAULT_SITES:
+            # Warn rather than raise: an operator arming a site that this
+            # version does not carry should see the mistake, but a stale
+            # spec in the environment must not brick unrelated commands.
+            warnings.warn(
+                f"REPRO_FAULTS names unknown fault site {site!r}; known "
+                f"sites: {', '.join(sorted(KNOWN_FAULT_SITES))}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         clause = FaultClause(site=site)
         for pair in params.split(","):
             pair = pair.strip()

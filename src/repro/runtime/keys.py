@@ -60,7 +60,10 @@ KEY_VERSION = 2
 #: sums were re-canonicalized for the incremental sweep engine (float-noise
 #: level changes), and local-search probes now evaluate in
 #: descending-position order (tie-breaks can differ).
-ALGO_VERSION = 2
+#: v2 -> v3: Schedule's failure-free aggregates now sum checkpoint costs in
+#: ascending task index instead of frozenset iteration order (reprolint
+#: RL004 fix; float-noise level changes).
+ALGO_VERSION = 3
 
 
 # ----------------------------------------------------------------------

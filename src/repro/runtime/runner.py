@@ -28,10 +28,11 @@ labeling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..core.backend import resolve_backend
 from ..core.evaluator import MakespanEvaluation, evaluate_schedule
+from ..core.dag import Workflow
 from ..core.hashing import stable_seed_words
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -45,6 +46,9 @@ from .journal import CampaignJournal
 from .keys import evaluation_key, monte_carlo_key, robustness_unit_key, scenario_unit_key
 from .parallel import WorkerFailure, dispose_executor, parallel_map, resolve_jobs
 from .progress import coerce_progress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..simulation import MonteCarloSummary
 
 __all__ = [
     "WorkUnit",
@@ -165,7 +169,7 @@ def _instance_signature(scenario: Scenario) -> tuple:
     )
 
 
-def _memoized_instance(scenario: Scenario, *, digest: bool = False) -> tuple[Any, str | None]:
+def _memoized_instance(scenario: Scenario, *, digest: bool = False) -> tuple[Workflow, str | None]:
     """The scenario's workflow and (when ``digest``) its content fingerprint."""
     signature = _instance_signature(scenario)
     workflow, fingerprint = _WORKFLOW_MEMO.get(signature) or (None, None)
@@ -179,7 +183,7 @@ def _memoized_instance(scenario: Scenario, *, digest: bool = False) -> tuple[Any
     return workflow, fingerprint
 
 
-def _memoized_workflow(scenario: Scenario):
+def _memoized_workflow(scenario: Scenario) -> Workflow:
     return _memoized_instance(scenario)[0]
 
 
@@ -466,7 +470,7 @@ class CampaignRunner:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _executor(self):
+    def _executor(self) -> Any:
         if self.jobs <= 1:
             return None
         if self._pool is None:
@@ -755,7 +759,7 @@ def run_monte_carlo_cached(
     failure_spec: dict[str, Any] | None = None,
     checkpoint_overlap: float = 0.0,
     backend: str | None = None,
-):
+) -> "MonteCarloSummary":
     """Content-addressed wrapper around :func:`repro.simulation.run_monte_carlo`.
 
     The key embeds the failure-law spec, replica count, seed and

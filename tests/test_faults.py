@@ -21,6 +21,7 @@ import os
 import sqlite3
 import subprocess
 import sys
+import warnings
 from pathlib import Path
 
 import pytest
@@ -86,11 +87,29 @@ class TestParseFaults:
 
     def test_two_actions_rejected(self):
         with pytest.raises(ValueError, match="more than one action"):
-            parse_faults("x:raise=ValueError,exit=1")
+            parse_faults("demo:raise=ValueError,exit=1")
 
     def test_malformed_parameter_rejected(self):
         with pytest.raises(ValueError, match="expected key=value"):
-            parse_faults("x:unit")
+            parse_faults("demo:unit")
+
+    def test_unknown_site_warns_but_parses(self):
+        # A typo'd site must not pass silently (it would arm nothing and
+        # the chaos test would stop testing anything), but it must not be
+        # a hard error either: specs may legitimately name sites that only
+        # exist in a newer/older build.
+        with pytest.warns(RuntimeWarning, match="unknown fault site 'worker_crsh'"):  # reprolint: allow[RL006]
+            (clause,) = parse_faults("worker_crsh:exit=9")  # reprolint: allow[RL006]
+        assert clause.action == ("exit", "9")
+
+    def test_registry_is_exported_and_closed(self):
+        from repro.runtime import KNOWN_FAULT_SITES
+
+        assert "worker_crash" in KNOWN_FAULT_SITES
+        assert "demo" in KNOWN_FAULT_SITES
+        with warnings.catch_warnings():  # known sites never warn
+            warnings.simplefilter("error")
+            parse_faults(";".join(f"{s}:exit=1" for s in sorted(KNOWN_FAULT_SITES)))
 
 
 class TestFaultPoint:

@@ -106,6 +106,25 @@ class TestAggregates:
         schedule = Schedule(wf, (0, 1, 2, 3))
         assert schedule.completion_times_failure_free() == pytest.approx((10.0, 30.0, 35.0, 43.0))
 
+    def test_checkpoint_sum_uses_ascending_task_index(self):
+        # Regression (reprolint RL004): the checkpoint-cost aggregates used
+        # to iterate the ``checkpointed`` frozenset directly, so the float
+        # sum depended on hash-iteration order.  The canonical order is
+        # ascending task index — pin it bit-for-bit, not approximately.
+        n = 31
+        weights = [1.0 + (7 * i % 13) / 9 for i in range(n)]
+        wf = generators.chain_workflow(n, weights=weights).with_checkpoint_costs(
+            mode="proportional", factor=1 / 3
+        )
+        checkpointed = set(range(0, n, 2))
+        schedule = Schedule(wf, tuple(range(n)), checkpointed)
+
+        explicit = 0.0
+        for i in sorted(checkpointed):
+            explicit += wf.task(i).checkpoint_cost
+        assert schedule.total_checkpoint_cost == explicit
+        assert schedule.failure_free_makespan == sum(weights) + explicit
+
     def test_describe_marks_checkpointed(self, wf):
         text = Schedule(wf, (0, 1, 2, 3), {1}).describe()
         assert "T1*" in text
