@@ -66,9 +66,11 @@ from .experiments import (
     CampaignResult,
     all_figures,
     lambda_downtime_grid,
-    load_rows_csv,
     parse_shard,
     plot_robustness,
+    read_shard_marker,
+    row_identity,
+    rows_from_csv,
     run_campaign,
     run_robustness,
     save_robustness_report,
@@ -285,6 +287,113 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged rows (canonical order) to this CSV path")
     merge.add_argument("--report", metavar="PATH", default=argparse.SUPPRESS,
                        help="write the rendered aggregation table to this path")
+
+    # fabric ------------------------------------------------------------
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="distributed campaign fabric: lease-based shard coordinator, "
+             "workers, and the shared remote result cache",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    coordinate = fabric_sub.add_parser(
+        "coordinate",
+        help="partition a campaign into TTL-leased shards and serve them to "
+             "'repro fabric work' processes (resumable via --journal)",
+    )
+    coordinate.add_argument("--families", default="montage",
+                            help="comma-separated workflow families")
+    coordinate.add_argument("--sizes", default="30,60",
+                            help="comma-separated task counts")
+    coordinate.add_argument("--downtimes", default=None,
+                            help="comma-separated downtimes D (grid axis, default 0)")
+    coordinate.add_argument("--processors", default=None,
+                            help="comma-separated processor counts p (grid axis, "
+                                 "default 1)")
+    coordinate.add_argument("--preset", choices=("grid", "lambda-downtime"),
+                            default="grid")
+    coordinate.add_argument("--seeds", default="0,1,2",
+                            help="comma-separated instance seeds")
+    coordinate.add_argument("--heuristics", default="",
+                            help="comma-separated heuristic names (default: all 14)")
+    coordinate.add_argument("--checkpoint-mode",
+                            choices=("proportional", "constant"),
+                            default="proportional")
+    coordinate.add_argument("--checkpoint-factor", type=float, default=0.1)
+    coordinate.add_argument("--checkpoint-value", type=float, default=0.0)
+    coordinate.add_argument("--search-mode", choices=("exhaustive", "geometric"),
+                            default="geometric")
+    coordinate.add_argument("--max-candidates", type=int, default=30)
+    coordinate.add_argument("--shards", type=int, default=2, metavar="N",
+                            help="number of deterministic grid shards to lease out "
+                                 "(default 2)")
+    coordinate.add_argument("--host", default="127.0.0.1",
+                            help="control-plane bind address")
+    coordinate.add_argument("--port", type=int, default=0,
+                            help="control-plane TCP port (0 picks an ephemeral one)")
+    coordinate.add_argument("--ttl", type=float, default=15.0, metavar="SECONDS",
+                            help="lease TTL; a worker that stops heartbeating for "
+                                 "this long loses its shard (default 15)")
+    coordinate.add_argument("--max-attempts", type=int, default=3,
+                            help="grants per shard before poison-quarantine "
+                                 "(default 3)")
+    coordinate.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                            help="abort if the campaign has not finished in this "
+                                 "long (default: wait forever)")
+    coordinate.add_argument("--cache-server", metavar="HOST:PORT",
+                            help="endpoint of a 'repro fabric cache-server' the "
+                                 "workers should share (they degrade to their "
+                                 "local cache when it is unreachable)")
+    coordinate.add_argument("--journal", metavar="PATH",
+                            help="journal of completed shards; created if missing, "
+                                 "replayed if present — a crashed coordinator "
+                                 "resumes without re-running finished shards")
+    coordinate.add_argument("--resume", metavar="PATH",
+                            help="resume from (and keep appending to) this journal; "
+                                 "must exist")
+    coordinate.add_argument("--output", "-o",
+                            help="write the merged result rows (canonical order) "
+                                 "to this CSV path")
+    coordinate.add_argument("--report", metavar="PATH",
+                            help="write the rendered aggregation table to this path")
+    coordinate.add_argument("--metrics-output", metavar="PATH",
+                            help="write the fabric metrics (Prometheus text "
+                                 "exposition) to this path on exit")
+    _add_backend_argument(coordinate)
+
+    work = fabric_sub.add_parser(
+        "work",
+        help="lease shards from a coordinator, run them, report the rows back",
+    )
+    work.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                      help="control-plane endpoint printed by "
+                           "'repro fabric coordinate'")
+    work.add_argument("--name", default=None,
+                      help="worker identity in lease bookkeeping "
+                           "(default: hostname-pid)")
+    work.add_argument("--jobs", type=int, default=1,
+                      help="worker-local processes per shard (1 = serial, "
+                           "0 = all CPUs)")
+    work.add_argument("--cache", dest="cache_path", metavar="PATH",
+                      help="worker-local persistent cache (also the degradation "
+                           "target when the shared cache server is down)")
+    work.add_argument("--max-shards", type=int, default=None, metavar="N",
+                      help="stop after completing N shards (default: work until "
+                           "the campaign finishes)")
+    work.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                      help="delay between lease polls when nothing is grantable")
+    _add_backend_argument(work)
+
+    cache_server = fabric_sub.add_parser(
+        "cache-server",
+        help="serve a sqlite result cache to fabric workers over TCP",
+    )
+    cache_server.add_argument("--cache", dest="cache_path", required=True,
+                              metavar="PATH",
+                              help="sqlite cache file to serve (created on demand)")
+    cache_server.add_argument("--host", default="127.0.0.1", help="bind address")
+    cache_server.add_argument("--port", type=int, default=0,
+                              help="TCP port (0 picks an ephemeral port)")
 
     # serve -------------------------------------------------------------
     serve = subparsers.add_parser(
@@ -822,7 +931,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(result.render())
     _print_cache_summary(cache)
     if args.output:
-        path = save_rows_csv(list(result.rows), args.output)
+        # A sharded run stamps its output with the shard marker, so 'repro
+        # campaign merge' can check that the shard set it is given is
+        # complete; full-campaign outputs stay unmarked (bytes unchanged).
+        path = save_rows_csv(list(result.rows), args.output, shard=shard)
         print(f"wrote {path} ({len(result.rows)} rows)")
     if args.report:
         path = Path(args.report)
@@ -840,21 +952,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Canonical row order of merged campaign CSVs: the full grid-point identity,
-#: so the merged file does not depend on the order the shards are passed in.
-def _row_identity(row) -> tuple:
-    return (
-        row.label,
-        row.family,
-        row.n_tasks,
-        row.failure_rate,
-        row.downtime,
-        row.processors,
-        row.checkpoint_mode,
-        row.checkpoint_parameter,
-        row.seed,
-        row.heuristic,
-    )
+def _check_shard_completeness(markers: list[tuple[str, tuple[int, int] | None]]) -> None:
+    """Refuse a merge whose marked shard inputs do not cover 1..N exactly.
+
+    Engages only when at least one input carries a ``# repro-shard`` marker
+    (older CSVs and full-campaign outputs are unmarked and merge as before).
+    Errors name the offending shard or the exact gap, so a shell-glob
+    mistake is a one-line diagnosis rather than a silently wrong table.
+    """
+    marked = [(path, marker) for path, marker in markers if marker is not None]
+    if not marked:
+        return
+    counts = {marker[1] for _, marker in marked}
+    if len(counts) > 1:
+        raise ValueError(
+            "shard-marked inputs disagree on the shard count: "
+            + ", ".join(f"{path} says {k}/{n}" for path, (k, n) in marked)
+        )
+    count = counts.pop()
+    seen_shards: dict[int, str] = {}
+    for path, (index, _) in marked:
+        if index in seen_shards:
+            raise ValueError(
+                f"shard {index}/{count} appears twice in the merge inputs "
+                f"({seen_shards[index]} and {path})"
+            )
+        seen_shards[index] = path
+    missing = sorted(set(range(1, count + 1)) - set(seen_shards))
+    if missing:
+        gaps = ", ".join(f"{k}/{count}" for k in missing)
+        raise ValueError(
+            f"incomplete shard set: missing shard(s) {gaps} "
+            f"(got {len(seen_shards)} of {count} marked inputs)"
+        )
 
 
 def _cmd_campaign_merge(args: argparse.Namespace) -> int:
@@ -867,8 +997,12 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
                 raise ValueError(f"output directory {out_parent} does not exist")
             _check_writable(out_parent)
     rows = []
+    markers: list[tuple[str, tuple[int, int] | None]] = []
     for csv_path in args.csvs:
-        rows.extend(load_rows_csv(csv_path))
+        text = Path(csv_path).read_text()
+        markers.append((str(csv_path), read_shard_marker(text)))
+        rows.extend(rows_from_csv(text))
+    _check_shard_completeness(markers)
     if not rows:
         raise ValueError("the given CSV files contain no result rows")
     # Overlapping inputs (a shard listed twice, a glob that caught a
@@ -876,7 +1010,7 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     # row in the aggregation; the identity tuple makes them detectable.
     seen: set = set()
     for row in rows:
-        identity = _row_identity(row)
+        identity = row_identity(row)
         if identity in seen:
             raise ValueError(
                 "duplicate result row across the given CSV files "
@@ -891,13 +1025,184 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     result = CampaignResult.from_rows(rows)
     print(result.render())
     if args.output:
-        merged = sorted(result.rows, key=_row_identity)
+        merged = sorted(result.rows, key=row_identity)
         path = save_rows_csv(merged, args.output)
         print(f"wrote {path} ({len(merged)} rows)")
     if args.report:
         path = Path(args.report)
         path.write_text(result.render() + "\n")
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "coordinate":
+        return _cmd_fabric_coordinate(args)
+    if args.fabric_command == "work":
+        return _cmd_fabric_work(args)
+    return _cmd_fabric_cache_server(args)
+
+
+def _cmd_fabric_coordinate(args: argparse.Namespace) -> int:
+    # Lazy import: the fabric layer pulls in the service metrics registry,
+    # which no other sub-command needs.
+    from .experiments.fabric import FabricCoordinator, FabricSpec
+
+    # The same cheap upfront validation as 'repro campaign': a rejected
+    # invocation must not bind a port or create a journal file.
+    heuristics = _split_csv(args.heuristics)
+    for heuristic in heuristics:
+        parse_heuristic_name(heuristic)
+    if args.search_mode == "geometric":
+        candidate_counts(3, mode="geometric", max_candidates=args.max_candidates)
+    families = _split_csv(args.families)
+    sizes = [int(s) for s in _split_csv(args.sizes)]
+    seeds = [int(s) for s in _split_csv(args.seeds)]
+    downtimes = (
+        tuple(float(d) for d in _split_csv(args.downtimes))
+        if args.downtimes is not None
+        else None
+    )
+    processors = (
+        tuple(int(p) for p in _split_csv(args.processors))
+        if args.processors is not None
+        else None
+    )
+    for path_arg in (args.output, args.report, args.metrics_output):
+        if path_arg:
+            out_parent = Path(path_arg).parent
+            if not out_parent.exists():
+                raise ValueError(f"output directory {out_parent} does not exist")
+            _check_writable(out_parent)
+    if args.journal and args.resume and args.journal != args.resume:
+        raise ValueError(
+            "--journal and --resume point at different files; give only one"
+        )
+    if args.resume and not Path(args.resume).exists():
+        raise ValueError(f"cannot resume: no journal at {args.resume}")
+    journal_path = args.resume or args.journal
+    if journal_path:
+        _check_writable(Path(journal_path).parent)
+    spec = FabricSpec(
+        families=tuple(families),
+        sizes=tuple(sizes),
+        downtimes=downtimes,
+        processors=processors,
+        preset=args.preset,
+        seeds=tuple(seeds),
+        heuristics=tuple(heuristics),
+        checkpoint_mode=args.checkpoint_mode,
+        checkpoint_factor=args.checkpoint_factor,
+        checkpoint_value=args.checkpoint_value,
+        search_mode=args.search_mode,
+        max_candidates=args.max_candidates,
+        n_shards=args.shards,
+    )
+    coordinator = FabricCoordinator(
+        spec,
+        host=args.host,
+        port=args.port,
+        ttl=args.ttl,
+        max_attempts=args.max_attempts,
+        journal=journal_path,
+        cache_endpoint=args.cache_server,
+        backend=args.backend,
+    )
+    done = len(coordinator.queue.done)
+    if done:
+        print(f"resumed: {done}/{spec.n_shards} shard(s) already journaled")
+    coordinator.start()
+    print(
+        f"fabric coordinator listening on {coordinator.endpoint} "
+        f"({spec.n_shards} shards, ttl {args.ttl:g}s); start workers with: "
+        f"repro fabric work --coordinator {coordinator.endpoint}",
+        flush=True,
+    )
+    try:
+        coordinator.serve(timeout=args.timeout)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        if journal_path:
+            print(
+                f"interrupted — completed shards are safe in {journal_path}; "
+                f"resume with: repro fabric coordinate ... --resume {journal_path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted — re-run with --journal PATH to make interrupted "
+                "fabric campaigns resumable",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if args.metrics_output:
+            Path(args.metrics_output).write_text(coordinator.registry.render())
+        coordinator.close()
+    result = coordinator.result()
+    print(result.render())
+    if args.output:
+        merged = sorted(result.rows, key=row_identity)
+        path = save_rows_csv(merged, args.output)
+        print(f"wrote {path} ({len(merged)} rows)")
+    if args.report:
+        path = Path(args.report)
+        path.write_text(result.render() + "\n")
+        print(f"wrote {path}")
+    failures = coordinator.failures
+    if failures:
+        # The same quarantine contract as 'repro campaign': exit 3 plus a
+        # structured stderr block naming what is absent from the table.
+        print(
+            f"warning: {len(failures)} shard(s) quarantined after repeated "
+            "failures (their rows are absent above):",
+            file=sys.stderr,
+        )
+        for lease in failures:
+            print(f"  - {lease.describe()}", file=sys.stderr)
+        return 3
+    return 0
+
+
+def _cmd_fabric_work(args: argparse.Namespace) -> int:
+    from .experiments.fabric import FabricError, FabricWorker
+
+    resolve_jobs(args.jobs)  # reject a bad --jobs before dialing out
+    worker = FabricWorker(
+        args.coordinator,
+        name=args.name,
+        jobs=args.jobs,
+        local_cache_path=args.cache_path,
+        backend=args.backend,
+        poll=args.poll,
+        on_event=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    try:
+        completed = worker.run(max_shards=args.max_shards)
+    except FabricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"completed {completed} shard(s)")
+    return 0
+
+
+def _cmd_fabric_cache_server(args: argparse.Namespace) -> int:
+    from .runtime.cachenet import CacheNetServer
+
+    server = CacheNetServer(DiskCache(args.cache_path), host=args.host, port=args.port)
+    print(
+        f"fabric cache server listening on {server.endpoint} "
+        f"(cache {args.cache_path}); point workers at it with: "
+        f"repro fabric coordinate --cache-server {server.endpoint}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 0
+    finally:
+        server.stop()
     return 0
 
 
@@ -1086,6 +1391,7 @@ _COMMANDS = {
     "robustness": _cmd_robustness,
     "figures": _cmd_figures,
     "campaign": _cmd_campaign,
+    "fabric": _cmd_fabric,
     "serve": _cmd_serve,
     "backends": _cmd_backends,
     "lint": _cmd_lint,

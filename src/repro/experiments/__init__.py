@@ -22,9 +22,12 @@ from .harness import (
     series_by_heuristic,
 )
 from .reporting import (
+    SHARD_MARKER_PREFIX,
     format_ratio_table,
     load_rows_csv,
     ratio_table,
+    read_shard_marker,
+    row_identity,
     rows_from_csv,
     rows_to_csv,
     rows_to_markdown,
@@ -69,6 +72,8 @@ __all__ = [
     "load_rows_csv",
     "parse_shard",
     "plot_robustness",
+    "read_shard_marker",
+    "row_identity",
     "rows_from_csv",
     "run_campaign",
     "run_robustness",
@@ -99,4 +104,29 @@ __all__ = [
     "save_rows_csv",
     "scenario_grid",
     "series_by_heuristic",
+    "SHARD_MARKER_PREFIX",
+    "ControlClient",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricSpec",
+    "FabricWorker",
 ]
+
+#: Lazily re-exported from :mod:`repro.experiments.fabric`: the fabric layer
+#: pulls in :mod:`repro.service` (for its metrics registry), which the rest
+#: of the experiments package deliberately avoids importing eagerly.
+_FABRIC_EXPORTS = {
+    "ControlClient",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricSpec",
+    "FabricWorker",
+}
+
+
+def __getattr__(name: str) -> object:
+    if name in _FABRIC_EXPORTS:
+        from . import fabric
+
+        return getattr(fabric, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

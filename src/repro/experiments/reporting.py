@@ -20,19 +20,58 @@ from typing import Sequence, get_type_hints
 from .harness import ResultRow
 
 __all__ = [
+    "SHARD_MARKER_PREFIX",
+    "row_identity",
     "rows_to_csv",
     "save_rows_csv",
     "rows_from_csv",
+    "read_shard_marker",
     "load_rows_csv",
     "rows_to_markdown",
     "ratio_table",
     "format_ratio_table",
 ]
 
+#: Comment line stamped at the top of sharded campaign CSVs
+#: (``# repro-shard: k/N``).  ``repro campaign merge`` uses it to check shard
+#: completeness; merged outputs stay unmarked so their bytes are unchanged.
+SHARD_MARKER_PREFIX = "# repro-shard:"
 
-def rows_to_csv(rows: Sequence[ResultRow]) -> str:
-    """Serialize result rows to CSV text (header + one line per row)."""
+
+def row_identity(row: ResultRow) -> tuple:
+    """The full grid-point identity of a row, as a sortable tuple.
+
+    This is the canonical row order of merged campaign CSVs (so a merge
+    does not depend on the order the shards are passed in) and the duplicate
+    detector of ``repro campaign merge`` — two rows with equal identity are
+    the same (scenario, seed, heuristic) unit counted twice.
+    """
+    return (
+        row.label,
+        row.family,
+        row.n_tasks,
+        row.failure_rate,
+        row.downtime,
+        row.processors,
+        row.checkpoint_mode,
+        row.checkpoint_parameter,
+        row.seed,
+        row.heuristic,
+    )
+
+
+def rows_to_csv(rows: Sequence[ResultRow], *, shard: tuple[int, int] | None = None) -> str:
+    """Serialize result rows to CSV text (header + one line per row).
+
+    ``shard=(k, n)`` stamps a ``# repro-shard: k/N`` comment line above the
+    header, marking the file as shard ``k`` of an ``N``-way campaign;
+    :func:`rows_from_csv` skips comment lines, so marked and unmarked files
+    parse identically.
+    """
     output = io.StringIO()
+    if shard is not None:
+        index, count = shard
+        output.write(f"{SHARD_MARKER_PREFIX} {int(index)}/{int(count)}\n")
     writer = csv.writer(output)
     header = [f.name for f in fields(ResultRow)]
     writer.writerow(header)
@@ -42,11 +81,42 @@ def rows_to_csv(rows: Sequence[ResultRow]) -> str:
     return output.getvalue()
 
 
-def save_rows_csv(rows: Sequence[ResultRow], path: str | Path) -> Path:
+def save_rows_csv(
+    rows: Sequence[ResultRow],
+    path: str | Path,
+    *,
+    shard: tuple[int, int] | None = None,
+) -> Path:
     """Write result rows to a CSV file; returns the path."""
     path = Path(path)
-    path.write_text(rows_to_csv(rows))
+    path.write_text(rows_to_csv(rows, shard=shard))
     return path
+
+
+def read_shard_marker(text: str) -> tuple[int, int] | None:
+    """The ``(k, n)`` of a CSV's shard marker, or ``None`` when unmarked.
+
+    Unmarked files are fine — they predate the marker or hold a full
+    (unsharded or merged) campaign — which is why the merge validation only
+    engages when at least one input carries a marker.
+    """
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            return None
+        if line.startswith(SHARD_MARKER_PREFIX):
+            designator = line[len(SHARD_MARKER_PREFIX) :].strip()
+            index_text, _, count_text = designator.partition("/")
+            try:
+                index, count = int(index_text), int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"malformed shard marker line {line!r}; expected "
+                    f"'{SHARD_MARKER_PREFIX} k/N'"
+                ) from None
+            if count < 1 or not 1 <= index <= count:
+                raise ValueError(f"shard marker {designator!r} is out of range")
+            return index, count
+    return None
 
 
 def _field_types() -> dict[str, type]:
@@ -63,7 +133,12 @@ def rows_from_csv(text: str) -> list[ResultRow]:
     than a deliberate extension.
     """
     types = _field_types()
-    reader = csv.DictReader(io.StringIO(text))
+    # Strip comment lines (e.g. the shard marker) before the DictReader sees
+    # the text — it would otherwise mistake a leading comment for the header.
+    data = "\n".join(
+        line for line in text.splitlines() if not line.startswith("#")
+    )
+    reader = csv.DictReader(io.StringIO(data))
     header = reader.fieldnames or []
     unknown = [name for name in header if name not in types]
     if unknown:

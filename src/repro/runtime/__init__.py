@@ -19,6 +19,14 @@ dependency chain acyclic at import time.
 from __future__ import annotations
 
 from .cache import CacheStats, DiskCache, LRUCache, ResultCache, read_disk_stats
+from .cachenet import (
+    CacheNetClient,
+    CacheNetError,
+    CacheNetServer,
+    CircuitBreaker,
+    FallbackResultCache,
+    parse_address,
+)
 from .keys import (
     ALGO_VERSION,
     KEY_VERSION,
@@ -43,6 +51,8 @@ from .faults import (
     parse_faults,
 )
 from .journal import JOURNAL_VERSION, CampaignJournal
+from .keys import fabric_shard_key
+from .leases import DONE, LEASED, PENDING, POISON, LeaseQueue, ShardLease
 from .parallel import (
     QUARANTINED,
     WorkerFailure,
@@ -52,14 +62,27 @@ from .parallel import (
     resolve_jobs,
 )
 from .progress import ConsoleProgress, NullProgress, coerce_progress
+from .retry import RetryPolicy
 
 __all__ = [
     "ALGO_VERSION",
+    "CacheNetClient",
+    "CacheNetError",
+    "CacheNetServer",
     "CacheStats",
     "CampaignJournal",
     "CampaignRunner",
+    "CircuitBreaker",
     "ConsoleProgress",
+    "DONE",
     "DiskCache",
+    "FallbackResultCache",
+    "LEASED",
+    "LeaseQueue",
+    "PENDING",
+    "POISON",
+    "RetryPolicy",
+    "ShardLease",
     "FAULTS_ENV",
     "JOURNAL_VERSION",
     "KEY_VERSION",
@@ -80,6 +103,8 @@ __all__ = [
     "digest",
     "dispose_executor",
     "evaluation_key",
+    "fabric_shard_key",
+    "parse_address",
     "evaluate_schedule_cached",
     "expand_work_units",
     "fault_fired",

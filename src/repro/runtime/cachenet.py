@@ -1,0 +1,573 @@
+"""Remote result cache: a line-protocol client/server over the sqlite store.
+
+A fabric of worker processes wants one *shared* result cache so that a unit
+paid for by any worker is free for every other one.  sqlite files do not
+span hosts, so this module puts the smallest possible network layer in
+front of :class:`~repro.runtime.cache.DiskCache`: JSON Lines over TCP,
+stdlib ``socket``/``socketserver`` only.
+
+Protocol (one JSON object per line, UTF-8)::
+
+    -> {"op": "ping"}                      <- {"ok": true, "server": "repro-cachenet", "v": 1}
+    -> {"op": "get", "key": K}             <- {"ok": true, "hit": true, "value": V}
+    -> {"op": "put", "key": K, "value": V} <- {"ok": true}
+    -> {"op": "stats"}                     <- {"ok": true, "entries": N}
+
+Keys are the content-addressed digests of :mod:`repro.runtime.keys`,
+unchanged — a local cache file and the remote store are interchangeable,
+which is what makes degradation and back-fill safe.
+
+Robustness contract (the reason this module exists):
+
+* every client operation has a per-op socket timeout;
+* transient errors are retried with the shared bounded-exponential-backoff
+  :class:`~repro.runtime.retry.RetryPolicy` (deterministic jitter);
+* :class:`FallbackResultCache` wraps the client behind a circuit breaker —
+  when the remote is unreachable the worker silently degrades to its local
+  :class:`~repro.runtime.cache.ResultCache`, keeps note of what it stored
+  locally, and back-fills the remote store once a half-open probe succeeds.
+
+Fault sites ``cache_net_send`` / ``cache_net_recv`` (armed via
+``REPRO_FAULTS``) model a network edge dying mid-request on either leg.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Callable
+
+from .cache import CacheStats, DiskCache, ResultCache
+from .faults import fault_point
+from .retry import RetryPolicy
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CacheNetError",
+    "CacheNetServer",
+    "CacheNetClient",
+    "CircuitBreaker",
+    "FallbackResultCache",
+    "parse_address",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (a campaign row payload is a few KB; a
+#: whole shard's CSV rides the fabric control plane, not this one).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class CacheNetError(OSError):
+    """A cache-net operation failed for good (after retries)."""
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``host:port`` endpoint string."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint must look like 'host:port', got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"endpoint port must be an integer, got {text!r}") from None
+
+
+def write_message(wfile: Any, payload: dict[str, Any]) -> None:
+    """Write one JSON-line message to a file-like socket writer."""
+    wfile.write(json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n")
+    wfile.flush()
+
+
+def read_message(rfile: Any) -> dict[str, Any] | None:
+    """Read one JSON-line message; ``None`` on a cleanly closed stream."""
+    line = rfile.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise CacheNetError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise CacheNetError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise CacheNetError("protocol line is not a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class _CacheRequestHandler(socketserver.StreamRequestHandler):
+    """One connection: serve request lines until the client hangs up."""
+
+    server: "_CacheTCPServer"
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = read_message(self.rfile)
+            except (OSError, CacheNetError):
+                return
+            if request is None:
+                return
+            try:
+                response = self.server.dispatch(request)
+            except Exception as exc:  # a bad request must not kill the server
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                write_message(self.wfile, response)
+            except OSError:
+                return
+
+
+class _CacheTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], cache: DiskCache, requests: "Callable[[str], None]"
+    ) -> None:
+        super().__init__(address, _CacheRequestHandler)
+        self.cache = cache
+        self._count = requests
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+
+    # Track live connections so stop() can sever them: shutting down the
+    # listener alone would leave connected clients working forever, which is
+    # not what a crashed cache server looks like.
+    def process_request(self, request: Any, client_address: Any) -> None:
+        with self._conn_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request: Any) -> None:
+        with self._conn_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        with self._conn_lock:
+            connections = list(self._connections)
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        self._count(str(op))
+        if op == "ping":
+            return {"ok": True, "server": "repro-cachenet", "v": PROTOCOL_VERSION}
+        if op == "get":
+            key = request.get("key")
+            if not isinstance(key, str):
+                return {"ok": False, "error": "get requires a string 'key'"}
+            value = self.cache.get(key)
+            if value is None:
+                return {"ok": True, "hit": False}
+            return {"ok": True, "hit": True, "value": value}
+        if op == "put":
+            key = request.get("key")
+            if not isinstance(key, str) or "value" not in request:
+                return {"ok": False, "error": "put requires a string 'key' and a 'value'"}
+            self.cache.put(key, request["value"])
+            return {"ok": True}
+        if op == "stats":
+            return {"ok": True, "entries": len(self.cache)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class CacheNetServer:
+    """Serve one :class:`DiskCache` over TCP (thread-per-connection).
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  :meth:`serve_forever` blocks (the CLI path);
+    :meth:`start` serves from a daemon thread (tests and embedding).
+    """
+
+    def __init__(
+        self, cache: DiskCache, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.cache = cache
+        self.requests_served = 0
+        self._lock = threading.Lock()
+        self._server = _CacheTCPServer((host, port), cache, self._count_request)
+        self._thread: threading.Thread | None = None
+
+    def _count_request(self, op: str) -> None:
+        with self._lock:
+            self.requests_served += 1
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` endpoint."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        """The bound endpoint as a ``host:port`` string."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "CacheNetServer":
+        """Serve from a background daemon thread; returns self."""
+        thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-cachenet",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving, sever live connections, close the listener.
+
+        The backing cache stays open (the caller owns it).  Severing the
+        connections matters: a stopped server must look like a crashed one
+        to its clients, or degradation would never be exercised.
+        """
+        self._server.shutdown()
+        self._server.close_connections()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class CacheNetClient:
+    """Line-protocol client with per-op timeouts and bounded retries.
+
+    Transient transport failures (connect refused, timeout, torn line) are
+    retried ``retry.max_attempts`` times with the policy's backoff; the
+    connection is torn down and rebuilt between attempts.  When every
+    attempt fails the operation raises :class:`CacheNetError` — callers that
+    must survive that wrap this client in :class:`FallbackResultCache`.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.address = parse_address(address) if isinstance(address, str) else address
+        self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.05, max_delay=2.0, jitter=0.5
+        )
+        self.retries = 0  # transport retries performed (for metrics)
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+        self._lock = threading.Lock()
+
+    # -- transport -----------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+        return self._sock
+
+    def _disconnect(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request_once(self, payload: dict[str, Any]) -> dict[str, Any]:
+        sock = self._connect()
+        fault_point(
+            "cache_net_send", default="raise=OSError", op=str(payload.get("op"))
+        )
+        sock.sendall(json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n")
+        fault_point(
+            "cache_net_recv", default="raise=OSError", op=str(payload.get("op"))
+        )
+        response = read_message(self._rfile)
+        if response is None:
+            raise CacheNetError("cache server closed the connection mid-request")
+        return response
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request, retrying transport failures per the policy."""
+        with self._lock:
+            failures = 0
+            while True:
+                try:
+                    response = self._request_once(payload)
+                except (OSError, TimeoutError) as exc:
+                    self._disconnect()
+                    failures += 1
+                    if failures >= self.retry.max_attempts:
+                        raise CacheNetError(
+                            f"cache-net {payload.get('op')} to "
+                            f"{self.address[0]}:{self.address[1]} failed after "
+                            f"{failures} attempt(s): {type(exc).__name__}: {exc}"
+                        ) from exc
+                    self.retries += 1
+                    self.retry.sleep(failures)
+                    continue
+                if not response.get("ok"):
+                    raise CacheNetError(
+                        f"cache server rejected {payload.get('op')}: "
+                        f"{response.get('error', 'unknown error')}"
+                    )
+                return response
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Round-trip a ping; returns the server's identification."""
+        return self.request({"op": "ping"})
+
+    def get(self, key: str) -> Any | None:
+        """Remote lookup; ``None`` on a miss."""
+        response = self.request({"op": "get", "key": key})
+        return response.get("value") if response.get("hit") else None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a JSON-serializable value remotely."""
+        self.request({"op": "put", "key": key, "value": value})
+
+    def stats(self) -> dict[str, Any]:
+        """Remote entry count."""
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        with self._lock:
+            self._disconnect()
+
+    def __enter__(self) -> "CacheNetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker + degradation facade
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker around a flaky dependency.
+
+    ``failure_threshold`` consecutive failures open the circuit; while open,
+    every call is refused without touching the dependency.  After
+    ``reset_timeout`` seconds one probe call is let through (half-open): its
+    success closes the circuit, its failure re-opens it for another window.
+    The clock is injectable so tests never sleep.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock: Callable[[], float] = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.opens = 0  # times the circuit opened (for metrics)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allows(self) -> bool:
+        """May a call proceed right now?  (Half-open admits one probe.)"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = self.HALF_OPEN
+                    return True  # this caller is the probe
+                return False
+            return False  # half-open: a probe is already in flight
+
+    def record_success(self) -> bool:
+        """Note a successful call; returns True when it *closed* the circuit."""
+        with self._lock:
+            reconnected = self._state != self.CLOSED
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            return reconnected
+
+    def record_failure(self) -> None:
+        """Note a failed call; opens the circuit at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+
+
+class FallbackResultCache:
+    """A :class:`ResultCache`-shaped cache that degrades from remote to local.
+
+    Reads check the local layers first (free), then the remote store —
+    remote hits are promoted locally.  Writes always land locally; the
+    remote write is attempted when the breaker allows and *queued for
+    back-fill* when it does not, so a cache-server outage costs nothing but
+    sharing.  When a half-open probe succeeds, every queued key is replayed
+    from the local store to the remote one (keys are content-addressed and
+    identical on both sides, so back-fill can never alias).
+    """
+
+    def __init__(
+        self,
+        client: CacheNetClient,
+        local: ResultCache,
+        *,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        self.client = client
+        self.local = local
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._backlog: list[str] = []
+        self._backlog_lock = threading.Lock()
+        self.remote_hits = 0
+        self.remote_misses = 0
+        self.remote_errors = 0
+        self.backfilled = 0
+
+    # -- ResultCache interface -----------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Session stats of the local layer (what reports summarize)."""
+        return self.local.stats
+
+    @property
+    def degraded(self) -> bool:
+        """True while the breaker is holding remote traffic off."""
+        return self.breaker.state != CircuitBreaker.CLOSED
+
+    def get(self, key: str) -> Any | None:
+        value = self.local.get(key)
+        if value is not None:
+            return value
+        if not self.breaker.allows():
+            return None
+        try:
+            value = self.client.get(key)
+        except CacheNetError:
+            self.remote_errors += 1
+            self.breaker.record_failure()
+            return None
+        self._note_success()
+        if value is None:
+            self.remote_misses += 1
+            return None
+        self.remote_hits += 1
+        self.local.put(key, value)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self.local.put(key, value)
+        if not self.breaker.allows():
+            self._enqueue(key)
+            return
+        try:
+            self.client.put(key, value)
+        except CacheNetError:
+            self.remote_errors += 1
+            self.breaker.record_failure()
+            self._enqueue(key)
+            return
+        self._note_success()
+
+    def close(self) -> None:
+        """Flush what the outage left behind (best effort), then close."""
+        if self.breaker.allows():
+            try:
+                self.client.ping()
+            except CacheNetError:
+                self.breaker.record_failure()
+            else:
+                self._note_success()
+        self.client.close()
+        self.local.close()
+
+    def __enter__(self) -> "FallbackResultCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- degradation bookkeeping ---------------------------------------
+    def _enqueue(self, key: str) -> None:
+        with self._backlog_lock:
+            if key not in self._backlog:
+                self._backlog.append(key)
+
+    @property
+    def backlog(self) -> int:
+        """Keys written locally during the outage, awaiting back-fill."""
+        with self._backlog_lock:
+            return len(self._backlog)
+
+    def _note_success(self) -> None:
+        if self.breaker.record_success():
+            self._backfill()
+
+    def _backfill(self) -> None:
+        """Replay outage-era local writes to the reconnected remote store."""
+        with self._backlog_lock:
+            pending, self._backlog = self._backlog, []
+        requeue: list[str] = []
+        for index, key in enumerate(pending):
+            value = self.local.get(key)
+            if value is None:
+                continue  # evicted locally; the unit will be recomputed
+            try:
+                self.client.put(key, value)
+            except CacheNetError:
+                self.remote_errors += 1
+                self.breaker.record_failure()
+                requeue.extend(pending[index:])
+                break
+            self.backfilled += 1
+        if requeue:
+            with self._backlog_lock:
+                for key in requeue:
+                    if key not in self._backlog:
+                        self._backlog.append(key)

@@ -46,6 +46,16 @@ site                 where                                              default 
 ``campaign_unit``    parent-side, after a completed unit is             ``exit=137``
                      journaled/cached in ``CampaignRunner._run_cached``
 ``service_group``    :func:`repro.service.planner._solve_group`         ``raise=RuntimeError``
+``lease_grant``      :meth:`repro.runtime.leases.LeaseQueue.grant`,     ``raise=OSError``
+                     after a shard is selected, before it is leased
+``lease_renew``      :meth:`repro.runtime.leases.LeaseQueue.renew`      ``raise=OSError``
+``worker_heartbeat`` the fabric worker's heartbeat loop, before each    ``sleep=30``
+                     renewal is sent (models a stalled worker)
+``cache_net_send``   :class:`repro.runtime.cachenet.CacheNetClient`,    ``raise=OSError``
+                     before a request is written to the socket
+``cache_net_recv``   same client, before the response is read           ``raise=OSError``
+``fabric_shard``     fabric worker, before a leased shard's campaign    ``raise=RuntimeError``
+                     runs (models a shard that poisons its worker)
 ===================  =================================================  ==================
 
 The registry re-parses lazily whenever the environment string changes, so
@@ -107,6 +117,12 @@ KNOWN_FAULT_SITES = frozenset(
         "cache_read",
         "campaign_unit",
         "service_group",
+        "lease_grant",
+        "lease_renew",
+        "worker_heartbeat",
+        "cache_net_send",
+        "cache_net_recv",
+        "fabric_shard",
         "demo",
     }
 )

@@ -39,6 +39,7 @@ __all__ = [
     "scenario_unit_key",
     "monte_carlo_key",
     "robustness_unit_key",
+    "fabric_shard_key",
 ]
 
 #: Bumped whenever the canonical payload schema changes, so stale persistent
@@ -269,5 +270,27 @@ def robustness_unit_key(
         "mc_seed": int(mc_seed),
         "checkpoint_overlap": float(checkpoint_overlap),
         "mc_rng": MC_RNG_SCHEME,
+    }
+    return digest(payload)
+
+
+def fabric_shard_key(*, spec_digest: str, shard: int, n_shards: int) -> str:
+    """Key of one completed fabric shard (its full row-CSV payload).
+
+    The fabric coordinator journals each finished shard under this key, so a
+    coordinator crash resumes without re-leasing completed shards.  The spec
+    digest covers the campaign content (grid, seeds, heuristics, search
+    budget) but *not* the evaluation backend — like every other key, rows
+    are backend-agnostic by contract — while ``ALGO_VERSION`` and the RNG
+    scheme enter because the rows embed solver output.
+    """
+    payload = {
+        "kind": "fabric-shard",
+        "v": KEY_VERSION,
+        "algo": ALGO_VERSION,
+        "spec": str(spec_digest),
+        "shard": int(shard),
+        "n_shards": int(n_shards),
+        "rng": RNG_SCHEME,
     }
     return digest(payload)

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from .faults import fault_point
+from .retry import RetryPolicy
 
 __all__ = [
     "QUARANTINED",
@@ -406,6 +407,13 @@ def _supervised_map(
     )
     first_error: WorkerFailure | None = None
     resets = 0
+    # Zero jitter reproduces the historical supervisor schedule exactly:
+    # min(retry_backoff * 2**(resets-1), 30s).
+    backoff = (
+        RetryPolicy(base_delay=retry_backoff, max_delay=_MAX_BACKOFF)
+        if retry_backoff > 0
+        else None
+    )
 
     def settle_failure(index: int, failure: WorkerFailure) -> None:
         nonlocal first_error
@@ -484,8 +492,8 @@ def _supervised_map(
                 break
             resets += 1
             factory(True)
-            if retry_backoff > 0:
-                time.sleep(min(retry_backoff * (2 ** (resets - 1)), _MAX_BACKOFF))
+            if backoff is not None:
+                backoff.sleep(resets)
 
     if first_error is not None:
         raise first_error

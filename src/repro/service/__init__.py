@@ -32,6 +32,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    build_fabric_registry,
     build_service_registry,
 )
 from .planner import ServicePlanner, SharedSweepScorer
@@ -54,6 +55,7 @@ __all__ = [
     "ServicePlanner",
     "ServiceServer",
     "SharedSweepScorer",
+    "build_fabric_registry",
     "build_service_registry",
     "parse_analyse_request",
     "parse_evaluate_request",

@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "build_fabric_registry",
     "build_service_registry",
     "format_value",
 ]
@@ -488,5 +489,67 @@ def build_service_registry(
         "HTTP request handling latency by endpoint, seconds.",
         buckets=tuple(buckets),
         labels=("endpoint",),
+    )
+    return registry
+
+
+def build_fabric_registry(
+    *,
+    active_leases: Callable[[], float] | None = None,
+    pending_shards: Callable[[], float] | None = None,
+    breaker_open: Callable[[], float] | None = None,
+) -> MetricsRegistry:
+    """The fabric coordinator's metric set (names are the public contract).
+
+    Counters follow the lease lifecycle (grants, renewals, expirations,
+    reassignments, quarantines, completions) plus the cache-net client's
+    retry count folded in from worker completion reports; the gauges track
+    live queue state through callbacks, like :func:`build_service_registry`.
+    """
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_fabric_leases_granted_total", "Shard leases granted to workers."
+    )
+    registry.counter(
+        "repro_fabric_lease_renewals_total", "Lease renewals (worker heartbeats)."
+    )
+    registry.counter(
+        "repro_fabric_lease_expirations_total",
+        "Leases that expired without completion (dead or stalled worker).",
+    )
+    registry.counter(
+        "repro_fabric_shard_reassignments_total",
+        "Shards returned to the pending pool for another worker.",
+    )
+    registry.counter(
+        "repro_fabric_shards_poisoned_total",
+        "Shards quarantined after exhausting their grant budget.",
+    )
+    registry.counter(
+        "repro_fabric_shards_completed_total", "Shards completed and journaled."
+    )
+    registry.counter(
+        "repro_fabric_cache_net_retries_total",
+        "Cache-net transport retries reported by workers.",
+    )
+    registry.counter(
+        "repro_fabric_cache_degradations_total",
+        "Worker shard runs that finished with the cache circuit open "
+        "(served by the local cache only).",
+    )
+    registry.gauge(
+        "repro_fabric_active_leases",
+        "Shard leases currently held by workers.",
+        callback=active_leases,
+    )
+    registry.gauge(
+        "repro_fabric_pending_shards",
+        "Shards waiting for a worker.",
+        callback=pending_shards,
+    )
+    registry.gauge(
+        "repro_fabric_cache_breaker_open",
+        "1 while the most recent worker report had its cache circuit open.",
+        callback=breaker_open,
     )
     return registry

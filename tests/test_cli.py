@@ -318,22 +318,45 @@ class TestCampaignCommand:
         assert "lambda" in header and "D" in header
 
     def test_merge_options_work_before_the_subcommand(self, tmp_path, capsys):
-        shard = tmp_path / "shard.csv"
-        assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/2",
-                                               "--output", str(shard)]) == 0
+        shards = []
+        for designator in ("1/2", "2/2"):
+            shard = tmp_path / f"shard{designator[0]}.csv"
+            assert main(self.PLATFORM_GRID_ARGS + ["--shard", designator,
+                                                   "--output", str(shard)]) == 0
+            shards.append(str(shard))
         capsys.readouterr()
         out_csv = tmp_path / "merged.csv"
         # Parent-level -o before 'merge' must not be silently discarded.
-        assert main(["campaign", "-o", str(out_csv), "merge", str(shard)]) == 0
+        assert main(["campaign", "-o", str(out_csv), "merge", *shards]) == 0
         assert out_csv.exists()
 
-    def test_merge_rejects_duplicate_rows(self, tmp_path, capsys):
+    def test_merge_rejects_duplicate_shard(self, tmp_path, capsys):
         shard = tmp_path / "shard.csv"
         assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/2",
                                                "--output", str(shard)]) == 0
         capsys.readouterr()
+        # The shard marker names the duplicated shard before any row-level
+        # duplicate detection has to engage.
         assert main(["campaign", "merge", str(shard), str(shard)]) == 2
+        assert "shard 1/2 appears twice" in capsys.readouterr().err
+
+    def test_merge_rejects_duplicate_rows_in_unmarked_inputs(self, tmp_path, capsys):
+        full = tmp_path / "full.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--output", str(full)]) == 0
+        capsys.readouterr()
+        # Unmarked (full-campaign) inputs skip the shard-set validation but
+        # still trip the row-identity duplicate detector.
+        assert main(["campaign", "merge", str(full), str(full)]) == 2
         assert "duplicate result row" in capsys.readouterr().err
+
+    def test_merge_rejects_missing_shard_naming_the_gap(self, tmp_path, capsys):
+        shard = tmp_path / "shard1.csv"
+        assert main(self.PLATFORM_GRID_ARGS + ["--shard", "1/3",
+                                               "--output", str(shard)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "merge", str(shard)]) == 2
+        err = capsys.readouterr().err
+        assert "missing shard(s) 2/3, 3/3" in err
 
     def test_merge_fails_fast_on_missing_output_dir(self, tmp_path, capsys):
         shard = tmp_path / "shard.csv"
